@@ -1,0 +1,89 @@
+//! Criterion benchmarks: one group per paper *figure*, plus the pipeline
+//! stages (generation, simulation, merge, reconstruction) the figures
+//! depend on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdfs_bench::bench_study;
+use sdfs_core::access::reconstruct;
+use sdfs_core::figures::{file_sizes, lifetimes, open_times, run_lengths};
+use sdfs_simkit::SimTime;
+use sdfs_spritefs::{Cluster, VecSink};
+use sdfs_trace::merge::merge_vecs;
+use sdfs_workload::{Generator, TraceSpec};
+
+fn bench_figures(c: &mut Criterion) {
+    let study = bench_study();
+    let spec = TraceSpec {
+        seed: 200,
+        heavy_sim: false,
+    };
+    let records = study.run_trace_records(spec);
+    let accesses = reconstruct(&records);
+
+    c.bench_function("fig1_run_lengths", |b| {
+        b.iter(|| black_box(run_lengths(black_box(&accesses))))
+    });
+    c.bench_function("fig2_file_sizes", |b| {
+        b.iter(|| black_box(file_sizes(black_box(&accesses))))
+    });
+    c.bench_function("fig3_open_times", |b| {
+        b.iter(|| black_box(open_times(black_box(&accesses))))
+    });
+    c.bench_function("fig4_lifetimes", |b| {
+        b.iter(|| black_box(lifetimes(black_box(&records))))
+    });
+    c.bench_function("access_reconstruction", |b| {
+        b.iter(|| black_box(reconstruct(black_box(&records))))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let study = bench_study();
+    let cfg = study.config().clone();
+    let spec = TraceSpec {
+        seed: 201,
+        heavy_sim: false,
+    };
+
+    c.bench_function("workload_generate_day", |b| {
+        b.iter(|| {
+            let wl = cfg.workload.for_trace(spec);
+            let mut gen = Generator::new(wl);
+            black_box(gen.generate_day(0))
+        })
+    });
+
+    // Pre-generate once; bench the cluster execution alone.
+    let wl = cfg.workload.for_trace(spec);
+    let mut gen = Generator::new(wl);
+    let preload = gen.preload_list();
+    let ops = gen.generate_day(0);
+    c.bench_function("cluster_execute_day", |b| {
+        b.iter(|| {
+            let mut cluster =
+                Cluster::new(cfg.cluster.clone(), VecSink::new(cfg.cluster.num_servers));
+            cluster.preload(&preload);
+            cluster.run(ops.iter().cloned(), SimTime::from_secs(86_400));
+            black_box(cluster.into_sink().len())
+        })
+    });
+
+    let records_per_server = {
+        let mut cluster = Cluster::new(cfg.cluster.clone(), VecSink::new(cfg.cluster.num_servers));
+        cluster.preload(&preload);
+        cluster.run(ops.iter().cloned(), SimTime::from_secs(86_400));
+        cluster.into_sink().per_server
+    };
+    c.bench_function("trace_merge", |b| {
+        b.iter(|| black_box(merge_vecs(black_box(records_per_server.clone()))))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures, bench_pipeline
+}
+criterion_main!(figures);

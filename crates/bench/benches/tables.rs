@@ -1,0 +1,79 @@
+//! Criterion benchmarks: one group per paper *table*.
+//!
+//! Each benchmark regenerates a table of the paper over a pre-built
+//! trace or counter campaign, so `cargo bench --bench tables` both
+//! exercises and times every analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdfs_bench::bench_study;
+use sdfs_core::activity::table2;
+use sdfs_core::cache_tables::{table4, table5, table6, table7, table8, table9};
+use sdfs_core::consistency::table10;
+use sdfs_core::overhead::table12;
+use sdfs_core::patterns::table3;
+use sdfs_core::staleness::table11;
+use sdfs_core::study::CounterData;
+use sdfs_trace::{Record, TraceStats};
+use sdfs_workload::TraceSpec;
+
+fn trace() -> Vec<Record> {
+    bench_study().run_trace_records(TraceSpec {
+        seed: 100,
+        heavy_sim: false,
+    })
+}
+
+fn counters() -> CounterData {
+    bench_study().run_counters()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let records = trace();
+    let data = counters();
+
+    c.bench_function("table1_trace_stats", |b| {
+        b.iter(|| black_box(TraceStats::compute(black_box(&records))))
+    });
+    c.bench_function("table2_user_activity", |b| {
+        b.iter(|| black_box(table2(black_box(&records))))
+    });
+    c.bench_function("table3_access_patterns", |b| {
+        b.iter(|| black_box(table3(black_box(&records))))
+    });
+    c.bench_function("table4_cache_sizes", |b| {
+        b.iter(|| black_box(table4(black_box(&data.clients))))
+    });
+    c.bench_function("table5_traffic_sources", |b| {
+        b.iter(|| black_box(table5(black_box(&data.total), black_box(&data.per_day))))
+    });
+    c.bench_function("table6_cache_effectiveness", |b| {
+        b.iter(|| black_box(table6(black_box(&data.total), black_box(&data.per_day))))
+    });
+    c.bench_function("table7_server_traffic", |b| {
+        b.iter(|| black_box(table7(black_box(&data.total), black_box(&data.per_day))))
+    });
+    c.bench_function("table8_block_replacement", |b| {
+        b.iter(|| black_box(table8(black_box(&data.total))))
+    });
+    c.bench_function("table9_dirty_cleaning", |b| {
+        b.iter(|| black_box(table9(black_box(&data.total))))
+    });
+    c.bench_function("table10_consistency_actions", |b| {
+        b.iter(|| black_box(table10(black_box(&records))))
+    });
+    c.bench_function("table11_stale_data", |b| {
+        b.iter(|| black_box(table11(black_box(&records))))
+    });
+    c.bench_function("table12_consistency_overhead", |b| {
+        b.iter(|| black_box(table12(black_box(&records))))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables
+}
+criterion_main!(tables);

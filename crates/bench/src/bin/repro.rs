@@ -1,0 +1,183 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--traces N] [--days N]
+//!       [all|table1|table2|table3|table10|table11|table12|cache|
+//!        figures [--csv DIR]|bsd|check|ablations|extensions|latency|gen-trace OUT]
+//! ```
+//!
+//! With no arguments the full study runs at paper scale (eight 24-hour
+//! traces, 14 counter days) and prints every table with the published
+//! values alongside. `--quick` uses the reduced configuration (useful
+//! for smoke tests).
+
+use std::time::Instant;
+
+use sdfs_core::extensions::{
+    crash_exposure_ablation, policy_matrix, render_crash_exposure, render_policy_matrix,
+};
+use sdfs_core::latency::latency_report;
+use sdfs_core::report;
+use sdfs_core::study::writeback_delay_ablation;
+use sdfs_core::Study;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // The first positional argument is the subcommand; skip flags and
+    // the values of flags that take one.
+    let value_flags = ["--traces", "--days", "--csv"];
+    let mut what = String::from("all");
+    let mut skip_next = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if value_flags.contains(&a.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        what = a.clone();
+        // `gen-trace OUT` keeps OUT as its own argument.
+        let _ = i;
+        break;
+    }
+
+    let mut cfg = if quick {
+        sdfs_bench::bench_config()
+    } else {
+        sdfs_bench::paper_config()
+    };
+    // `--traces N` / `--days N` shrink the campaign for calibration runs.
+    let flag_val = |name: &str| -> Option<u32> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    if let Some(n) = flag_val("--traces") {
+        cfg.traces.truncate(n as usize);
+    }
+    if let Some(n) = flag_val("--days") {
+        cfg.counter_days = n;
+    }
+    let study = Study::new(cfg);
+
+    let t0 = Instant::now();
+    eprintln!(
+        "running study: {} traces, {} counter days ({} clients)...",
+        study.config().traces.len(),
+        study.config().counter_days,
+        study.config().cluster.num_clients
+    );
+
+    if what == "ablations" {
+        let rows = writeback_delay_ablation(study.config(), &[5, 30, 120, 600]);
+        println!("Writeback-delay ablation (delay s -> writeback traffic %):");
+        for (d, pct) in rows {
+            println!("  {d:>4} s: {pct:6.1}%");
+        }
+        return;
+    }
+
+    if what == "extensions" {
+        let mut cfg = study.config().clone();
+        cfg.workload.activity_scale = cfg.workload.activity_scale.min(0.5);
+        println!(
+            "{}",
+            render_crash_exposure(&crash_exposure_ablation(&cfg, &[5, 30, 120, 600]))
+        );
+        println!("{}", render_policy_matrix(&policy_matrix(&cfg)));
+        return;
+    }
+
+    if what == "gen-trace" {
+        // Generate one trace and write it as a binary trace file, for
+        // use with `tracetool`.
+        let out = args
+            .iter()
+            .position(|a| a == "gen-trace")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "trace1.bin".to_string());
+        let spec = study.config().traces[0];
+        let records = study.run_trace_records(spec);
+        let mut writer = sdfs_trace::TraceWriter::create(&out).expect("create trace file");
+        for rec in &records {
+            writer.write(rec).expect("write record");
+        }
+        let n = writer.count();
+        writer.finish().expect("flush");
+        eprintln!("wrote {n} records to {out}");
+        return;
+    }
+
+    if what == "latency" {
+        let data = study.run_counters();
+        let secs = study.config().counter_days as f64 * 86_400.0;
+        let report = latency_report(&study.config().cluster, &data.total, secs);
+        println!("{}", report.render());
+        return;
+    }
+
+    let mut results = study.run_all();
+    eprintln!("study complete in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let out = match what.as_str() {
+        "check" => {
+            let sc = sdfs_core::check::scorecard(&mut results);
+            let text = sc.render();
+            if !sc.all_passed() {
+                eprintln!("{text}");
+                std::process::exit(1);
+            }
+            text
+        }
+        "bsd" => {
+            let mut s = String::new();
+            for (i, t) in results.traces.iter_mut().enumerate() {
+                s.push_str(&format!("trace {}:\n", i + 1));
+                s.push_str(&sdfs_core::bsd::compare(t).render());
+                s.push('\n');
+            }
+            s
+        }
+        "table1" => report::render_table1(&results.traces),
+        "table2" => report::render_table2(&results.traces),
+        "table3" => report::render_table3(&results.traces),
+        "cache" | "table4" | "table5" | "table6" | "table7" | "table8" | "table9" => {
+            report::render_cache_tables(&results)
+        }
+        "table10" | "table11" | "table12" => report::render_consistency_tables(&results),
+        "figures" | "fig1" | "fig2" | "fig3" | "fig4" => {
+            let mut s = report::render_figure_checkpoints(&mut results.traces);
+            if let Some(dir) = args
+                .iter()
+                .position(|a| a == "--csv")
+                .and_then(|i| args.get(i + 1))
+            {
+                for (i, t) in results.traces.iter_mut().enumerate() {
+                    let dir = std::path::Path::new(dir).join(format!("trace{}", i + 1));
+                    let written =
+                        report::export_figures(&mut t.figures, &dir).expect("write figure CSVs");
+                    eprintln!("wrote {} CSVs to {}", written.len(), dir.display());
+                }
+            }
+            for t in results.traces.iter_mut().take(1) {
+                for fig in t.figures.render() {
+                    s.push('\n');
+                    s.push_str(&report::render_figure(&fig));
+                }
+            }
+            s
+        }
+        _ => report::render_all(&mut results),
+    };
+    println!("{out}");
+}

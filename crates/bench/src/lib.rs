@@ -1,0 +1,43 @@
+//! Benchmark harness support for the SDFS study.
+//!
+//! The crate hosts the Criterion benchmark groups (one per paper table
+//! and figure), the `repro` report binary, the workspace examples, and
+//! the cross-crate integration tests. The library itself provides small
+//! shared helpers for those targets.
+
+use sdfs_core::{Study, StudyConfig};
+
+/// A study configuration scaled down enough for Criterion iterations and
+/// CI runs while still exercising every code path: a smaller cluster,
+/// lighter activity, one normal and one heavy trace, two counter days.
+pub fn bench_config() -> StudyConfig {
+    let mut cfg = StudyConfig::quick();
+    cfg.workload.activity_scale = 0.5;
+    cfg
+}
+
+/// A full paper-scale configuration: eight 24-hour traces (traces 3 and
+/// 4 heavy) and a 14-day counter campaign on a 36-client cluster.
+pub fn paper_config() -> StudyConfig {
+    StudyConfig::default()
+}
+
+/// Builds a study over the bench configuration.
+pub fn bench_study() -> Study {
+    Study::new(bench_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_consistent() {
+        let b = bench_config();
+        assert_eq!(b.cluster.num_clients, b.workload.num_clients);
+        let p = paper_config();
+        assert_eq!(p.cluster.num_clients, p.workload.num_clients);
+        assert_eq!(p.traces.len(), 8);
+        assert_eq!(p.counter_days, 14);
+    }
+}

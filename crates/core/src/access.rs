@@ -1,0 +1,368 @@
+//! Access reconstruction: pairing opens, repositions, and closes.
+//!
+//! The traces record kernel calls, not individual reads and writes; byte
+//! ranges ride on the boundary events. This module reconstructs the
+//! paper's unit of analysis — the *access* (open … close) with its
+//! sequential *runs* — which Tables 2–3 and Figures 1–3 all consume.
+
+use std::collections::HashMap;
+
+use sdfs_simkit::SimTime;
+use sdfs_trace::{ClientId, FileId, Handle, Record, RecordKind, UserId};
+
+/// One sequential run within an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Offset where the run began.
+    pub start: u64,
+    /// Bytes read during the run.
+    pub read: u64,
+    /// Bytes written during the run.
+    pub written: u64,
+}
+
+impl Run {
+    /// Total bytes transferred in the run.
+    pub fn len(&self) -> u64 {
+        self.read + self.written
+    }
+
+    /// Whether any data moved.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One reconstructed access: open, transfers, close.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// The file.
+    pub file: FileId,
+    /// Who made the access.
+    pub user: UserId,
+    /// From which workstation.
+    pub client: ClientId,
+    /// Whether issued by a migrated process.
+    pub migrated: bool,
+    /// When the file was opened.
+    pub opened_at: SimTime,
+    /// When it was closed.
+    pub closed_at: SimTime,
+    /// Total bytes read.
+    pub total_read: u64,
+    /// Total bytes written.
+    pub total_written: u64,
+    /// File size at close.
+    pub size: u64,
+    /// File size at open.
+    pub size_at_open: u64,
+    /// Whether the object is a directory.
+    pub is_dir: bool,
+    /// The sequential runs, in order (empty runs removed).
+    pub runs: Vec<Run>,
+}
+
+/// How an access used the file (Table 3 rows). Reflects actual usage,
+/// not the declared open mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// Only reads occurred.
+    ReadOnly,
+    /// Only writes occurred.
+    WriteOnly,
+    /// Both reads and writes occurred.
+    ReadWrite,
+}
+
+/// Sequentiality of an access (Table 3 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sequentiality {
+    /// The entire file transferred sequentially start to finish.
+    WholeFile,
+    /// A single sequential run, but not the whole file.
+    OtherSequential,
+    /// Everything else (multiple runs).
+    Random,
+}
+
+impl Access {
+    /// Total bytes transferred.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_read + self.total_written
+    }
+
+    /// Classifies by actual usage; `None` if no data moved.
+    pub fn access_type(&self) -> Option<AccessType> {
+        match (self.total_read > 0, self.total_written > 0) {
+            (true, false) => Some(AccessType::ReadOnly),
+            (false, true) => Some(AccessType::WriteOnly),
+            (true, true) => Some(AccessType::ReadWrite),
+            (false, false) => None,
+        }
+    }
+
+    /// Classifies sequentiality per the paper's definitions.
+    ///
+    /// *Whole-file*: a single run from offset 0 covering the whole file
+    /// (the file size at close for reads that consumed everything, or
+    /// the final size for writes that produced the whole file).
+    pub fn sequentiality(&self) -> Sequentiality {
+        match self.runs.len() {
+            0 | 1 => {
+                let Some(run) = self.runs.first() else {
+                    return Sequentiality::OtherSequential;
+                };
+                let reference = self.size.max(self.size_at_open);
+                if run.start == 0 && run.len() >= reference && reference > 0 {
+                    Sequentiality::WholeFile
+                } else {
+                    Sequentiality::OtherSequential
+                }
+            }
+            _ => Sequentiality::Random,
+        }
+    }
+
+    /// Duration the file was open.
+    pub fn open_duration(&self) -> sdfs_simkit::SimDuration {
+        self.closed_at - self.opened_at
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    file: FileId,
+    opened_at: SimTime,
+    size_at_open: u64,
+    is_dir: bool,
+    run_start: u64,
+    runs: Vec<Run>,
+}
+
+/// Reconstructs accesses from a time-ordered record stream. Accesses
+/// whose close never appears (still open at trace end) are dropped, as in
+/// the paper.
+pub fn reconstruct<'a, I: IntoIterator<Item = &'a Record>>(records: I) -> Vec<Access> {
+    let mut pending: HashMap<Handle, Pending> = HashMap::new();
+    let mut out = Vec::new();
+    for rec in records {
+        match &rec.kind {
+            RecordKind::Open {
+                fd,
+                file,
+                size,
+                is_dir,
+                ..
+            } => {
+                pending.insert(
+                    *fd,
+                    Pending {
+                        file: *file,
+                        opened_at: rec.time,
+                        size_at_open: *size,
+                        is_dir: *is_dir,
+                        run_start: 0,
+                        runs: Vec::new(),
+                    },
+                );
+            }
+            RecordKind::Reposition {
+                fd,
+                to,
+                run_read,
+                run_written,
+                ..
+            } => {
+                if let Some(p) = pending.get_mut(fd) {
+                    if run_read + run_written > 0 {
+                        p.runs.push(Run {
+                            start: p.run_start,
+                            read: *run_read,
+                            written: *run_written,
+                        });
+                    }
+                    p.run_start = *to;
+                }
+            }
+            RecordKind::Close {
+                fd,
+                run_read,
+                run_written,
+                total_read,
+                total_written,
+                size,
+                ..
+            } => {
+                if let Some(mut p) = pending.remove(fd) {
+                    if run_read + run_written > 0 {
+                        p.runs.push(Run {
+                            start: p.run_start,
+                            read: *run_read,
+                            written: *run_written,
+                        });
+                    }
+                    out.push(Access {
+                        file: p.file,
+                        user: rec.user,
+                        client: rec.client,
+                        migrated: rec.migrated,
+                        opened_at: p.opened_at,
+                        closed_at: rec.time,
+                        total_read: *total_read,
+                        total_written: *total_written,
+                        size: *size,
+                        size_at_open: p.size_at_open,
+                        is_dir: p.is_dir,
+                        runs: p.runs,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfs_trace::{OpenMode, Pid};
+
+    fn rec(t: u64, kind: RecordKind) -> Record {
+        Record {
+            time: SimTime::from_secs(t),
+            client: ClientId(1),
+            user: UserId(2),
+            pid: Pid(3),
+            migrated: false,
+            kind,
+        }
+    }
+
+    fn open(t: u64, fd: u64, file: u64, size: u64) -> Record {
+        rec(
+            t,
+            RecordKind::Open {
+                fd: Handle(fd),
+                file: FileId(file),
+                mode: OpenMode::ReadWrite,
+                size,
+                is_dir: false,
+            },
+        )
+    }
+
+    fn close(t: u64, fd: u64, file: u64, run: (u64, u64), totals: (u64, u64), size: u64) -> Record {
+        rec(
+            t,
+            RecordKind::Close {
+                fd: Handle(fd),
+                file: FileId(file),
+                offset: 0,
+                run_read: run.0,
+                run_written: run.1,
+                total_read: totals.0,
+                total_written: totals.1,
+                size,
+                opened_at: SimTime::from_secs(t.saturating_sub(1)),
+            },
+        )
+    }
+
+    #[test]
+    fn whole_file_read() {
+        let records = vec![
+            open(1, 1, 7, 1000),
+            close(2, 1, 7, (1000, 0), (1000, 0), 1000),
+        ];
+        let accesses = reconstruct(&records);
+        assert_eq!(accesses.len(), 1);
+        let a = &accesses[0];
+        assert_eq!(a.access_type(), Some(AccessType::ReadOnly));
+        assert_eq!(a.sequentiality(), Sequentiality::WholeFile);
+        assert_eq!(a.runs.len(), 1);
+        assert_eq!(a.open_duration().as_secs(), 1);
+    }
+
+    #[test]
+    fn partial_read_is_other_sequential() {
+        let records = vec![
+            open(1, 1, 7, 1000),
+            close(2, 1, 7, (500, 0), (500, 0), 1000),
+        ];
+        let a = &reconstruct(&records)[0];
+        assert_eq!(a.sequentiality(), Sequentiality::OtherSequential);
+    }
+
+    #[test]
+    fn seeks_make_random_access() {
+        let records = vec![
+            open(1, 1, 7, 1000),
+            rec(
+                1,
+                RecordKind::Reposition {
+                    fd: Handle(1),
+                    file: FileId(7),
+                    from: 100,
+                    to: 600,
+                    run_read: 100,
+                    run_written: 0,
+                },
+            ),
+            close(2, 1, 7, (200, 0), (300, 0), 1000),
+        ];
+        let a = &reconstruct(&records)[0];
+        assert_eq!(a.sequentiality(), Sequentiality::Random);
+        assert_eq!(a.runs.len(), 2);
+        assert_eq!(a.runs[0].start, 0);
+        assert_eq!(a.runs[1].start, 600);
+        assert_eq!(a.access_type(), Some(AccessType::ReadOnly));
+    }
+
+    #[test]
+    fn whole_file_write_of_new_file() {
+        // New file: size 0 at open, 800 at close, single run from 0.
+        let records = vec![open(1, 1, 9, 0), close(3, 1, 9, (0, 800), (0, 800), 800)];
+        let a = &reconstruct(&records)[0];
+        assert_eq!(a.access_type(), Some(AccessType::WriteOnly));
+        assert_eq!(a.sequentiality(), Sequentiality::WholeFile);
+    }
+
+    #[test]
+    fn read_write_access() {
+        let records = vec![
+            open(1, 1, 7, 500),
+            close(2, 1, 7, (500, 100), (500, 100), 600),
+        ];
+        let a = &reconstruct(&records)[0];
+        assert_eq!(a.access_type(), Some(AccessType::ReadWrite));
+    }
+
+    #[test]
+    fn zero_byte_access_has_no_type() {
+        let records = vec![open(1, 1, 7, 500), close(2, 1, 7, (0, 0), (0, 0), 500)];
+        let a = &reconstruct(&records)[0];
+        assert_eq!(a.access_type(), None);
+        assert!(a.runs.is_empty());
+    }
+
+    #[test]
+    fn unclosed_opens_are_dropped() {
+        let records = vec![open(1, 1, 7, 100)];
+        assert!(reconstruct(&records).is_empty());
+    }
+
+    #[test]
+    fn interleaved_handles() {
+        let records = vec![
+            open(1, 1, 7, 100),
+            open(1, 2, 8, 200),
+            close(2, 2, 8, (200, 0), (200, 0), 200),
+            close(3, 1, 7, (100, 0), (100, 0), 100),
+        ];
+        let accesses = reconstruct(&records);
+        assert_eq!(accesses.len(), 2);
+        assert_eq!(accesses[0].file, FileId(8));
+        assert_eq!(accesses[1].file, FileId(7));
+    }
+}

@@ -1,0 +1,281 @@
+//! Table 2: user activity over 10-minute and 10-second intervals.
+//!
+//! The trace is divided into fixed intervals; a user is *active* in an
+//! interval if any of their records falls in it. Throughput attributes an
+//! access's bytes at the trace event that reports them (close and
+//! reposition boundaries, and individual shared reads/writes) — the same
+//! timing resolution the original traces had.
+
+use std::collections::HashMap;
+
+use sdfs_simkit::{SimDuration, SimTime, Summary};
+use sdfs_trace::{Record, RecordKind, UserId};
+
+/// Activity statistics for one interval width and one population.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityStats {
+    /// Interval width used.
+    pub width: SimDuration,
+    /// Mean and deviation of the number of active users per interval
+    /// (all intervals in the trace duration, including idle ones).
+    pub active_users: Summary,
+    /// Maximum number of simultaneously active users in any interval.
+    pub max_active_users: u64,
+    /// Mean and deviation of per-user throughput, over user-intervals,
+    /// in bytes/second.
+    pub throughput_per_user: Summary,
+    /// Highest single user-interval throughput, bytes/second.
+    pub peak_user_throughput: f64,
+    /// Highest whole-cluster throughput in one interval, bytes/second.
+    pub peak_total_throughput: f64,
+}
+
+/// Table 2: both interval widths for all users and for users with
+/// migrated processes.
+#[derive(Debug, Clone)]
+pub struct UserActivity {
+    /// All users, 10-minute intervals.
+    pub ten_min_all: ActivityStats,
+    /// Migrated activity only, 10-minute intervals.
+    pub ten_min_migrated: ActivityStats,
+    /// All users, 10-second intervals.
+    pub ten_sec_all: ActivityStats,
+    /// Migrated activity only, 10-second intervals.
+    pub ten_sec_migrated: ActivityStats,
+}
+
+/// Bytes a record contributes to throughput at its own timestamp.
+fn record_bytes(rec: &Record) -> u64 {
+    match &rec.kind {
+        // Close carries the final run; earlier runs were already counted
+        // at their reposition boundaries. Shared (pass-through) reads and
+        // writes are excluded here because they are also accumulated into
+        // the handle totals and reported at the boundaries.
+        RecordKind::Close {
+            run_read,
+            run_written,
+            ..
+        } => run_read + run_written,
+        RecordKind::Reposition {
+            run_read,
+            run_written,
+            ..
+        } => run_read + run_written,
+        _ => 0,
+    }
+}
+
+/// Computes activity statistics for one interval width.
+///
+/// With `migrated_only`, only records from migrated processes count —
+/// both for activity and for bytes (the paper's second column).
+pub fn analyze_activity<'a>(
+    records: impl IntoIterator<Item = &'a Record>,
+    width: SimDuration,
+    migrated_only: bool,
+) -> ActivityStats {
+    let mut per_interval_users: HashMap<u64, Vec<UserId>> = HashMap::new();
+    let mut user_interval_bytes: HashMap<(u64, UserId), u64> = HashMap::new();
+    let mut end = SimTime::ZERO;
+    for rec in records {
+        end = end.max(rec.time);
+        if migrated_only && !rec.migrated {
+            continue;
+        }
+        let idx = rec.time.interval_index(width);
+        per_interval_users.entry(idx).or_default().push(rec.user);
+        let bytes = record_bytes(rec);
+        if bytes > 0 {
+            *user_interval_bytes.entry((idx, rec.user)).or_insert(0) += bytes;
+        }
+    }
+    let n_intervals = end.interval_index(width) + 1;
+    let secs = width.as_secs_f64();
+
+    let mut active_users = Summary::new();
+    let mut max_active = 0u64;
+    for idx in 0..n_intervals {
+        let count = per_interval_users
+            .get(&idx)
+            .map(|users| {
+                let mut u = users.clone();
+                u.sort_unstable();
+                u.dedup();
+                u.len() as u64
+            })
+            .unwrap_or(0);
+        active_users.add(count as f64);
+        max_active = max_active.max(count);
+    }
+
+    let mut throughput = Summary::new();
+    let mut peak_user = 0.0f64;
+    let mut interval_totals: HashMap<u64, u64> = HashMap::new();
+    for (&(idx, _user), &bytes) in &user_interval_bytes {
+        let rate = bytes as f64 / secs;
+        throughput.add(rate);
+        peak_user = peak_user.max(rate);
+        *interval_totals.entry(idx).or_insert(0) += bytes;
+    }
+    let peak_total = interval_totals
+        .values()
+        .map(|&b| b as f64 / secs)
+        .fold(0.0, f64::max);
+
+    ActivityStats {
+        width,
+        active_users,
+        max_active_users: max_active,
+        throughput_per_user: throughput,
+        peak_user_throughput: peak_user,
+        peak_total_throughput: peak_total,
+    }
+}
+
+/// Computes the full Table 2.
+pub fn table2(records: &[Record]) -> UserActivity {
+    let ten_min = SimDuration::from_mins(10);
+    let ten_sec = SimDuration::from_secs(10);
+    UserActivity {
+        ten_min_all: analyze_activity(records, ten_min, false),
+        ten_min_migrated: analyze_activity(records, ten_min, true),
+        ten_sec_all: analyze_activity(records, ten_sec, false),
+        ten_sec_migrated: analyze_activity(records, ten_sec, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfs_trace::{ClientId, FileId, Handle, Pid};
+
+    fn close_rec(t: u64, user: u32, bytes: u64, migrated: bool) -> Record {
+        Record {
+            time: SimTime::from_secs(t),
+            client: ClientId(0),
+            user: UserId(user),
+            pid: Pid(0),
+            migrated,
+            kind: RecordKind::Close {
+                fd: Handle(t),
+                file: FileId(1),
+                offset: bytes,
+                run_read: bytes,
+                run_written: 0,
+                total_read: bytes,
+                total_written: 0,
+                size: bytes,
+                opened_at: SimTime::from_secs(t.saturating_sub(1)),
+            },
+        }
+    }
+
+    #[test]
+    fn counts_active_users_per_interval() {
+        let records = vec![
+            close_rec(5, 1, 1000, false),
+            close_rec(7, 2, 1000, false),
+            close_rec(15, 1, 2000, false),
+        ];
+        let stats = analyze_activity(&records, SimDuration::from_secs(10), false);
+        // Two intervals: [0,10) has users {1,2}, [10,20) has {1}.
+        assert_eq!(stats.max_active_users, 2);
+        assert!((stats.active_users.mean() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_per_user() {
+        let records = vec![close_rec(5, 1, 10_000, false)];
+        let stats = analyze_activity(&records, SimDuration::from_secs(10), false);
+        assert!((stats.throughput_per_user.mean() - 1_000.0).abs() < 1e-9);
+        assert!((stats.peak_user_throughput - 1_000.0).abs() < 1e-9);
+        assert!((stats.peak_total_throughput - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_total_sums_users() {
+        let records = vec![
+            close_rec(5, 1, 10_000, false),
+            close_rec(6, 2, 30_000, false),
+        ];
+        let stats = analyze_activity(&records, SimDuration::from_secs(10), false);
+        assert!((stats.peak_total_throughput - 4_000.0).abs() < 1e-9);
+        assert!((stats.peak_user_throughput - 3_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migrated_filter() {
+        let records = vec![
+            close_rec(5, 1, 10_000, false),
+            close_rec(6, 2, 20_000, true),
+        ];
+        let stats = analyze_activity(&records, SimDuration::from_secs(10), true);
+        assert_eq!(stats.max_active_users, 1);
+        assert!((stats.peak_user_throughput - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_intervals_drag_the_mean() {
+        // One event at t=95: ten intervals of 10 s, only the last active.
+        let records = vec![close_rec(95, 1, 1000, false)];
+        let stats = analyze_activity(&records, SimDuration::from_secs(10), false);
+        assert!((stats.active_users.mean() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reposition_boundaries_attribute_bytes() {
+        // A long random access reports each run at its seek boundary, so
+        // bytes land in the interval where the run completed.
+        let mut records = vec![Record {
+            time: SimTime::from_secs(5),
+            client: ClientId(0),
+            user: UserId(1),
+            pid: Pid(0),
+            migrated: false,
+            kind: RecordKind::Reposition {
+                fd: Handle(1),
+                file: FileId(1),
+                from: 100,
+                to: 900,
+                run_read: 5_000,
+                run_written: 0,
+            },
+        }];
+        records.push(close_rec(25, 1, 3_000, false));
+        let stats = analyze_activity(&records, SimDuration::from_secs(10), false);
+        // Interval 0 carries the 5 000-byte run; interval 2 the close.
+        assert!((stats.peak_user_throughput - 500.0).abs() < 1e-9);
+        assert_eq!(stats.max_active_users, 1);
+        assert_eq!(stats.active_users.count(), 3, "three intervals");
+    }
+
+    #[test]
+    fn shared_records_mark_activity_without_bytes() {
+        // Pass-through reads count as activity (the user appears in the
+        // interval) but their bytes are reported via the handle totals at
+        // the boundaries, so no double counting happens here.
+        let records = vec![Record {
+            time: SimTime::from_secs(5),
+            client: ClientId(0),
+            user: UserId(9),
+            pid: Pid(0),
+            migrated: false,
+            kind: RecordKind::SharedRead {
+                file: FileId(1),
+                offset: 0,
+                len: 1_000,
+            },
+        }];
+        let stats = analyze_activity(&records, SimDuration::from_secs(10), false);
+        assert_eq!(stats.max_active_users, 1);
+        assert_eq!(stats.peak_total_throughput, 0.0);
+    }
+
+    #[test]
+    fn table2_shape() {
+        let records = vec![close_rec(5, 1, 1000, false)];
+        let t = table2(&records);
+        assert_eq!(t.ten_min_all.width, SimDuration::from_mins(10));
+        assert_eq!(t.ten_sec_all.width, SimDuration::from_secs(10));
+    }
+}

@@ -1,0 +1,243 @@
+//! Extension experiments beyond the paper's tables: the crash-exposure
+//! trade-off behind longer write-back delays (Section 5.4 / Section 6)
+//! and a live comparison of the consistency policies the paper only
+//! simulated from traces.
+
+use sdfs_simkit::{SimDuration, SimTime, Summary};
+use sdfs_spritefs::cluster::NullSink;
+use sdfs_spritefs::rpc;
+use sdfs_spritefs::{Cluster, ConsistencyPolicy};
+use sdfs_trace::ClientId;
+use sdfs_workload::Generator;
+
+use crate::study::StudyConfig;
+
+/// Crash-exposure measurement for one write-back delay.
+#[derive(Debug, Clone)]
+pub struct CrashExposure {
+    /// The write-back delay simulated, seconds.
+    pub delay_secs: u64,
+    /// Dirty bytes at risk across the cluster, sampled every simulated
+    /// minute during the day.
+    pub exposure: Summary,
+    /// Bytes actually lost when every client crashes at end of day.
+    pub end_of_day_loss: u64,
+    /// Bytes written back to servers (the traffic cost being traded).
+    pub writeback_bytes: u64,
+}
+
+/// Sweeps the write-back delay and measures what a client crash would
+/// destroy — the paper's Section 5.4 caution quantified: "The write
+/// traffic can only be reduced by increasing the writeback delay ...
+/// This would leave new data more vulnerable to client crashes."
+pub fn crash_exposure_ablation(base: &StudyConfig, delays_secs: &[u64]) -> Vec<CrashExposure> {
+    delays_secs
+        .iter()
+        .map(|&delay| {
+            let mut cfg = base.clone();
+            cfg.cluster.writeback_delay = SimDuration::from_secs(delay);
+            cfg.cluster.daemon_period =
+                SimDuration::from_secs(cfg.cluster.daemon_period.as_secs().clamp(1, delay.max(1)));
+            let mut gen = Generator::new(cfg.workload.clone());
+            let mut cluster = Cluster::new(cfg.cluster.clone(), NullSink);
+            cluster.preload(&gen.preload_list());
+            let ops = gen.generate_day(0);
+            let mut exposure = Summary::new();
+            let mut next_sample = SimTime::from_secs(60);
+            for op in ops {
+                if op.time >= next_sample {
+                    let total: u64 = (0..cfg.cluster.num_clients)
+                        .map(|c| cluster.dirty_exposure(ClientId(c)))
+                        .sum();
+                    exposure.add(total as f64);
+                    while next_sample <= op.time {
+                        next_sample = next_sample + SimDuration::from_secs(60);
+                    }
+                }
+                cluster.apply(&op);
+            }
+            let end_of_day_loss: u64 = (0..cfg.cluster.num_clients)
+                .map(|c| cluster.crash_client(ClientId(c)))
+                .sum();
+            let writeback_bytes: u64 = cluster
+                .clients()
+                .iter()
+                .map(|c| c.metrics.counters.get("cache.writeback.bytes"))
+                .sum();
+            CrashExposure {
+                delay_secs: delay,
+                exposure,
+                end_of_day_loss,
+                writeback_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Live behaviour of one consistency policy over one generated day.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The policy run.
+    pub policy: ConsistencyPolicy,
+    /// Bytes moved between clients and servers.
+    pub server_bytes: u64,
+    /// RPC messages between clients and servers.
+    pub rpc_messages: u64,
+    /// Stale reads silently served (only possible under polling).
+    pub stale_reads: u64,
+    /// Pass-through (uncacheable) bytes — the Sprite-family disable cost.
+    pub shared_bytes: u64,
+}
+
+/// Runs the same generated day under every consistency policy on a live
+/// cluster. The paper compared the alternatives with trace-driven
+/// simulation (Table 12); this extension checks the same ordering holds
+/// end-to-end with caches, paging, and migration in play.
+pub fn policy_matrix(base: &StudyConfig) -> Vec<PolicyOutcome> {
+    let policies = [
+        ConsistencyPolicy::Sprite,
+        ConsistencyPolicy::SpriteModified,
+        ConsistencyPolicy::Token,
+        ConsistencyPolicy::Polling { interval_secs: 3 },
+        ConsistencyPolicy::Polling { interval_secs: 60 },
+    ];
+    policies
+        .iter()
+        .map(|&policy| {
+            let mut cfg = base.clone();
+            cfg.cluster.consistency = policy;
+            let mut gen = Generator::new(cfg.workload.clone());
+            let mut cluster = Cluster::new(cfg.cluster.clone(), NullSink);
+            cluster.preload(&gen.preload_list());
+            let ops = gen.generate_day(0);
+            cluster.run(ops, SimTime::from_secs(86_400));
+            let mut server_bytes = 0u64;
+            let mut rpc_messages = 0u64;
+            let mut stale_reads = 0u64;
+            let mut shared_bytes = 0u64;
+            for client in cluster.clients() {
+                let c = &client.metrics.counters;
+                server_bytes += c.sum_prefix("srv.");
+                rpc_messages += rpc::total_msgs(c);
+                stale_reads += c.get("consist.stale.read.ops");
+                shared_bytes += c.get("srv.shared.read.bytes") + c.get("srv.shared.write.bytes");
+            }
+            PolicyOutcome {
+                policy,
+                server_bytes,
+                rpc_messages,
+                stale_reads,
+                shared_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Renders the policy matrix as text.
+pub fn render_policy_matrix(outcomes: &[PolicyOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Live consistency-policy comparison (same day, same seed):"
+    );
+    let _ = writeln!(
+        s,
+        "{:<22} {:>14} {:>12} {:>12} {:>12}",
+        "policy", "server bytes", "RPCs", "stale reads", "shared bytes"
+    );
+    for o in outcomes {
+        let name = match o.policy {
+            ConsistencyPolicy::Sprite => "Sprite".to_string(),
+            ConsistencyPolicy::SpriteModified => "Modified Sprite".to_string(),
+            ConsistencyPolicy::Token => "Token".to_string(),
+            ConsistencyPolicy::Polling { interval_secs } => {
+                format!("Polling {interval_secs}s")
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{:<22} {:>14} {:>12} {:>12} {:>12}",
+            name, o.server_bytes, o.rpc_messages, o.stale_reads, o.shared_bytes
+        );
+    }
+    let _ = writeln!(
+        s,
+        "(strong policies serve zero stale reads; only polling trades\n\
+         correctness for simplicity — Section 5.5's point)"
+    );
+    s
+}
+
+/// Renders the crash-exposure ablation as text.
+pub fn render_crash_exposure(rows: &[CrashExposure]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Crash-exposure vs write-back delay (Section 5.4 trade-off):"
+    );
+    let _ = writeln!(
+        s,
+        "{:>8} {:>16} {:>16} {:>16}",
+        "delay", "mean exposure", "max exposure", "writeback bytes"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>7}s {:>16} {:>16} {:>16}",
+            r.delay_secs,
+            crate::report::fmt_bytes(r.exposure.mean()),
+            crate::report::fmt_bytes(r.exposure.max()),
+            crate::report::fmt_bytes(r.writeback_bytes as f64),
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StudyConfig {
+        let mut cfg = StudyConfig::quick();
+        cfg.workload.activity_scale = 0.2;
+        cfg
+    }
+
+    #[test]
+    fn longer_delays_expose_more_dirty_data() {
+        let rows = crash_exposure_ablation(&tiny(), &[5, 300]);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].exposure.mean() > rows[0].exposure.mean(),
+            "300 s delay ({}) must expose more than 5 s ({})",
+            rows[1].exposure.mean(),
+            rows[0].exposure.mean()
+        );
+        // ... and write back fewer bytes.
+        assert!(rows[1].writeback_bytes <= rows[0].writeback_bytes);
+    }
+
+    #[test]
+    fn strong_policies_never_serve_stale_reads() {
+        let outcomes = policy_matrix(&tiny());
+        assert_eq!(outcomes.len(), 5);
+        for o in &outcomes {
+            match o.policy {
+                ConsistencyPolicy::Polling { .. } => {}
+                _ => assert_eq!(o.stale_reads, 0, "{:?} served stale data", o.policy),
+            }
+            assert!(o.server_bytes > 0);
+            assert!(o.rpc_messages > 0);
+        }
+        // Token mode never disables caching.
+        let token = outcomes
+            .iter()
+            .find(|o| o.policy == ConsistencyPolicy::Token)
+            .expect("token outcome");
+        assert_eq!(token.shared_bytes, 0);
+        let render = render_policy_matrix(&outcomes);
+        assert!(render.contains("Sprite"));
+    }
+}

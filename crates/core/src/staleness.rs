@@ -1,0 +1,402 @@
+//! Table 11: stale-data errors under an NFS-style polling scheme.
+//!
+//! Section 5.5 of the paper: "clients refresh their caches by checking
+//! the server for newer data at intervals of 60 seconds or 3 seconds";
+//! new data is written through to the server almost immediately; an
+//! *error* is a potential use of stale cache data. The simulation is
+//! trace-driven: file versions advance when the trace shows writes
+//! (closes with written bytes and pass-through shared writes); reads
+//! occur at read-mode opens and at shared-read events.
+
+use std::collections::{HashMap, HashSet};
+
+use sdfs_simkit::{SimDuration, SimTime};
+use sdfs_trace::{ClientId, FileId, Record, RecordKind, UserId};
+
+/// Outcome of one polling simulation.
+#[derive(Debug, Clone)]
+pub struct PollingOutcome {
+    /// The refresh interval simulated.
+    pub interval: SimDuration,
+    /// Potential stale-data errors: opens during which stale cache data
+    /// was used (the paper's unit — its errors-per-hour and
+    /// percent-of-opens rows are consistent at open granularity).
+    pub errors: u64,
+    /// Raw stale read events (several can occur within one open).
+    pub stale_events: u64,
+    /// Errors per hour of trace time.
+    pub errors_per_hour: f64,
+    /// Users who suffered at least one error.
+    pub users_affected: HashSet<UserId>,
+    /// All users seen in the trace.
+    pub total_users: usize,
+    /// The identities of every user seen (for cross-trace unions).
+    pub users_seen: HashSet<UserId>,
+    /// File opens examined.
+    pub file_opens: u64,
+    /// Opens during which an error occurred.
+    pub opens_with_error: u64,
+    /// Migrated-process file opens.
+    pub migrated_opens: u64,
+    /// Migrated opens during which an error occurred.
+    pub migrated_opens_with_error: u64,
+}
+
+impl PollingOutcome {
+    /// Percent of users affected.
+    pub fn users_affected_pct(&self) -> f64 {
+        if self.total_users == 0 {
+            0.0
+        } else {
+            100.0 * self.users_affected.len() as f64 / self.total_users as f64
+        }
+    }
+
+    /// Percent of file opens with an error.
+    pub fn opens_with_error_pct(&self) -> f64 {
+        if self.file_opens == 0 {
+            0.0
+        } else {
+            100.0 * self.opens_with_error as f64 / self.file_opens as f64
+        }
+    }
+
+    /// Percent of migrated opens with an error.
+    pub fn migrated_opens_with_error_pct(&self) -> f64 {
+        if self.migrated_opens == 0 {
+            0.0
+        } else {
+            100.0 * self.migrated_opens_with_error as f64 / self.migrated_opens as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientView {
+    cached_version: u64,
+    last_check: SimTime,
+    has_cache: bool,
+    /// The newest server version this client has already been charged an
+    /// error for; repeated reads of the same stale content count once.
+    flagged_version: u64,
+}
+
+/// Simulates the polling consistency scheme over one trace.
+pub fn simulate_polling(records: &[Record], interval: SimDuration) -> PollingOutcome {
+    let mut versions: HashMap<FileId, u64> = HashMap::new();
+    let mut views: HashMap<(ClientId, FileId), ClientView> = HashMap::new();
+    let mut users: HashSet<UserId> = HashSet::new();
+    let mut affected: HashSet<UserId> = HashSet::new();
+    // Open currently erroneous, keyed by (client, file): counts opens
+    // during which any stale use happened.
+    let mut open_error: HashMap<(ClientId, FileId), bool> = HashMap::new();
+    let mut stale_events = 0u64;
+    // A client that wrote through shared events must not double-bump the
+    // version at close.
+    let mut shared_writer: HashSet<(ClientId, FileId)> = HashSet::new();
+    let mut file_opens = 0u64;
+    let mut opens_with_error = 0u64;
+    let mut migrated_opens = 0u64;
+    let mut migrated_opens_with_error = 0u64;
+    let mut end = SimTime::ZERO;
+    let mut start: Option<SimTime> = None;
+
+    let mut read_access = |views: &mut HashMap<(ClientId, FileId), ClientView>,
+                           versions: &HashMap<FileId, u64>,
+                           client: ClientId,
+                           file: FileId,
+                           user: UserId,
+                           now: SimTime|
+     -> bool {
+        let current = versions.get(&file).copied().unwrap_or(0);
+        let v = views.entry((client, file)).or_default();
+        if !v.has_cache {
+            // First contact: fetch fresh data.
+            v.has_cache = true;
+            v.cached_version = current;
+            v.last_check = now;
+            return false;
+        }
+        if now.since(v.last_check) > interval {
+            // Poll the server: refresh if changed.
+            v.last_check = now;
+            v.cached_version = current;
+            return false;
+        }
+        if v.cached_version != current && v.flagged_version != current {
+            v.flagged_version = current;
+            stale_events += 1;
+            affected.insert(user);
+            return true;
+        }
+        false
+    };
+
+    for rec in records {
+        users.insert(rec.user);
+        end = end.max(rec.time);
+        if start.is_none() {
+            start = Some(rec.time);
+        }
+        match &rec.kind {
+            RecordKind::Open {
+                file, mode, is_dir, ..
+            } => {
+                if *is_dir {
+                    continue;
+                }
+                file_opens += 1;
+                if rec.migrated {
+                    migrated_opens += 1;
+                }
+                let mut erroneous = false;
+                if mode.reads() {
+                    erroneous =
+                        read_access(&mut views, &versions, rec.client, *file, rec.user, rec.time);
+                }
+                open_error.insert((rec.client, *file), erroneous);
+            }
+            RecordKind::SharedRead { file, .. } => {
+                let err = read_access(&mut views, &versions, rec.client, *file, rec.user, rec.time);
+                if err {
+                    if let Some(flag) = open_error.get_mut(&(rec.client, *file)) {
+                        *flag = true;
+                    }
+                }
+            }
+            RecordKind::SharedWrite { file, .. } => {
+                let v = versions.entry(*file).or_insert(0);
+                *v += 1;
+                let current = *v;
+                let view = views.entry((rec.client, *file)).or_default();
+                // Write-through: the writer's cache matches the server.
+                view.has_cache = true;
+                view.cached_version = current;
+                view.last_check = rec.time;
+                shared_writer.insert((rec.client, *file));
+            }
+            RecordKind::Close {
+                file,
+                total_written,
+                ..
+            } => {
+                let wrote_through = shared_writer.remove(&(rec.client, *file));
+                if *total_written > 0 && !wrote_through {
+                    let v = versions.entry(*file).or_insert(0);
+                    *v += 1;
+                    let current = *v;
+                    let view = views.entry((rec.client, *file)).or_default();
+                    view.has_cache = true;
+                    view.cached_version = current;
+                    view.last_check = rec.time;
+                }
+                if let Some(err) = open_error.remove(&(rec.client, *file)) {
+                    if err {
+                        opens_with_error += 1;
+                        if rec.migrated {
+                            migrated_opens_with_error += 1;
+                        }
+                    }
+                }
+            }
+            RecordKind::Delete { file, .. } | RecordKind::Truncate { file, .. } => {
+                versions.remove(file);
+                views.retain(|&(_, f), _| f != *file);
+                shared_writer.retain(|&(_, f)| f != *file);
+            }
+            _ => {}
+        }
+    }
+
+    let hours = (end - start.unwrap_or(SimTime::ZERO))
+        .as_hours_f64()
+        .max(1e-9);
+    PollingOutcome {
+        interval,
+        errors: opens_with_error,
+        stale_events,
+        errors_per_hour: opens_with_error as f64 / hours,
+        users_affected: affected,
+        total_users: users.len(),
+        users_seen: users,
+        file_opens,
+        opens_with_error,
+        migrated_opens,
+        migrated_opens_with_error,
+    }
+}
+
+/// Table 11: the two intervals the paper simulates.
+#[derive(Debug, Clone)]
+pub struct Table11 {
+    /// 60-second refresh interval.
+    pub sixty: PollingOutcome,
+    /// 3-second refresh interval.
+    pub three: PollingOutcome,
+}
+
+/// Computes Table 11 for one trace.
+pub fn table11(records: &[Record]) -> Table11 {
+    Table11 {
+        sixty: simulate_polling(records, SimDuration::from_secs(60)),
+        three: simulate_polling(records, SimDuration::from_secs(3)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfs_trace::{Handle, OpenMode, Pid};
+
+    fn rec(t: u64, client: u16, kind: RecordKind) -> Record {
+        Record {
+            time: SimTime::from_secs(t),
+            client: ClientId(client),
+            user: UserId(client as u32),
+            pid: Pid(0),
+            migrated: false,
+            kind,
+        }
+    }
+
+    fn open(t: u64, client: u16, fd: u64, file: u64, mode: OpenMode) -> Record {
+        rec(
+            t,
+            client,
+            RecordKind::Open {
+                fd: Handle(fd),
+                file: FileId(file),
+                mode,
+                size: 100,
+                is_dir: false,
+            },
+        )
+    }
+
+    fn close(t: u64, client: u16, fd: u64, file: u64, written: u64) -> Record {
+        rec(
+            t,
+            client,
+            RecordKind::Close {
+                fd: Handle(fd),
+                file: FileId(file),
+                offset: 0,
+                run_read: 100,
+                run_written: written,
+                total_read: 100,
+                total_written: written,
+                size: 100,
+                opened_at: SimTime::from_secs(t.saturating_sub(1)),
+            },
+        )
+    }
+
+    /// Client 1 caches at t=0; client 0 writes at t=10; client 1 rereads
+    /// at t=20 — stale under a 60 s interval, fresh under 3 s.
+    fn scenario() -> Vec<Record> {
+        vec![
+            open(0, 1, 1, 7, OpenMode::Read),
+            close(1, 1, 1, 7, 0),
+            open(9, 0, 2, 7, OpenMode::Write),
+            close(10, 0, 2, 7, 100),
+            open(20, 1, 3, 7, OpenMode::Read),
+            close(21, 1, 3, 7, 0),
+        ]
+    }
+
+    #[test]
+    fn long_interval_sees_stale_data() {
+        let out = simulate_polling(&scenario(), SimDuration::from_secs(60));
+        assert_eq!(out.errors, 1);
+        assert_eq!(out.opens_with_error, 1);
+        assert!(out.users_affected.contains(&UserId(1)));
+    }
+
+    #[test]
+    fn short_interval_revalidates() {
+        let out = simulate_polling(&scenario(), SimDuration::from_secs(3));
+        assert_eq!(out.errors, 0);
+        assert_eq!(out.opens_with_error, 0);
+    }
+
+    #[test]
+    fn writer_does_not_err_on_own_data() {
+        let records = vec![
+            open(0, 0, 1, 7, OpenMode::Write),
+            close(1, 0, 1, 7, 100),
+            open(2, 0, 2, 7, OpenMode::Read),
+            close(3, 0, 2, 7, 0),
+        ];
+        let out = simulate_polling(&records, SimDuration::from_secs(60));
+        assert_eq!(out.errors, 0);
+    }
+
+    #[test]
+    fn shared_events_drive_fine_grain_errors() {
+        let records = vec![
+            open(0, 1, 1, 7, OpenMode::Read),
+            rec(
+                1,
+                1,
+                RecordKind::SharedRead {
+                    file: FileId(7),
+                    offset: 0,
+                    len: 100,
+                },
+            ),
+            rec(
+                2,
+                0,
+                RecordKind::SharedWrite {
+                    file: FileId(7),
+                    offset: 0,
+                    len: 50,
+                },
+            ),
+            rec(
+                3,
+                1,
+                RecordKind::SharedRead {
+                    file: FileId(7),
+                    offset: 0,
+                    len: 100,
+                },
+            ),
+            close(4, 1, 1, 7, 0),
+        ];
+        let out = simulate_polling(&records, SimDuration::from_secs(60));
+        assert_eq!(out.errors, 1, "second shared read is stale");
+        assert_eq!(out.opens_with_error, 1);
+    }
+
+    #[test]
+    fn delete_clears_versions() {
+        let mut records = scenario();
+        records.insert(
+            2,
+            rec(
+                5,
+                0,
+                RecordKind::Delete {
+                    file: FileId(7),
+                    size: 100,
+                    is_dir: false,
+                    oldest_age: SimDuration::from_secs(1),
+                    newest_age: SimDuration::from_secs(1),
+                },
+            ),
+        );
+        // After deletion everything resets; the rewrite and reread start
+        // from scratch, so no stale use.
+        let out = simulate_polling(&records, SimDuration::from_secs(60));
+        assert_eq!(out.errors, 0);
+    }
+
+    #[test]
+    fn percentages() {
+        let out = simulate_polling(&scenario(), SimDuration::from_secs(60));
+        assert!((out.opens_with_error_pct() - 100.0 / 3.0).abs() < 1e-9);
+        assert!((out.users_affected_pct() - 50.0).abs() < 1e-9);
+        assert!(out.errors_per_hour > 0.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The end-to-end study pipeline.
+//!
+//! One [`Study`] reproduces the paper's two measurement campaigns:
+//!
+//! 1. **Eight 24-hour traces** ([`Study::run_traces`]) — for each
+//!    [`TraceSpec`], synthesize a day of workload, execute it on a fresh
+//!    cluster, merge the per-server trace streams, and run every
+//!    trace-driven analysis (Tables 1–3, 10–12, Figures 1–4).
+//! 2. **A multi-day counter run** ([`Study::run_counters`]) — one cluster
+//!    executing day after day with counters snapshotted at day
+//!    boundaries, yielding Tables 4–9.
+
+use sdfs_simkit::{CounterSet, SimDuration, SimTime};
+use sdfs_spritefs::cluster::NullSink;
+use sdfs_spritefs::metrics::MachineMetrics;
+use sdfs_spritefs::{Cluster, Config, VecSink};
+use sdfs_trace::merge::merge_vecs;
+use sdfs_trace::{Record, TraceStats};
+use sdfs_workload::{Generator, TraceSpec, WorkloadConfig};
+
+use crate::activity::{table2, UserActivity};
+use crate::cache_tables::{
+    table4, table5, table6, table7, table8, table9, Table4, Table5, Table6, Table7, Table8, Table9,
+};
+use crate::consistency::{table10, Table10};
+use crate::figures::{all_figures, AllFigures};
+use crate::overhead::{table12, Table12};
+use crate::patterns::{table3, AccessPatterns};
+use crate::staleness::{table11, Table11};
+
+/// Configuration of the whole study.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Cluster parameters (Section 2's hardware).
+    pub cluster: Config,
+    /// Workload parameters.
+    pub workload: WorkloadConfig,
+    /// The traces to gather (the paper's eight by default).
+    pub traces: Vec<TraceSpec>,
+    /// Length of the counter campaign in days (two weeks in the paper).
+    pub counter_days: u32,
+    /// Maximum traces simulated concurrently.
+    pub parallelism: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            cluster: Config::default(),
+            workload: WorkloadConfig::default(),
+            traces: TraceSpec::paper_eight(0x5DF5_1991),
+            counter_days: 14,
+            parallelism: 4,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A reduced study for tests: a small cluster, light activity, two
+    /// traces (one heavy), two counter days.
+    pub fn quick() -> Self {
+        let mut wl = WorkloadConfig::default();
+        wl.num_clients = 8;
+        wl.num_users = 16;
+        wl.activity_scale = 0.5;
+        let mut cluster = Config::default();
+        cluster.num_clients = 8;
+        cluster.num_servers = 2;
+        StudyConfig {
+            cluster,
+            workload: wl,
+            traces: vec![
+                TraceSpec {
+                    seed: 1,
+                    heavy_sim: false,
+                },
+                TraceSpec {
+                    seed: 2,
+                    heavy_sim: true,
+                },
+            ],
+            counter_days: 2,
+            parallelism: 2,
+        }
+    }
+}
+
+/// Everything computed from one trace.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// The spec that produced the trace.
+    pub spec: TraceSpec,
+    /// Table 1 row.
+    pub stats: TraceStats,
+    /// Table 2 contribution.
+    pub activity: UserActivity,
+    /// Table 3 contribution.
+    pub patterns: AccessPatterns,
+    /// Figures 1–4 distributions.
+    pub figures: AllFigures,
+    /// Table 10 counts.
+    pub table10: Table10,
+    /// Table 11 simulation results.
+    pub table11: Table11,
+    /// Table 12 simulation results.
+    pub table12: Table12,
+}
+
+/// Results of the counter campaign.
+#[derive(Debug)]
+pub struct CounterData {
+    /// Per-client cumulative metrics (counters plus size samples).
+    pub clients: Vec<MachineMetrics>,
+    /// Per-day counter deltas, indexed `[day][client]`.
+    pub per_day: Vec<Vec<CounterSet>>,
+    /// All client counters merged.
+    pub total: CounterSet,
+    /// Per-server counters.
+    pub servers: Vec<CounterSet>,
+}
+
+/// All study outputs.
+#[derive(Debug)]
+pub struct StudyResults {
+    /// One analysis per trace.
+    pub traces: Vec<TraceAnalysis>,
+    /// The counter campaign.
+    pub counters: CounterData,
+    /// Table 4 (client cache sizes).
+    pub table4: Table4,
+    /// Table 5 (traffic sources).
+    pub table5: Table5,
+    /// Table 6 (cache effectiveness).
+    pub table6: Table6,
+    /// Table 7 (server traffic).
+    pub table7: Table7,
+    /// Table 8 (block replacement).
+    pub table8: Table8,
+    /// Table 9 (dirty block cleaning).
+    pub table9: Table9,
+}
+
+/// The study driver.
+///
+/// # Examples
+///
+/// ```no_run
+/// use sdfs_core::{Study, StudyConfig};
+///
+/// // The full paper campaign: eight traces plus a 14-day counter run.
+/// let study = Study::new(StudyConfig::default());
+/// let results = study.run_all();
+/// assert_eq!(results.traces.len(), 8);
+/// println!("CWS rate: {:.2}%", results.table10_aggregate().cws_pct());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Study {
+    cfg: StudyConfig,
+}
+
+impl Study {
+    /// Creates a study.
+    pub fn new(cfg: StudyConfig) -> Self {
+        Study { cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StudyConfig {
+        &self.cfg
+    }
+
+    /// Synthesizes and executes one trace, returning the merged,
+    /// time-ordered record stream.
+    pub fn run_trace_records(&self, spec: TraceSpec) -> Vec<Record> {
+        let wl = self.cfg.workload.for_trace(spec);
+        let mut gen = Generator::new(wl);
+        let mut cluster = Cluster::new(
+            self.cfg.cluster.clone(),
+            VecSink::new(self.cfg.cluster.num_servers),
+        );
+        cluster.preload(&gen.preload_list());
+        let ops = gen.generate_day(0);
+        // Let trailing delayed writes happen before the trace ends.
+        cluster.run(ops, SimTime::from_secs(86_400));
+        let sink = cluster.into_sink();
+        merge_vecs(sink.per_server)
+    }
+
+    /// Runs every analysis over one merged trace.
+    pub fn analyze_trace(&self, spec: TraceSpec, records: &[Record]) -> TraceAnalysis {
+        TraceAnalysis {
+            spec,
+            stats: TraceStats::compute(records.iter()),
+            activity: table2(records),
+            patterns: table3(records),
+            figures: all_figures(records),
+            table10: table10(records),
+            table11: table11(records),
+            table12: table12(records),
+        }
+    }
+
+    /// Gathers and analyzes all configured traces, a few at a time.
+    pub fn run_traces(&self) -> Vec<TraceAnalysis> {
+        let specs = self.cfg.traces.clone();
+        let mut out: Vec<Option<TraceAnalysis>> = specs.iter().map(|_| None).collect();
+        let chunk = self.cfg.parallelism.max(1);
+        for batch in specs.chunks(chunk) {
+            let offset = out.iter().position(Option::is_none).unwrap_or(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|&spec| {
+                        scope.spawn(move || {
+                            let records = self.run_trace_records(spec);
+                            self.analyze_trace(spec, &records)
+                        })
+                    })
+                    .collect();
+                for (i, h) in handles.into_iter().enumerate() {
+                    out[offset + i] = Some(h.join().expect("trace worker panicked"));
+                }
+            });
+        }
+        out.into_iter()
+            .map(|o| o.expect("all traces ran"))
+            .collect()
+    }
+
+    /// Runs the multi-day counter campaign.
+    pub fn run_counters(&self) -> CounterData {
+        let mut wl = self.cfg.workload.clone();
+        wl.heavy_sim = false; // The two-week campaign is ordinary load.
+        let mut gen = Generator::new(wl);
+        let mut cluster = Cluster::new(self.cfg.cluster.clone(), NullSink);
+        cluster.preload(&gen.preload_list());
+        let mut prev: Vec<CounterSet> = (0..self.cfg.cluster.num_clients)
+            .map(|_| CounterSet::new())
+            .collect();
+        let mut per_day: Vec<Vec<CounterSet>> = Vec::new();
+        for day in 0..self.cfg.counter_days {
+            let ops = gen.generate_day(day);
+            cluster.run(ops, SimTime::from_secs((day as u64 + 1) * 86_400));
+            let snap: Vec<CounterSet> = cluster
+                .clients()
+                .iter()
+                .map(|c| c.metrics.counters.clone())
+                .collect();
+            per_day.push(
+                snap.iter()
+                    .zip(&prev)
+                    .map(|(now, before)| now.delta_since(before))
+                    .collect(),
+            );
+            prev = snap;
+        }
+        let (_sink, clients, servers) = cluster.into_parts();
+        let metrics: Vec<MachineMetrics> = clients.into_iter().map(|c| c.metrics).collect();
+        let mut total = CounterSet::new();
+        for m in &metrics {
+            total.merge(&m.counters);
+        }
+        CounterData {
+            clients: metrics,
+            per_day,
+            total,
+            servers: servers.into_iter().map(|s| s.counters).collect(),
+        }
+    }
+
+    /// Runs the full study: traces plus counters plus all tables.
+    pub fn run_all(&self) -> StudyResults {
+        let traces = self.run_traces();
+        let counters = self.run_counters();
+        let table4 = table4(&counters.clients);
+        let table5 = table5(&counters.total, &counters.per_day);
+        let table6 = table6(&counters.total, &counters.per_day);
+        let table7 = table7(&counters.total, &counters.per_day);
+        let table8 = table8(&counters.total);
+        let table9 = table9(&counters.total);
+        StudyResults {
+            traces,
+            counters,
+            table4,
+            table5,
+            table6,
+            table7,
+            table8,
+            table9,
+        }
+    }
+}
+
+/// Cross-trace aggregation helpers used by the report.
+impl StudyResults {
+    /// Sum of Table 10 counts across traces.
+    pub fn table10_aggregate(&self) -> Table10 {
+        let mut agg = Table10::default();
+        for t in &self.traces {
+            agg.file_opens += t.table10.file_opens;
+            agg.cws_opens += t.table10.cws_opens;
+            agg.recall_opens += t.table10.recall_opens;
+        }
+        agg
+    }
+
+    /// Percent of all users affected by stale data in *any* trace, per
+    /// interval (the paper's "over all traces" row). The population is
+    /// the union of users seen across traces (user identities are stable
+    /// across traces, as on the real cluster).
+    pub fn staleness_union_pct(&self) -> (f64, f64) {
+        use std::collections::HashSet;
+        let mut sixty: HashSet<sdfs_trace::UserId> = HashSet::new();
+        let mut three: HashSet<sdfs_trace::UserId> = HashSet::new();
+        let mut population: HashSet<sdfs_trace::UserId> = HashSet::new();
+        for t in &self.traces {
+            sixty.extend(t.table11.sixty.users_affected.iter().copied());
+            three.extend(t.table11.three.users_affected.iter().copied());
+            population.extend(t.table11.sixty.users_seen.iter().copied());
+        }
+        let n = population.len().max(1);
+        (
+            100.0 * sixty.len() as f64 / n as f64,
+            100.0 * three.len() as f64 / n as f64,
+        )
+    }
+}
+
+/// A convenience: the simulated writeback-delay ablation from DESIGN.md.
+/// Runs the counter campaign at several delayed-write ages and reports
+/// the write-back traffic ratio for each.
+pub fn writeback_delay_ablation(base: &StudyConfig, delays_secs: &[u64]) -> Vec<(u64, f64)> {
+    delays_secs
+        .iter()
+        .map(|&d| {
+            let mut cfg = base.clone();
+            cfg.cluster.writeback_delay = SimDuration::from_secs(d);
+            cfg.cluster.daemon_period =
+                SimDuration::from_secs(cfg.cluster.daemon_period.as_secs().min(d.max(1)));
+            cfg.counter_days = cfg.counter_days.min(2);
+            let study = Study::new(cfg);
+            let counters = study.run_counters();
+            let t6 = table6(&counters.total, &counters.per_day);
+            (d, t6.writeback_pct.pct)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_study() -> Study {
+        Study::new(StudyConfig::quick())
+    }
+
+    #[test]
+    fn single_trace_produces_records_and_analysis() {
+        let study = quick_study();
+        let spec = study.config().traces[0];
+        let records = study.run_trace_records(spec);
+        assert!(records.len() > 1_000, "got {} records", records.len());
+        // Time ordered after merge.
+        for w in records.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        let analysis = study.analyze_trace(spec, &records);
+        assert!(analysis.stats.open_events > 100);
+        assert!(analysis.patterns.total_accesses() > 100);
+        assert!(analysis.table10.file_opens > 0);
+    }
+
+    #[test]
+    fn counters_campaign_accumulates() {
+        let mut cfg = StudyConfig::quick();
+        cfg.counter_days = 2;
+        let study = Study::new(cfg);
+        let data = study.run_counters();
+        assert_eq!(data.per_day.len(), 2);
+        assert!(!data.clients.is_empty());
+        assert!(data.total.get("cache.read.ops") > 0);
+        // Day deltas must sum to the cumulative totals.
+        let mut summed = CounterSet::new();
+        for day in &data.per_day {
+            for c in day {
+                summed.merge(c);
+            }
+        }
+        assert_eq!(
+            summed.get("cache.read.ops"),
+            data.total.get("cache.read.ops")
+        );
+    }
+
+    #[test]
+    fn deterministic_trace_generation() {
+        let study = quick_study();
+        let spec = study.config().traces[0];
+        let a = study.run_trace_records(spec);
+        let b = study.run_trace_records(spec);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.first(), b.first());
+        assert_eq!(a.last(), b.last());
+    }
+}

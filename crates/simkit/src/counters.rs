@@ -1,0 +1,174 @@
+//! Named counter sets.
+//!
+//! Sprite's measurement infrastructure kept roughly 50 kernel counters per
+//! machine — cache hits and misses, traffic byte counts, block replacement
+//! reasons, and so on — which a user-level daemon sampled at regular
+//! intervals for two weeks. [`CounterSet`] mirrors that: a small, ordered
+//! map from counter name to `u64`, cheap to increment on the simulation
+//! fast path and easy to snapshot, diff, and merge afterwards.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered collection of named monotonic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn bump(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Returns the value of the named counter (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Returns the sum of all counters whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Merges another set into this one by summing matching counters.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Returns a new set holding `self - baseline` for every counter
+    /// (saturating at zero), i.e. the activity between two snapshots.
+    pub fn delta_since(&self, baseline: &CounterSet) -> CounterSet {
+        let mut out = CounterSet::new();
+        for (&k, &v) in &self.counters {
+            let base = baseline.get(k);
+            let d = v.saturating_sub(base);
+            if d > 0 {
+                out.counters.insert(k, d);
+            }
+        }
+        out
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Returns `true` if no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Convenience ratio `num / den` over two counters, or 0 when the
+    /// denominator is zero.
+    pub fn ratio(&self, num: &str, den: &str) -> f64 {
+        let d = self.get(den);
+        if d == 0 {
+            0.0
+        } else {
+            self.get(num) as f64 / d as f64
+        }
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let mut c = CounterSet::new();
+        c.bump("cache.read.hit");
+        c.bump("cache.read.hit");
+        c.add("cache.read.miss", 5);
+        assert_eq!(c.get("cache.read.hit"), 2);
+        assert_eq!(c.get("cache.read.miss"), 5);
+        assert_eq!(c.get("never"), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn prefix_sum() {
+        let mut c = CounterSet::new();
+        c.add("rpc.read.bytes", 100);
+        c.add("rpc.write.bytes", 50);
+        c.add("cache.hits", 7);
+        assert_eq!(c.sum_prefix("rpc."), 150);
+        assert_eq!(c.sum_prefix("nope."), 0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = CounterSet::new();
+        a.add("x", 1);
+        let mut b = CounterSet::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn delta_since_snapshot() {
+        let mut c = CounterSet::new();
+        c.add("ops", 10);
+        let snap = c.clone();
+        c.add("ops", 5);
+        c.add("new", 2);
+        let d = c.delta_since(&snap);
+        assert_eq!(d.get("ops"), 5);
+        assert_eq!(d.get("new"), 2);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut c = CounterSet::new();
+        c.add("hit", 3);
+        assert_eq!(c.ratio("hit", "absent"), 0.0);
+        c.add("total", 6);
+        assert!((c.ratio("hit", "total") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let mut c = CounterSet::new();
+        c.bump("b");
+        c.bump("a");
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

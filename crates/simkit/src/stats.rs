@@ -1,0 +1,459 @@
+//! Streaming statistics used to build the paper's tables and figures.
+//!
+//! * [`Summary`] — Welford's online mean/variance, the workhorse behind
+//!   every "value (standard deviation)" cell in the paper's tables.
+//! * [`Histogram`] — log-spaced bins for latency- and size-like data.
+//! * [`WeightedCdf`] — an exact weighted cumulative distribution, used for
+//!   the figures (each figure in the paper is a CDF weighted either by
+//!   count or by bytes).
+
+use std::fmt;
+
+/// Online mean and standard deviation (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation, or 0 when fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ({:.2})", self.mean(), self.stddev())
+    }
+}
+
+/// A histogram with logarithmically spaced bins.
+///
+/// Bin `i` covers `[base * ratio^i, base * ratio^(i+1))`; an underflow bin
+/// catches values below `base`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    base: f64,
+    log_ratio: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram starting at `base` with bins growing by
+    /// `ratio`, covering `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base > 0`, `ratio > 1`, and `bins > 0`.
+    pub fn log_spaced(base: f64, ratio: f64, bins: usize) -> Self {
+        assert!(base > 0.0 && ratio > 1.0 && bins > 0, "invalid histogram");
+        Histogram {
+            base,
+            log_ratio: ratio.ln(),
+            counts: vec![0; bins],
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.base {
+            self.underflow += 1;
+            return;
+        }
+        let bin = ((x / self.base).ln() / self.log_ratio) as usize;
+        let bin = bin.min(self.counts.len() - 1);
+        self.counts[bin] += 1;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns the fraction of observations at or below `x` based on bin
+    /// boundaries (values within a bin count as below its upper edge).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut acc = self.underflow;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let upper = self.base * ((i + 1) as f64 * self.log_ratio).exp();
+            // Tolerate floating-point error in the computed bin edge.
+            if upper <= x * (1.0 + 1e-9) {
+                acc += c;
+            } else {
+                break;
+            }
+        }
+        acc as f64 / self.total as f64
+    }
+
+    /// Iterates over `(bin_lower_edge, count)` for non-empty bins.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (self.base * (i as f64 * self.log_ratio).exp(), c))
+    }
+}
+
+/// An exact weighted cumulative distribution.
+///
+/// Collects `(value, weight)` pairs, then answers quantile and
+/// fraction-below queries. Each of the paper's figures is one of these:
+/// Figure 1 is run length weighted by runs and by bytes, Figure 2 is file
+/// size by files and bytes, and so on.
+///
+/// # Examples
+///
+/// ```
+/// use sdfs_simkit::WeightedCdf;
+///
+/// let mut sizes = WeightedCdf::new();
+/// sizes.add_weighted(1_000.0, 1_000.0); // a 1 KB file, weighted by bytes
+/// sizes.add_weighted(1_000_000.0, 1_000_000.0); // a 1 MB file
+/// // Almost all *bytes* belong to the big file:
+/// assert!(sizes.fraction_below(10_000.0) < 0.01);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WeightedCdf {
+    samples: Vec<(f64, f64)>,
+    sorted: bool,
+    total_weight: f64,
+}
+
+impl WeightedCdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        WeightedCdf::default()
+    }
+
+    /// Adds a sample with weight 1.
+    pub fn add(&mut self, value: f64) {
+        self.add_weighted(value, 1.0);
+    }
+
+    /// Adds a sample with the given non-negative weight.
+    pub fn add_weighted(&mut self, value: f64, weight: f64) {
+        debug_assert!(weight >= 0.0, "negative weight");
+        if weight > 0.0 {
+            self.samples.push((value, weight));
+            self.total_weight += weight;
+            self.sorted = false;
+        }
+    }
+
+    /// Merges another CDF into this one.
+    pub fn merge(&mut self, other: &WeightedCdf) {
+        self.samples.extend_from_slice(&other.samples);
+        self.total_weight += other.total_weight;
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN value in CDF"));
+            self.sorted = true;
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Returns the fraction of total weight with value `<= x`.
+    pub fn fraction_below(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&(v, _)| v <= x);
+        let below: f64 = self.samples[..idx].iter().map(|&(_, w)| w).sum();
+        below / self.total_weight
+    }
+
+    /// Returns the smallest value `v` such that at least fraction `q` of
+    /// the weight lies at or below `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        self.ensure_sorted();
+        let target = q * self.total_weight;
+        let mut acc = 0.0;
+        for &(v, w) in &self.samples {
+            acc += w;
+            if acc >= target {
+                return v;
+            }
+        }
+        self.samples.last().expect("non-empty").0
+    }
+
+    /// Evaluates the CDF at each of the given points, returning
+    /// `(x, fraction_below)` pairs — the series a figure plots.
+    pub fn curve(&mut self, points: &[f64]) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_below(x)))
+            .collect()
+    }
+}
+
+/// Standard logarithmic x-axis points from `lo` to `hi` with `per_decade`
+/// points per decade; used to tabulate figure curves.
+pub fn log_points(lo: f64, hi: f64, per_decade: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && per_decade > 0, "invalid log points");
+    let mut v = Vec::new();
+    let step = 10f64.powf(1.0 / per_decade as f64);
+    let mut x = lo;
+    while x <= hi * 1.0000001 {
+        v.push(x);
+        x *= step;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.add(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &data[..37] {
+            a.add(x);
+        }
+        for &x in &data[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_into_empty() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        b.add(3.0);
+        b.add(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_fractions() {
+        let mut h = Histogram::log_spaced(1.0, 10.0, 8);
+        for x in [0.5, 5.0, 50.0, 500.0, 5_000.0] {
+            h.add(x);
+        }
+        assert_eq!(h.total(), 5);
+        assert!((h.fraction_below(1.0) - 0.2).abs() < 1e-12); // just the underflow
+        assert!((h.fraction_below(10.0) - 0.4).abs() < 1e-12);
+        assert!((h.fraction_below(1e6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_iteration() {
+        let mut h = Histogram::log_spaced(1.0, 10.0, 4);
+        h.add(2.0);
+        h.add(3.0);
+        h.add(200.0);
+        let bins: Vec<(f64, u64)> = h.bins().collect();
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].1, 2);
+        assert_eq!(bins[1].1, 1);
+    }
+
+    #[test]
+    fn weighted_cdf_quantiles() {
+        let mut c = WeightedCdf::new();
+        c.add_weighted(10.0, 1.0);
+        c.add_weighted(20.0, 1.0);
+        c.add_weighted(30.0, 2.0);
+        assert!((c.fraction_below(10.0) - 0.25).abs() < 1e-12);
+        assert!((c.fraction_below(25.0) - 0.5).abs() < 1e-12);
+        assert_eq!(c.quantile(0.5), 20.0);
+        assert_eq!(c.quantile(1.0), 30.0);
+    }
+
+    #[test]
+    fn weighted_cdf_merge() {
+        let mut a = WeightedCdf::new();
+        a.add(1.0);
+        let mut b = WeightedCdf::new();
+        b.add(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.fraction_below(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cdf_curve() {
+        let mut c = WeightedCdf::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            c.add(x);
+        }
+        let curve = c.curve(&[0.5, 2.0, 10.0]);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].1, 0.0);
+        assert!((curve[1].1 - 0.5).abs() < 1e-12);
+        assert_eq!(curve[2].1, 1.0);
+    }
+
+    #[test]
+    fn zero_weight_samples_ignored() {
+        let mut c = WeightedCdf::new();
+        c.add_weighted(5.0, 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn log_points_cover_range() {
+        let pts = log_points(1.0, 1000.0, 2);
+        assert_eq!(pts.len(), 7);
+        assert!((pts[0] - 1.0).abs() < 1e-9);
+        assert!((pts[6] - 1000.0).abs() < 1e-6);
+    }
+}

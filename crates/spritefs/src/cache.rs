@@ -1,0 +1,360 @@
+//! The client (and server) block cache.
+//!
+//! File data is cached on a block-by-block basis in 4-Kbyte blocks
+//! (Section 5). The cache itself is mechanism only: it tracks which
+//! blocks are present, their reference and dirty times, and
+//! least-recently-used order. *Policy* — when to grow, when to shrink,
+//! what eviction means — lives with the caller (the client trades pages
+//! with the VM system; the server has a fixed capacity).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use sdfs_simkit::{SimDuration, SimTime};
+use sdfs_trace::FileId;
+
+/// Identity of one cached block: a file and a block index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockKey {
+    /// The file.
+    pub file: FileId,
+    /// Block index (byte offset / block size).
+    pub index: u64,
+}
+
+/// Per-block cache state.
+#[derive(Debug, Clone)]
+pub struct BlockEntry {
+    /// Last reference time (LRU key).
+    pub last_ref: SimTime,
+    /// Monotonic sequence for deterministic LRU tie-breaks.
+    seq: u64,
+    /// Whether the block holds data not yet written to the server.
+    pub dirty: bool,
+    /// When the block first became dirty in its current dirty episode.
+    pub dirty_since: SimTime,
+    /// When the block was last written by an application.
+    pub last_write: SimTime,
+    /// Application bytes accumulated in the block since it last became
+    /// dirty; used to account write-back block padding.
+    pub dirty_app_bytes: u64,
+}
+
+/// An LRU block cache.
+#[derive(Debug, Default)]
+pub struct BlockCache {
+    blocks: HashMap<BlockKey, BlockEntry>,
+    lru: BTreeSet<(SimTime, u64, BlockKey)>,
+    dirty: HashSet<BlockKey>,
+    by_file: HashMap<FileId, HashSet<u64>>,
+    seq: u64,
+}
+
+impl BlockCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        BlockCache::default()
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` when no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of dirty blocks.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Returns `true` if `key` is cached.
+    pub fn contains(&self, key: BlockKey) -> bool {
+        self.blocks.contains_key(&key)
+    }
+
+    /// Returns the entry for `key`, if cached.
+    pub fn get(&self, key: BlockKey) -> Option<&BlockEntry> {
+        self.blocks.get(&key)
+    }
+
+    /// Marks `key` referenced at `now`, refreshing its LRU position.
+    /// Returns `true` if the block was present.
+    pub fn touch(&mut self, key: BlockKey, now: SimTime) -> bool {
+        let Some(entry) = self.blocks.get_mut(&key) else {
+            return false;
+        };
+        self.lru.remove(&(entry.last_ref, entry.seq, key));
+        entry.last_ref = now;
+        entry.seq = self.seq;
+        self.lru.insert((now, self.seq, key));
+        self.seq += 1;
+        true
+    }
+
+    /// Inserts a clean block referenced at `now`. The caller must have
+    /// arranged capacity (this structure never evicts on its own).
+    ///
+    /// Inserting an already-present block just touches it.
+    pub fn insert(&mut self, key: BlockKey, now: SimTime) {
+        if self.touch(key, now) {
+            return;
+        }
+        let entry = BlockEntry {
+            last_ref: now,
+            seq: self.seq,
+            dirty: false,
+            dirty_since: SimTime::ZERO,
+            last_write: SimTime::ZERO,
+            dirty_app_bytes: 0,
+        };
+        self.lru.insert((now, self.seq, key));
+        self.seq += 1;
+        self.blocks.insert(key, entry);
+        self.by_file.entry(key.file).or_default().insert(key.index);
+    }
+
+    /// Marks `key` dirty at `now` with `app_bytes` of new application
+    /// data. The block must already be cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the block is absent.
+    pub fn mark_dirty(&mut self, key: BlockKey, now: SimTime, app_bytes: u64) {
+        self.touch(key, now);
+        let Some(entry) = self.blocks.get_mut(&key) else {
+            debug_assert!(false, "mark_dirty on absent block");
+            return;
+        };
+        if !entry.dirty {
+            entry.dirty = true;
+            entry.dirty_since = now;
+            entry.dirty_app_bytes = 0;
+            self.dirty.insert(key);
+        }
+        entry.last_write = now;
+        entry.dirty_app_bytes += app_bytes;
+    }
+
+    /// Clears the dirty flag (the block was written to the server),
+    /// returning the entry state just before cleaning.
+    pub fn clean(&mut self, key: BlockKey) -> Option<BlockEntry> {
+        let entry = self.blocks.get_mut(&key)?;
+        if !entry.dirty {
+            return None;
+        }
+        let snapshot = entry.clone();
+        entry.dirty = false;
+        entry.dirty_app_bytes = 0;
+        self.dirty.remove(&key);
+        Some(snapshot)
+    }
+
+    /// Removes `key` outright, returning its final state.
+    pub fn remove(&mut self, key: BlockKey) -> Option<BlockEntry> {
+        let entry = self.blocks.remove(&key)?;
+        self.lru.remove(&(entry.last_ref, entry.seq, key));
+        self.dirty.remove(&key);
+        if let Some(set) = self.by_file.get_mut(&key.file) {
+            set.remove(&key.index);
+            if set.is_empty() {
+                self.by_file.remove(&key.file);
+            }
+        }
+        Some(entry)
+    }
+
+    /// Returns (without removing) the least-recently-used block.
+    pub fn peek_lru(&self) -> Option<(BlockKey, &BlockEntry)> {
+        let &(_, _, key) = self.lru.iter().next()?;
+        Some((key, &self.blocks[&key]))
+    }
+
+    /// Removes and returns the least-recently-used block.
+    pub fn pop_lru(&mut self) -> Option<(BlockKey, BlockEntry)> {
+        let &(_, _, key) = self.lru.iter().next()?;
+        let entry = self.remove(key).expect("LRU entry must exist");
+        Some((key, entry))
+    }
+
+    /// All cached block indices of `file`, sorted.
+    pub fn blocks_of(&self, file: FileId) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .by_file
+            .get(&file)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// All dirty block indices of `file`, sorted.
+    pub fn dirty_blocks_of(&self, file: FileId) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .by_file
+            .get(&file)
+            .map(|s| {
+                s.iter()
+                    .copied()
+                    .filter(|&i| {
+                        self.blocks
+                            .get(&BlockKey { file, index: i })
+                            .is_some_and(|e| e.dirty)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Files that have at least one block dirty since `cutoff` or
+    /// earlier — the write-back daemon's scan ("all dirty blocks for a
+    /// file are written if any block of the file has been dirty for 30
+    /// seconds").
+    pub fn files_with_dirty_before(&self, cutoff: SimTime) -> Vec<FileId> {
+        let mut files: Vec<FileId> = self
+            .dirty
+            .iter()
+            .filter(|k| self.blocks[k].dirty_since <= cutoff)
+            .map(|k| k.file)
+            .collect();
+        files.sort_unstable();
+        files.dedup();
+        files
+    }
+
+    /// Age since last reference for `key` at `now` (for Table 8).
+    pub fn ref_age(&self, key: BlockKey, now: SimTime) -> Option<SimDuration> {
+        self.blocks.get(&key).map(|e| now.since(e.last_ref))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(file: u64, index: u64) -> BlockKey {
+        BlockKey {
+            file: FileId(file),
+            index,
+        }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn insert_touch_lru_order() {
+        let mut c = BlockCache::new();
+        c.insert(key(1, 0), t(1));
+        c.insert(key(1, 1), t(2));
+        c.insert(key(2, 0), t(3));
+        assert_eq!(c.len(), 3);
+        // Touch the oldest; LRU should now be (1,1).
+        assert!(c.touch(key(1, 0), t(4)));
+        let (lru, _) = c.peek_lru().expect("non-empty");
+        assert_eq!(lru, key(1, 1));
+        let (popped, _) = c.pop_lru().expect("non-empty");
+        assert_eq!(popped, key(1, 1));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_ties_break_by_insertion_order() {
+        let mut c = BlockCache::new();
+        c.insert(key(1, 0), t(5));
+        c.insert(key(2, 0), t(5));
+        let (first, _) = c.pop_lru().expect("non-empty");
+        assert_eq!(first, key(1, 0));
+    }
+
+    #[test]
+    fn dirty_lifecycle() {
+        let mut c = BlockCache::new();
+        c.insert(key(1, 0), t(1));
+        c.mark_dirty(key(1, 0), t(2), 100);
+        c.mark_dirty(key(1, 0), t(3), 50);
+        assert_eq!(c.dirty_len(), 1);
+        let entry = c.get(key(1, 0)).expect("cached");
+        assert_eq!(entry.dirty_since, t(2), "first dirtying sets the clock");
+        assert_eq!(entry.dirty_app_bytes, 150);
+        assert_eq!(entry.last_write, t(3));
+
+        let before = c.clean(key(1, 0)).expect("was dirty");
+        assert!(before.dirty);
+        assert_eq!(c.dirty_len(), 0);
+        assert!(c.clean(key(1, 0)).is_none(), "already clean");
+        // Dirtying again restarts the episode.
+        c.mark_dirty(key(1, 0), t(10), 7);
+        assert_eq!(c.get(key(1, 0)).expect("cached").dirty_since, t(10));
+        assert_eq!(c.get(key(1, 0)).expect("cached").dirty_app_bytes, 7);
+    }
+
+    #[test]
+    fn daemon_scan_finds_old_dirty_files() {
+        let mut c = BlockCache::new();
+        c.insert(key(1, 0), t(0));
+        c.insert(key(2, 0), t(0));
+        c.insert(key(3, 0), t(0));
+        c.mark_dirty(key(1, 0), t(10), 1);
+        c.mark_dirty(key(2, 0), t(50), 1);
+        // Cutoff 20: only file 1 has been dirty since before t=20.
+        assert_eq!(c.files_with_dirty_before(t(20)), vec![FileId(1)]);
+        // Cutoff 60: both dirty files.
+        assert_eq!(c.files_with_dirty_before(t(60)), vec![FileId(1), FileId(2)]);
+    }
+
+    #[test]
+    fn per_file_views() {
+        let mut c = BlockCache::new();
+        c.insert(key(7, 3), t(1));
+        c.insert(key(7, 1), t(1));
+        c.insert(key(8, 0), t(1));
+        c.mark_dirty(key(7, 1), t(2), 1);
+        assert_eq!(c.blocks_of(FileId(7)), vec![1, 3]);
+        assert_eq!(c.dirty_blocks_of(FileId(7)), vec![1]);
+        assert!(c.blocks_of(FileId(9)).is_empty());
+        c.remove(key(7, 1));
+        c.remove(key(7, 3));
+        assert!(c.blocks_of(FileId(7)).is_empty());
+        assert_eq!(c.dirty_len(), 0);
+    }
+
+    #[test]
+    fn remove_returns_state() {
+        let mut c = BlockCache::new();
+        c.insert(key(1, 0), t(1));
+        c.mark_dirty(key(1, 0), t(2), 42);
+        let e = c.remove(key(1, 0)).expect("present");
+        assert!(e.dirty);
+        assert_eq!(e.dirty_app_bytes, 42);
+        assert!(c.remove(key(1, 0)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_touches() {
+        let mut c = BlockCache::new();
+        c.insert(key(1, 0), t(1));
+        c.insert(key(2, 0), t(2));
+        c.insert(key(1, 0), t(3)); // re-insert acts as touch
+        assert_eq!(c.len(), 2);
+        let (lru, _) = c.peek_lru().expect("non-empty");
+        assert_eq!(lru, key(2, 0));
+    }
+
+    #[test]
+    fn ref_age() {
+        let mut c = BlockCache::new();
+        c.insert(key(1, 0), t(10));
+        assert_eq!(
+            c.ref_age(key(1, 0), t(70)),
+            Some(SimDuration::from_secs(60))
+        );
+        assert_eq!(c.ref_age(key(9, 9), t(70)), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-client workstation state.
+//!
+//! Every client is diskless: all file data comes from servers through the
+//! block cache. A client tracks its open files, its physical-memory
+//! accounting (file cache vs. virtual memory), the file versions it has
+//! seen (for open-time staleness checks), and its kernel counters.
+
+use std::collections::HashMap;
+
+use sdfs_simkit::{SimDuration, SimTime};
+use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid};
+
+use crate::cache::BlockCache;
+use crate::metrics::MachineMetrics;
+use crate::vm::MemoryManager;
+
+/// Client-side state of one open file.
+#[derive(Debug, Clone)]
+pub struct FdState {
+    /// The open file.
+    pub file: FileId,
+    /// Declared mode.
+    pub mode: OpenMode,
+    /// Current byte offset.
+    pub offset: u64,
+    /// When the open happened.
+    pub opened_at: SimTime,
+    /// Bytes read in the current sequential run.
+    pub run_read: u64,
+    /// Bytes written in the current sequential run.
+    pub run_written: u64,
+    /// Total bytes read through this handle.
+    pub total_read: u64,
+    /// Total bytes written through this handle.
+    pub total_written: u64,
+    /// Whether the open was issued by a migrated process.
+    pub migrated: bool,
+}
+
+impl FdState {
+    /// Creates the state for a fresh open.
+    pub fn new(file: FileId, mode: OpenMode, now: SimTime, migrated: bool) -> Self {
+        FdState {
+            file,
+            mode,
+            offset: 0,
+            opened_at: now,
+            run_read: 0,
+            run_written: 0,
+            total_read: 0,
+            total_written: 0,
+            migrated,
+        }
+    }
+
+    /// Whether any data was written through this handle.
+    pub fn wrote(&self) -> bool {
+        self.total_written > 0
+    }
+}
+
+/// A running process, for VM accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcState {
+    /// The executable file.
+    pub exec: FileId,
+    /// Resident code pages.
+    pub code_pages: u64,
+    /// Resident data (and stack) pages.
+    pub data_pages: u64,
+}
+
+/// One diskless client workstation.
+#[derive(Debug)]
+pub struct Client {
+    /// The client's identity.
+    pub id: ClientId,
+    /// The file block cache.
+    pub cache: BlockCache,
+    /// Physical-memory accounting (file cache ↔ VM trade).
+    pub mem: MemoryManager,
+    /// Open file table.
+    pub fds: HashMap<Handle, FdState>,
+    /// Last file version this client observed, per file; used for the
+    /// open-time staleness check.
+    pub seen_version: HashMap<FileId, u64>,
+    /// Last revalidation time per file (polling consistency mode).
+    pub last_validate: HashMap<FileId, SimTime>,
+    /// Running processes (for the VM model).
+    pub procs: HashMap<Pid, ProcState>,
+    /// Shared program text: executable → (running instances, resident
+    /// code pages). Concurrent processes of the same program share one
+    /// copy of the code, as real Sprite did.
+    pub shared_text: HashMap<FileId, (u32, u64)>,
+    /// Kernel counters and cache-size samples.
+    pub metrics: MachineMetrics,
+    /// Last time any application operation ran here (for the Table 4
+    /// activity screen).
+    pub last_activity: SimTime,
+}
+
+impl Client {
+    /// Creates a client with the given memory geometry.
+    pub fn new(
+        id: ClientId,
+        mem_bytes: u64,
+        reserved_bytes: u64,
+        page_size: u64,
+        preference: SimDuration,
+        code_retention: SimDuration,
+    ) -> Self {
+        Client {
+            id,
+            cache: BlockCache::new(),
+            mem: MemoryManager::new(
+                mem_bytes,
+                reserved_bytes,
+                page_size,
+                preference,
+                code_retention,
+            ),
+            fds: HashMap::new(),
+            seen_version: HashMap::new(),
+            last_validate: HashMap::new(),
+            procs: HashMap::new(),
+            shared_text: HashMap::new(),
+            metrics: MachineMetrics::new(),
+            last_activity: SimTime::ZERO,
+        }
+    }
+
+    /// Current file cache size in bytes.
+    pub fn cache_bytes(&self, page_size: u64) -> u64 {
+        self.mem.fc_pages() * page_size
+    }
+
+    /// Returns `true` if this client holds any open handle on `file`.
+    pub fn has_open(&self, file: FileId) -> bool {
+        self.fds.values().any(|fd| fd.file == file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> Client {
+        Client::new(
+            ClientId(1),
+            24 << 20,
+            6 << 20,
+            4096,
+            SimDuration::from_mins(20),
+            SimDuration::from_mins(20),
+        )
+    }
+
+    #[test]
+    fn fd_lifecycle() {
+        let mut c = client();
+        let fd = FdState::new(FileId(3), OpenMode::ReadWrite, SimTime::from_secs(1), false);
+        assert!(!fd.wrote());
+        c.fds.insert(Handle(1), fd);
+        assert!(c.has_open(FileId(3)));
+        assert!(!c.has_open(FileId(4)));
+        let st = c.fds.get_mut(&Handle(1)).expect("fd present");
+        st.total_written = 10;
+        assert!(st.wrote());
+        c.fds.remove(&Handle(1));
+        assert!(!c.has_open(FileId(3)));
+    }
+
+    #[test]
+    fn cache_bytes_follow_memory_manager() {
+        let mut c = client();
+        assert_eq!(c.cache_bytes(4096), 0);
+        c.mem.fc_acquire(SimTime::ZERO);
+        c.mem.fc_acquire(SimTime::ZERO);
+        assert_eq!(c.cache_bytes(4096), 8192);
+    }
+}

@@ -1,0 +1,2723 @@
+//! The cluster: clients, servers, and the event loop.
+//!
+//! [`Cluster`] executes a time-ordered stream of application operations
+//! against the simulated Sprite system. While doing so it:
+//!
+//! * runs the delayed-write daemon every 5 seconds (cleaning blocks dirty
+//!   for 30 seconds, a file at a time),
+//! * samples per-client cache sizes for Table 4,
+//! * emits kernel-call trace records on the server owning each file, and
+//! * maintains the per-machine counters behind Tables 5–10.
+//!
+//! The consistency policy is pluggable ([`ConsistencyPolicy`]): Sprite's
+//! cache-disable scheme, the modified variant, a token scheme, or
+//! NFS-style polling.
+
+use sdfs_simkit::SimTime;
+use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Record, RecordKind, ServerId};
+
+use crate::cache::BlockKey;
+use crate::client::{Client, FdState, ProcState};
+use crate::config::{Config, ConsistencyPolicy};
+use crate::fs::{assign_server, FileTable};
+use crate::metrics::{cache as mc, clean, consist, mig, raw, replace, srv};
+use crate::ops::{AppOp, OpKind};
+use crate::rpc::{count_rpc, RpcKind};
+use crate::server::{OpenEntry, Server};
+
+/// Receives trace records as the cluster emits them, tagged with the
+/// server that logged them (the paper gathered traces on the servers).
+pub trait TraceSink {
+    /// Accepts one record logged by `server`.
+    fn emit(&mut self, server: ServerId, rec: Record);
+}
+
+/// A sink that keeps per-server record vectors in memory.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// Records per server, indexed by server id.
+    pub per_server: Vec<Vec<Record>>,
+}
+
+impl VecSink {
+    /// Creates a sink for `num_servers` servers.
+    pub fn new(num_servers: u16) -> Self {
+        VecSink {
+            per_server: (0..num_servers).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Total records across all servers.
+    pub fn len(&self) -> usize {
+        self.per_server.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` when no records have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for VecSink {
+    fn emit(&mut self, server: ServerId, rec: Record) {
+        let idx = server.raw() as usize;
+        if idx >= self.per_server.len() {
+            self.per_server.resize_with(idx + 1, Vec::new);
+        }
+        self.per_server[idx].push(rec);
+    }
+}
+
+/// A sink that drops everything (counter-only runs).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _server: ServerId, _rec: Record) {}
+}
+
+/// Why a dirty block was cleaned (Table 9's four reasons, plus the
+/// never-in-practice dirty LRU eviction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CleanReason {
+    Delay,
+    Fsync,
+    Recall,
+    Vm,
+    Evict,
+}
+
+impl CleanReason {
+    fn blocks_key(self) -> &'static str {
+        match self {
+            CleanReason::Delay => clean::DELAY_BLOCKS,
+            CleanReason::Fsync => clean::FSYNC_BLOCKS,
+            CleanReason::Recall => clean::RECALL_BLOCKS,
+            CleanReason::Vm => clean::VM_BLOCKS,
+            CleanReason::Evict => clean::EVICT_BLOCKS,
+        }
+    }
+
+    fn age_key(self) -> &'static str {
+        match self {
+            CleanReason::Delay => clean::DELAY_AGE_US,
+            CleanReason::Fsync => clean::FSYNC_AGE_US,
+            CleanReason::Recall => clean::RECALL_AGE_US,
+            CleanReason::Vm => clean::VM_AGE_US,
+            CleanReason::Evict => clean::EVICT_AGE_US,
+        }
+    }
+}
+
+/// The simulated cluster.
+///
+/// # Examples
+///
+/// ```
+/// use sdfs_simkit::SimTime;
+/// use sdfs_spritefs::{AppOp, Cluster, Config, OpKind, VecSink};
+/// use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, UserId};
+///
+/// let cfg = Config::small();
+/// let mut cluster = Cluster::new(cfg.clone(), VecSink::new(cfg.num_servers));
+/// cluster.preload(&[(FileId(0), 4096, false)]);
+/// let op = |t, kind| AppOp {
+///     time: SimTime::from_secs(t),
+///     client: ClientId(0),
+///     user: UserId(0),
+///     pid: Pid(0),
+///     migrated: false,
+///     kind,
+/// };
+/// cluster.run(
+///     vec![
+///         op(1, OpKind::Open { fd: Handle(1), file: FileId(0), mode: OpenMode::Read }),
+///         op(1, OpKind::Read { fd: Handle(1), len: 4096 }),
+///         op(2, OpKind::Close { fd: Handle(1) }),
+///     ],
+///     SimTime::from_secs(60),
+/// );
+/// // One cold miss, and open/close records were logged on the server.
+/// let counters = &cluster.clients()[0].metrics.counters;
+/// assert_eq!(counters.get("cache.read.miss.ops"), 1);
+/// assert_eq!(cluster.into_sink().len(), 2);
+/// ```
+pub struct Cluster<S: TraceSink> {
+    cfg: Config,
+    files: FileTable,
+    clients: Vec<Client>,
+    servers: Vec<Server>,
+    sink: S,
+    now: SimTime,
+    next_tick: SimTime,
+    next_sample: SimTime,
+    /// Count of operations applied (for sanity checks and progress).
+    ops_applied: u64,
+}
+
+impl<S: TraceSink> Cluster<S> {
+    /// Creates a cluster from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: Config, sink: S) -> Self {
+        cfg.validate().expect("invalid cluster configuration");
+        let clients = (0..cfg.num_clients)
+            .map(|i| {
+                Client::new(
+                    ClientId(i),
+                    cfg.client_mem(i),
+                    cfg.reserved_bytes,
+                    cfg.page_size,
+                    cfg.vm_preference_window,
+                    cfg.code_retention,
+                )
+            })
+            .collect();
+        let servers = (0..cfg.num_servers)
+            .map(|i| Server::new(ServerId(i), cfg.server_cache_bytes, cfg.block_size))
+            .collect();
+        let next_tick = SimTime::ZERO + cfg.daemon_period;
+        let next_sample = SimTime::ZERO + cfg.sample_period;
+        Cluster {
+            cfg,
+            files: FileTable::new(),
+            clients,
+            servers,
+            sink,
+            now: SimTime::ZERO,
+            next_tick,
+            next_sample,
+            ops_applied: 0,
+        }
+    }
+
+    /// Pre-populates the namespace with files that exist before the trace
+    /// begins (no trace records are emitted).
+    pub fn preload(&mut self, files: &[(FileId, u64, bool)]) {
+        for &(id, size, is_dir) in files {
+            let server = assign_server(id, self.cfg.num_servers);
+            self.files.preload(id, server, is_dir, size);
+        }
+    }
+
+    /// Executes an operation stream to completion, then advances internal
+    /// daemons to `end` so trailing delayed writes and samples happen.
+    pub fn run<I: IntoIterator<Item = AppOp>>(&mut self, ops: I, end: SimTime) {
+        for op in ops {
+            self.advance_to(op.time);
+            self.apply(&op);
+        }
+        self.advance_to(end);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of operations applied so far.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Immutable access to the clients (for analysis).
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
+    /// Immutable access to the servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Immutable access to the file table.
+    pub fn files(&self) -> &FileTable {
+        &self.files
+    }
+
+    /// Consumes the cluster, returning the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Consumes the cluster, returning sink, clients, and servers (for
+    /// analyses that need both traces and counters).
+    pub fn into_parts(self) -> (S, Vec<Client>, Vec<Server>) {
+        (self.sink, self.clients, self.servers)
+    }
+
+    /// Crashes a client workstation: every cached block vanishes, open
+    /// files are forgotten, and dirty data that had not yet reached the
+    /// server is *lost*. Returns the number of lost dirty bytes — the
+    /// quantity Section 5.4 trades against longer write-back delays
+    /// ("this would leave new data more vulnerable to client crashes").
+    ///
+    /// The machine reboots immediately with cold caches; the paper's
+    /// Table 4 methodology screens such reboots out of the size-change
+    /// statistics, so the sampler marks the next interval inactive.
+    pub fn crash_client(&mut self, client: ClientId) -> u64 {
+        let ci = client.raw() as usize;
+        assert!(ci < self.clients.len(), "unknown client {client}");
+        let mut lost = 0u64;
+        let files: Vec<FileId> = {
+            let cache = &self.clients[ci].cache;
+            let mut v: Vec<FileId> = Vec::new();
+            // Collect per-file so the removal helper can do the work.
+            for file in self.files.iter().map(|(id, _)| id) {
+                if !cache.blocks_of(file).is_empty() {
+                    v.push(file);
+                }
+            }
+            v
+        };
+        for file in files {
+            for index in self.clients[ci].cache.dirty_blocks_of(file) {
+                let key = BlockKey { file, index };
+                if let Some(entry) = self.clients[ci].cache.get(key) {
+                    lost += entry.dirty_app_bytes;
+                }
+            }
+            invalidate_file(&mut self.clients[ci], file, false);
+        }
+        self.clients[ci]
+            .metrics
+            .counters
+            .add("crash.lost.bytes", lost);
+        self.clients[ci].metrics.counters.bump("crash.count");
+        // Server-side cleanup: the crashed client's opens disappear and
+        // its consistency state is forgotten.
+        for server in &mut self.servers {
+            let touched: Vec<FileId> = server
+                .files
+                .iter()
+                .filter(|(_, st)| {
+                    st.opens.iter().any(|o| o.client == client)
+                        || st.last_writer == Some(client)
+                        || st.tokens.writer == Some(client)
+                        || st.tokens.readers.contains(&client)
+                })
+                .map(|(&f, _)| f)
+                .collect();
+            for file in touched {
+                let st = server.file_state(file);
+                st.opens.retain(|o| o.client != client);
+                if st.last_writer == Some(client) {
+                    st.last_writer = None;
+                }
+                if st.tokens.writer == Some(client) {
+                    st.tokens.writer = None;
+                }
+                st.tokens.readers.remove(&client);
+                // Re-evaluate cache disabling now that the crash ended
+                // any sharing this client participated in.
+                if st.uncacheable && !st.write_shared() && st.opens.is_empty() {
+                    st.uncacheable = false;
+                }
+                server.gc_file(file);
+            }
+        }
+        // The client reboots: fd table, process table, and VM state are
+        // re-initialized.
+        let mem_bytes = self.cfg.client_mem(client.raw());
+        let fresh = Client::new(
+            client,
+            mem_bytes,
+            self.cfg.reserved_bytes,
+            self.cfg.page_size,
+            self.cfg.vm_preference_window,
+            self.cfg.code_retention,
+        );
+        let old = std::mem::replace(&mut self.clients[ci], fresh);
+        // Keep the accumulated metrics (counters survive in the study's
+        // collector, as the real measurement infrastructure did).
+        self.clients[ci].metrics = old.metrics;
+        lost
+    }
+
+    /// Total dirty bytes currently exposed to loss on `client` (what a
+    /// crash right now would destroy).
+    pub fn dirty_exposure(&self, client: ClientId) -> u64 {
+        let ci = client.raw() as usize;
+        let cache = &self.clients[ci].cache;
+        self.files
+            .iter()
+            .map(|(file, _)| {
+                cache
+                    .dirty_blocks_of(file)
+                    .into_iter()
+                    .filter_map(|index| cache.get(BlockKey { file, index }))
+                    .map(|e| e.dirty_app_bytes)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal time advance: daemon ticks and samples.
+    // ------------------------------------------------------------------
+
+    fn advance_to(&mut self, t: SimTime) {
+        while self.next_tick <= t || self.next_sample <= t {
+            if self.next_tick <= self.next_sample {
+                let tick = self.next_tick;
+                self.now = tick;
+                self.daemon_tick(tick);
+                self.next_tick = tick + self.cfg.daemon_period;
+            } else {
+                let at = self.next_sample;
+                self.now = at;
+                self.take_samples(at);
+                self.next_sample = at + self.cfg.sample_period;
+            }
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// The write-back daemon: every 5 seconds, write out all dirty blocks
+    /// of any file that has had a block dirty for 30 seconds.
+    fn daemon_tick(&mut self, now: SimTime) {
+        let cutoff = now - self.cfg.writeback_delay;
+        for ci in 0..self.clients.len() {
+            let files = self.clients[ci].cache.files_with_dirty_before(cutoff);
+            for file in files {
+                flush_file(
+                    &mut self.clients[ci],
+                    &mut self.servers,
+                    &self.files,
+                    &self.cfg,
+                    file,
+                    now,
+                    CleanReason::Delay,
+                );
+            }
+        }
+        // Servers run their own delayed write to disk.
+        for server in &mut self.servers {
+            server.flush_dirty_before(cutoff, self.cfg.block_size);
+        }
+    }
+
+    fn take_samples(&mut self, now: SimTime) {
+        let period = self.cfg.sample_period;
+        for client in &mut self.clients {
+            // A client that has never issued an operation is idle; the
+            // zero default must not look like activity at time zero.
+            let active =
+                client.last_activity > SimTime::ZERO && now.since(client.last_activity) <= period;
+            let bytes = client.cache_bytes(self.cfg.page_size);
+            client.metrics.sample(now, bytes, active);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Operation dispatch.
+    // ------------------------------------------------------------------
+
+    /// Applies one operation. Time must be non-decreasing.
+    pub fn apply(&mut self, op: &AppOp) {
+        debug_assert!(op.time >= self.now, "operations must arrive in order");
+        self.advance_to(op.time);
+        self.now = op.time;
+        self.ops_applied += 1;
+        let ci = op.client.raw() as usize;
+        assert!(ci < self.clients.len(), "unknown client {}", op.client);
+        self.clients[ci].last_activity = op.time;
+        match op.kind.clone() {
+            OpKind::Open { fd, file, mode } => self.do_open(op, fd, file, mode),
+            OpKind::Read { fd, len } => self.do_read(op, fd, len),
+            OpKind::Write { fd, len } => self.do_write(op, fd, len),
+            OpKind::Seek { fd, to } => self.do_seek(op, fd, to),
+            OpKind::Close { fd } => self.do_close(op, fd),
+            OpKind::Fsync { fd } => self.do_fsync(op, fd),
+            OpKind::Create { file, is_dir } => self.do_create(op, file, is_dir),
+            OpKind::Delete { file } => self.do_delete(op, file),
+            OpKind::Truncate { file } => self.do_truncate(op, file),
+            OpKind::ReadDir { dir, bytes } => self.do_readdir(op, dir, bytes),
+            OpKind::ProcStart {
+                exec,
+                code_bytes,
+                data_bytes,
+                heap_bytes,
+            } => self.do_proc_start(op, exec, code_bytes, data_bytes, heap_bytes),
+            OpKind::ProcExit => self.do_proc_exit(op),
+            OpKind::PageIn {
+                file,
+                offset,
+                bytes,
+            } => self.do_page(op, file, offset, bytes, true),
+            OpKind::PageOut {
+                file,
+                offset,
+                bytes,
+            } => self.do_page(op, file, offset, bytes, false),
+        }
+    }
+
+    fn emit(&mut self, server: ServerId, op: &AppOp, kind: RecordKind) {
+        self.sink.emit(
+            server,
+            Record {
+                time: self.now,
+                client: op.client,
+                user: op.user,
+                pid: op.pid,
+                migrated: op.migrated,
+                kind,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Open / close and consistency.
+    // ------------------------------------------------------------------
+
+    fn do_open(&mut self, op: &AppOp, fd: Handle, file: FileId, mode: OpenMode) {
+        let ci = op.client.raw() as usize;
+        if self.files.get(file).is_none() {
+            // Robustness: treat an open of an unknown file as creating it
+            // (the workload should always create first).
+            let server = assign_server(file, self.cfg.num_servers);
+            self.files.create(file, server, false, self.now);
+            self.clients[ci].metrics.counters.bump("implicit.creates");
+        }
+        let meta = self.files.get_mut(file).expect("file exists");
+        let server_id = meta.server;
+        let is_dir = meta.is_dir;
+        let size = meta.size;
+        let prev_version = meta.version;
+        if mode.writes() && !is_dir {
+            meta.version += 1;
+        }
+        let version = meta.version;
+        let si = server_id.raw() as usize;
+
+        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Open, 0);
+        count_rpc(&mut self.servers[si].counters, RpcKind::Open, 0);
+        if !is_dir {
+            self.clients[ci].metrics.counters.bump(consist::FILE_OPENS);
+        }
+
+        if !is_dir {
+            match self.cfg.consistency {
+                ConsistencyPolicy::Sprite | ConsistencyPolicy::SpriteModified => {
+                    self.sprite_open_consistency(op, file, prev_version, version, si);
+                }
+                ConsistencyPolicy::Token => {
+                    self.token_open_consistency(op, file, mode, si);
+                }
+                ConsistencyPolicy::Polling { interval_secs } => {
+                    self.polling_validate(op, file, version, interval_secs, si);
+                }
+            }
+        }
+
+        // Register the open with the server.
+        let st = self.servers[si].file_state(file);
+        st.opens.push(OpenEntry {
+            client: op.client,
+            handle: fd,
+            mode,
+        });
+
+        // Concurrent write-sharing: detect and, under the Sprite
+        // policies, disable caching.
+        if !is_dir && st.write_shared() {
+            self.clients[ci].metrics.counters.bump(consist::CWS_OPENS);
+            let sprite_family = matches!(
+                self.cfg.consistency,
+                ConsistencyPolicy::Sprite | ConsistencyPolicy::SpriteModified
+            );
+            if sprite_family && !self.servers[si].file_state(file).uncacheable {
+                self.disable_caching(file, si);
+            }
+        }
+
+        self.clients[ci]
+            .fds
+            .insert(fd, FdState::new(file, mode, self.now, op.migrated));
+        self.emit(
+            server_id,
+            op,
+            RecordKind::Open {
+                fd,
+                file,
+                mode,
+                size,
+                is_dir,
+            },
+        );
+    }
+
+    /// Sprite open-time consistency: version check against the client's
+    /// cache and dirty-data recall from the last writer.
+    fn sprite_open_consistency(
+        &mut self,
+        op: &AppOp,
+        file: FileId,
+        prev_version: u64,
+        version: u64,
+        si: usize,
+    ) {
+        let ci = op.client.raw() as usize;
+        // Stale-cache check: the client compares the server's version
+        // stamp with the one its cached blocks correspond to.
+        if let Some(&seen) = self.clients[ci].seen_version.get(&file) {
+            if seen != prev_version {
+                invalidate_file(&mut self.clients[ci], file, true);
+            }
+        }
+        self.clients[ci].seen_version.insert(file, version);
+
+        // Recall: if the last writer is some other client, the server
+        // retrieves its dirty data. (Like the real server, we do not
+        // know whether the writer already flushed, so this is an upper
+        // bound — exactly the paper's caveat for Table 10.)
+        let last_writer = self.servers[si].file_state(file).last_writer;
+        if let Some(w) = last_writer {
+            if w != op.client {
+                self.clients[ci]
+                    .metrics
+                    .counters
+                    .bump(consist::RECALL_OPENS);
+                let wi = w.raw() as usize;
+                count_rpc(&mut self.servers[si].counters, RpcKind::Recall, 0);
+                count_rpc(&mut self.clients[wi].metrics.counters, RpcKind::Recall, 0);
+                flush_file(
+                    &mut self.clients[wi],
+                    &mut self.servers,
+                    &self.files,
+                    &self.cfg,
+                    file,
+                    self.now,
+                    CleanReason::Recall,
+                );
+                self.servers[si].file_state(file).last_writer = None;
+            }
+        }
+    }
+
+    /// Token-mode open: acquire the needed token, recalling conflicting
+    /// tokens (write-token recall flushes dirty data; a write grant
+    /// invalidates reader caches).
+    fn token_open_consistency(&mut self, op: &AppOp, file: FileId, mode: OpenMode, si: usize) {
+        let ci = op.client.raw() as usize;
+        let me = op.client;
+        let (writer, readers): (Option<ClientId>, Vec<ClientId>) = {
+            let st = self.servers[si].file_state(file);
+            (
+                st.tokens.writer,
+                st.tokens.readers.iter().copied().collect(),
+            )
+        };
+        if mode.writes() {
+            let already = writer == Some(me);
+            if !already {
+                if let Some(w) = writer {
+                    // Recall the write token: the holder flushes and
+                    // invalidates.
+                    let wi = w.raw() as usize;
+                    count_rpc(
+                        &mut self.clients[wi].metrics.counters,
+                        RpcKind::TokenRecall,
+                        0,
+                    );
+                    flush_file(
+                        &mut self.clients[wi],
+                        &mut self.servers,
+                        &self.files,
+                        &self.cfg,
+                        file,
+                        self.now,
+                        CleanReason::Recall,
+                    );
+                    invalidate_file(&mut self.clients[wi], file, false);
+                }
+                for r in readers {
+                    if r != me {
+                        let ri = r.raw() as usize;
+                        count_rpc(
+                            &mut self.clients[ri].metrics.counters,
+                            RpcKind::TokenRecall,
+                            0,
+                        );
+                        invalidate_file(&mut self.clients[ri], file, false);
+                    }
+                }
+                let st = self.servers[si].file_state(file);
+                st.tokens.readers.clear();
+                st.tokens.writer = Some(me);
+                count_rpc(
+                    &mut self.clients[ci].metrics.counters,
+                    RpcKind::TokenAcquire,
+                    0,
+                );
+            }
+        } else {
+            let holds = writer == Some(me) || {
+                let st = self.servers[si].file_state(file);
+                st.tokens.readers.contains(&me)
+            };
+            if !holds {
+                if let Some(w) = writer {
+                    // Downgrade the writer: flush dirty, keep its blocks,
+                    // writer becomes a reader.
+                    let wi = w.raw() as usize;
+                    count_rpc(
+                        &mut self.clients[wi].metrics.counters,
+                        RpcKind::TokenRecall,
+                        0,
+                    );
+                    flush_file(
+                        &mut self.clients[wi],
+                        &mut self.servers,
+                        &self.files,
+                        &self.cfg,
+                        file,
+                        self.now,
+                        CleanReason::Recall,
+                    );
+                    let st = self.servers[si].file_state(file);
+                    st.tokens.writer = None;
+                    st.tokens.readers.insert(w);
+                }
+                let st = self.servers[si].file_state(file);
+                st.tokens.readers.insert(me);
+                count_rpc(
+                    &mut self.clients[ci].metrics.counters,
+                    RpcKind::TokenAcquire,
+                    0,
+                );
+            }
+        }
+    }
+
+    /// Polling-mode revalidation: trust cached data for the interval,
+    /// then check the version with the server.
+    fn polling_validate(
+        &mut self,
+        op: &AppOp,
+        file: FileId,
+        version: u64,
+        interval_secs: u32,
+        si: usize,
+    ) {
+        let ci = op.client.raw() as usize;
+        let interval = sdfs_simkit::SimDuration::from_secs(interval_secs as u64);
+        let due = match self.clients[ci].last_validate.get(&file) {
+            Some(&at) => self.now.since(at) > interval,
+            None => true,
+        };
+        if due {
+            count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::GetAttr, 0);
+            count_rpc(&mut self.servers[si].counters, RpcKind::GetAttr, 0);
+            let stale = self.clients[ci]
+                .seen_version
+                .get(&file)
+                .is_some_and(|&v| v != version);
+            if stale {
+                invalidate_file(&mut self.clients[ci], file, true);
+            }
+            self.clients[ci].seen_version.insert(file, version);
+            self.clients[ci].last_validate.insert(file, self.now);
+        }
+    }
+
+    /// Disables client caching for a write-shared file: every client with
+    /// an open flushes dirty data and invalidates its cache.
+    fn disable_caching(&mut self, file: FileId, si: usize) {
+        let holders: Vec<ClientId> = {
+            let st = self.servers[si].file_state(file);
+            st.uncacheable = true;
+            let mut v: Vec<ClientId> = st.opens.iter().map(|o| o.client).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for c in holders {
+            let ci = c.raw() as usize;
+            count_rpc(
+                &mut self.clients[ci].metrics.counters,
+                RpcKind::Invalidate,
+                0,
+            );
+            flush_file(
+                &mut self.clients[ci],
+                &mut self.servers,
+                &self.files,
+                &self.cfg,
+                file,
+                self.now,
+                CleanReason::Recall,
+            );
+            invalidate_file(&mut self.clients[ci], file, false);
+        }
+        self.servers[si].file_state(file).last_writer = None;
+    }
+
+    fn do_close(&mut self, op: &AppOp, fd: Handle) {
+        let ci = op.client.raw() as usize;
+        let Some(fdst) = self.clients[ci].fds.remove(&fd) else {
+            debug_assert!(false, "close of unknown fd {fd}");
+            return;
+        };
+        let file = fdst.file;
+        let Some(meta) = self.files.get(file) else {
+            return; // File vanished underneath (deleted while open).
+        };
+        let server_id = meta.server;
+        let size = meta.size;
+        let si = server_id.raw() as usize;
+        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Close, 0);
+        count_rpc(&mut self.servers[si].counters, RpcKind::Close, 0);
+
+        let st = self.servers[si].file_state(file);
+        st.remove_open(fd);
+        let was_uncacheable = st.uncacheable;
+        if fdst.wrote() && !was_uncacheable {
+            st.last_writer = Some(op.client);
+        }
+        match self.cfg.consistency {
+            ConsistencyPolicy::Sprite => {
+                if st.uncacheable && st.opens.is_empty() {
+                    st.uncacheable = false;
+                }
+            }
+            ConsistencyPolicy::SpriteModified => {
+                if st.uncacheable && !st.write_shared() {
+                    st.uncacheable = false;
+                }
+            }
+            ConsistencyPolicy::Token | ConsistencyPolicy::Polling { .. } => {}
+        }
+        self.servers[si].gc_file(file);
+
+        self.emit(
+            server_id,
+            op,
+            RecordKind::Close {
+                fd,
+                file,
+                offset: fdst.offset,
+                run_read: fdst.run_read,
+                run_written: fdst.run_written,
+                total_read: fdst.total_read,
+                total_written: fdst.total_written,
+                size,
+                opened_at: fdst.opened_at,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Data path.
+    // ------------------------------------------------------------------
+
+    fn do_read(&mut self, op: &AppOp, fd: Handle, len: u64) {
+        let ci = op.client.raw() as usize;
+        let Some(fdst) = self.clients[ci].fds.get(&fd).cloned() else {
+            debug_assert!(false, "read on unknown fd {fd}");
+            return;
+        };
+        let file = fdst.file;
+        let Some(meta) = self.files.get(file) else {
+            return;
+        };
+        let size = meta.size;
+        let server_id = meta.server;
+        let si = server_id.raw() as usize;
+        let eff = len.min(size.saturating_sub(fdst.offset));
+        if eff == 0 {
+            return;
+        }
+        let uncacheable = self.servers[si]
+            .files
+            .get(&file)
+            .is_some_and(|st| st.uncacheable);
+
+        if uncacheable {
+            // Pass-through read on a write-shared file.
+            let c = &mut self.clients[ci].metrics.counters;
+            c.add(raw::SHARED_READ, eff);
+            c.add(srv::SHARED_READ, eff);
+            count_rpc(c, RpcKind::SharedRead, eff);
+            count_rpc(&mut self.servers[si].counters, RpcKind::SharedRead, eff);
+            self.emit(
+                server_id,
+                op,
+                RecordKind::SharedRead {
+                    file,
+                    offset: fdst.offset,
+                    len: eff,
+                },
+            );
+        } else {
+            self.clients[ci].metrics.counters.add(raw::FILE_READ, eff);
+            self.cached_read(op, file, fdst.offset, eff, si, false);
+            // Polling mode: a cache read may silently return stale data.
+            if matches!(self.cfg.consistency, ConsistencyPolicy::Polling { .. }) {
+                let current = self.files.get(file).map(|m| m.version).unwrap_or(0);
+                let seen = self.clients[ci]
+                    .seen_version
+                    .get(&file)
+                    .copied()
+                    .unwrap_or(current);
+                if seen != current {
+                    let c = &mut self.clients[ci].metrics.counters;
+                    c.bump(consist::STALE_READ_OPS);
+                    c.add(consist::STALE_READ_BYTES, eff);
+                }
+            }
+        }
+        let fdst = self.clients[ci].fds.get_mut(&fd).expect("fd exists");
+        fdst.offset += eff;
+        fdst.run_read += eff;
+        fdst.total_read += eff;
+    }
+
+    /// Reads `len` bytes at `offset` of `file` through the client block
+    /// cache. `paging` selects the paging counter family (code and
+    /// initialized-data faults).
+    fn cached_read(
+        &mut self,
+        op: &AppOp,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        si: usize,
+        paging: bool,
+    ) {
+        let ci = op.client.raw() as usize;
+        let bs = self.cfg.block_size;
+        let first = offset / bs;
+        let last = (offset + len - 1) / bs;
+        {
+            let c = &mut self.clients[ci].metrics.counters;
+            if paging {
+                c.add(mc::PAGING_READ_OPS, last - first + 1);
+                if op.migrated {
+                    c.add(mig::PAGING_READ_OPS, last - first + 1);
+                }
+            } else {
+                c.add(mc::READ_OPS, last - first + 1);
+                c.add(mc::READ_REQ_BYTES, len);
+                if op.migrated {
+                    c.add(mig::READ_OPS, last - first + 1);
+                    c.add(mig::READ_REQ_BYTES, len);
+                }
+            }
+        }
+        for index in first..=last {
+            let key = BlockKey { file, index };
+            if self.clients[ci].cache.touch(key, self.now) {
+                continue; // Hit.
+            }
+            // Miss: fetch the whole block from the server.
+            let block_bytes = bs;
+            {
+                let c = &mut self.clients[ci].metrics.counters;
+                if paging {
+                    c.bump(mc::PAGING_READ_MISS_OPS);
+                    c.add(srv::PAGING_READ, block_bytes);
+                    if op.migrated {
+                        c.bump(mig::PAGING_READ_MISS_OPS);
+                    }
+                } else {
+                    c.bump(mc::READ_MISS_OPS);
+                    c.add(mc::READ_MISS_BYTES, block_bytes);
+                    c.add(srv::FILE_READ, block_bytes);
+                    if op.migrated {
+                        c.bump(mig::READ_MISS_OPS);
+                        c.add(mig::READ_MISS_BYTES, block_bytes);
+                    }
+                }
+                count_rpc(c, RpcKind::ReadBlock, block_bytes);
+            }
+            self.servers[si].serve_read(key, block_bytes, self.now);
+            self.insert_block(ci, key);
+        }
+    }
+
+    fn do_write(&mut self, op: &AppOp, fd: Handle, len: u64) {
+        let ci = op.client.raw() as usize;
+        let Some(fdst) = self.clients[ci].fds.get(&fd).cloned() else {
+            debug_assert!(false, "write on unknown fd {fd}");
+            return;
+        };
+        let file = fdst.file;
+        let Some(meta) = self.files.get(file) else {
+            return;
+        };
+        if len == 0 {
+            return;
+        }
+        let old_size = meta.size;
+        let server_id = meta.server;
+        let si = server_id.raw() as usize;
+        let offset = fdst.offset;
+        let uncacheable = self.servers[si]
+            .files
+            .get(&file)
+            .is_some_and(|st| st.uncacheable);
+
+        if uncacheable {
+            let c = &mut self.clients[ci].metrics.counters;
+            c.add(raw::SHARED_WRITE, len);
+            c.add(srv::SHARED_WRITE, len);
+            count_rpc(c, RpcKind::SharedWrite, len);
+            count_rpc(&mut self.servers[si].counters, RpcKind::SharedWrite, len);
+            self.emit(server_id, op, RecordKind::SharedWrite { file, offset, len });
+        } else {
+            let polling = matches!(self.cfg.consistency, ConsistencyPolicy::Polling { .. });
+            self.cached_write(op, file, offset, len, old_size, si, polling);
+        }
+
+        // Update metadata.
+        let meta = self.files.get_mut(file).expect("file exists");
+        let was_empty = meta.size == 0;
+        if offset + len > meta.size {
+            meta.size = offset + len;
+        }
+        meta.note_write(self.now, was_empty);
+
+        let fdst = self.clients[ci].fds.get_mut(&fd).expect("fd exists");
+        fdst.offset += len;
+        fdst.run_written += len;
+        fdst.total_written += len;
+    }
+
+    /// Writes through the client cache. With `write_through` (polling
+    /// mode) data also goes to the server immediately and blocks stay
+    /// clean.
+    #[allow(clippy::too_many_arguments)]
+    fn cached_write(
+        &mut self,
+        op: &AppOp,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        old_size: u64,
+        si: usize,
+        write_through: bool,
+    ) {
+        let ci = op.client.raw() as usize;
+        let bs = self.cfg.block_size;
+        let first = offset / bs;
+        let last = (offset + len - 1) / bs;
+        {
+            let c = &mut self.clients[ci].metrics.counters;
+            c.add(raw::FILE_WRITE, len);
+            c.add(mc::WRITE_OPS, last - first + 1);
+            c.add(mc::WRITE_BYTES, len);
+            if op.migrated {
+                c.add(mig::WRITE_OPS, last - first + 1);
+            }
+        }
+        for index in first..=last {
+            let key = BlockKey { file, index };
+            let block_start = index * bs;
+            let block_end = block_start + bs;
+            let wstart = offset.max(block_start);
+            let wend = (offset + len).min(block_end);
+            let app_bytes = wend - wstart;
+            let full_block = app_bytes == bs;
+            if !self.clients[ci].cache.contains(key) {
+                // Partial write of a block with pre-existing content
+                // requires a write fetch.
+                let has_existing = block_start < old_size && !full_block;
+                if has_existing {
+                    {
+                        let c = &mut self.clients[ci].metrics.counters;
+                        c.bump(mc::WRITE_FETCH_OPS);
+                        if op.migrated {
+                            c.bump(mig::WRITE_FETCH_OPS);
+                        }
+                        c.add(srv::FILE_READ, bs);
+                        count_rpc(c, RpcKind::ReadBlock, bs);
+                    }
+                    self.servers[si].serve_read(key, bs, self.now);
+                }
+                self.insert_block(ci, key);
+            } else {
+                self.clients[ci].cache.touch(key, self.now);
+            }
+            if !self.clients[ci].cache.contains(key) {
+                // The VM system holds every physical page and nothing
+                // could be evicted: this write goes straight through.
+                let c = &mut self.clients[ci].metrics.counters;
+                c.add(mc::WRITEBACK_BYTES, app_bytes);
+                c.add(srv::FILE_WRITE, app_bytes);
+                count_rpc(c, RpcKind::WriteBlock, app_bytes);
+                self.servers[si].accept_write(key, app_bytes, self.now);
+                continue;
+            }
+            if write_through {
+                // NFS-style: data goes straight through; the cached copy
+                // stays clean.
+                let c = &mut self.clients[ci].metrics.counters;
+                c.add(mc::WRITEBACK_BYTES, app_bytes);
+                c.add(srv::FILE_WRITE, app_bytes);
+                count_rpc(c, RpcKind::WriteBlock, app_bytes);
+                self.servers[si].accept_write(key, app_bytes, self.now);
+                // Cleaning bookkeeping not needed: block never dirty.
+            } else {
+                self.clients[ci].cache.mark_dirty(key, self.now, app_bytes);
+            }
+        }
+    }
+
+    /// Inserts a block into a client cache, obtaining a physical page
+    /// from the memory manager (free page, idle VM page, or LRU
+    /// eviction).
+    fn insert_block(&mut self, ci: usize, key: BlockKey) {
+        use crate::vm::FcGrant;
+        match self.clients[ci].mem.fc_acquire(self.now) {
+            FcGrant::FromFree | FcGrant::FromIdleVm => {
+                self.clients[ci].cache.insert(key, self.now);
+            }
+            FcGrant::MustEvict => {
+                if self.evict_lru(ci, replace::FILE_BLOCKS, replace::FILE_AGE_US) {
+                    // Page reused in place; no memory-manager traffic.
+                    self.clients[ci].cache.insert(key, self.now);
+                }
+                // If the cache was empty there is nothing to evict and
+                // the block simply is not cached.
+            }
+        }
+    }
+
+    /// Evicts the LRU block of client `ci`, writing it back first if
+    /// dirty. Returns `false` if the cache was empty.
+    fn evict_lru(&mut self, ci: usize, blocks_key: &'static str, age_key: &'static str) -> bool {
+        let Some((key, entry)) = self.clients[ci]
+            .cache
+            .peek_lru()
+            .map(|(k, e)| (k, e.clone()))
+        else {
+            return false;
+        };
+        if entry.dirty {
+            let reason = if blocks_key == replace::VM_BLOCKS {
+                CleanReason::Vm
+            } else {
+                CleanReason::Evict
+            };
+            writeback_block(
+                &mut self.clients[ci],
+                &mut self.servers,
+                &self.files,
+                &self.cfg,
+                key,
+                self.now,
+                reason,
+            );
+        }
+        let age = self.now.since(entry.last_ref);
+        let c = &mut self.clients[ci].metrics.counters;
+        c.bump(blocks_key);
+        c.add(age_key, age.as_micros());
+        self.clients[ci].cache.remove(key);
+        true
+    }
+
+    fn do_seek(&mut self, op: &AppOp, fd: Handle, to: u64) {
+        let ci = op.client.raw() as usize;
+        let Some(fdst) = self.clients[ci].fds.get_mut(&fd) else {
+            debug_assert!(false, "seek on unknown fd {fd}");
+            return;
+        };
+        let file = fdst.file;
+        let from = fdst.offset;
+        let run_read = fdst.run_read;
+        let run_written = fdst.run_written;
+        fdst.offset = to;
+        fdst.run_read = 0;
+        fdst.run_written = 0;
+        let Some(meta) = self.files.get(file) else {
+            return;
+        };
+        let server_id = meta.server;
+        self.emit(
+            server_id,
+            op,
+            RecordKind::Reposition {
+                fd,
+                file,
+                from,
+                to,
+                run_read,
+                run_written,
+            },
+        );
+    }
+
+    fn do_fsync(&mut self, op: &AppOp, fd: Handle) {
+        let ci = op.client.raw() as usize;
+        let Some(fdst) = self.clients[ci].fds.get(&fd) else {
+            debug_assert!(false, "fsync on unknown fd {fd}");
+            return;
+        };
+        let file = fdst.file;
+        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Fsync, 0);
+        flush_file(
+            &mut self.clients[ci],
+            &mut self.servers,
+            &self.files,
+            &self.cfg,
+            file,
+            self.now,
+            CleanReason::Fsync,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Naming operations.
+    // ------------------------------------------------------------------
+
+    fn do_create(&mut self, op: &AppOp, file: FileId, is_dir: bool) {
+        let ci = op.client.raw() as usize;
+        let server = assign_server(file, self.cfg.num_servers);
+        self.files.create(file, server, is_dir, self.now);
+        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Create, 0);
+        count_rpc(
+            &mut self.servers[server.raw() as usize].counters,
+            RpcKind::Create,
+            0,
+        );
+        self.emit(server, op, RecordKind::Create { file, is_dir });
+    }
+
+    fn do_delete(&mut self, op: &AppOp, file: FileId) {
+        let ci = op.client.raw() as usize;
+        let Some(meta) = self.files.delete(file) else {
+            debug_assert!(false, "delete of unknown file {file}");
+            return;
+        };
+        let si = meta.server.raw() as usize;
+        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Delete, 0);
+        count_rpc(&mut self.servers[si].counters, RpcKind::Delete, 0);
+        // Drop the file's blocks everywhere; dirty data is cancelled and
+        // never written back (this is where short lifetimes save write
+        // traffic).
+        for client in &mut self.clients {
+            drop_file_blocks(client, file, &self.cfg);
+        }
+        self.servers[si].drop_file_blocks(file);
+        self.servers[si].files.remove(&file);
+        self.emit(
+            meta.server,
+            op,
+            RecordKind::Delete {
+                file,
+                size: meta.size,
+                is_dir: meta.is_dir,
+                oldest_age: meta.oldest_age(self.now),
+                newest_age: meta.newest_age(self.now),
+            },
+        );
+    }
+
+    fn do_truncate(&mut self, op: &AppOp, file: FileId) {
+        let ci = op.client.raw() as usize;
+        let Some(meta) = self.files.get_mut(file) else {
+            debug_assert!(false, "truncate of unknown file {file}");
+            return;
+        };
+        let old_size = meta.size;
+        let oldest_age = meta.oldest_age(self.now);
+        let newest_age = meta.newest_age(self.now);
+        meta.size = 0;
+        meta.version += 1;
+        meta.oldest_write = self.now;
+        meta.newest_write = self.now;
+        let server_id = meta.server;
+        let si = server_id.raw() as usize;
+        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Truncate, 0);
+        count_rpc(&mut self.servers[si].counters, RpcKind::Truncate, 0);
+        for client in &mut self.clients {
+            drop_file_blocks(client, file, &self.cfg);
+        }
+        self.servers[si].drop_file_blocks(file);
+        self.emit(
+            server_id,
+            op,
+            RecordKind::Truncate {
+                file,
+                old_size,
+                oldest_age,
+                newest_age,
+            },
+        );
+    }
+
+    fn do_readdir(&mut self, op: &AppOp, dir: FileId, bytes: u64) {
+        let ci = op.client.raw() as usize;
+        if self.files.get(dir).is_none() {
+            let server = assign_server(dir, self.cfg.num_servers);
+            self.files.create(dir, server, true, self.now);
+        }
+        let meta = self.files.get_mut(dir).expect("dir exists");
+        meta.size = meta.size.max(bytes);
+        let server_id = meta.server;
+        let si = server_id.raw() as usize;
+        let c = &mut self.clients[ci].metrics.counters;
+        c.add(raw::DIR_READ, bytes);
+        c.add(srv::DIR_READ, bytes);
+        count_rpc(c, RpcKind::ReadDir, bytes);
+        count_rpc(&mut self.servers[si].counters, RpcKind::ReadDir, bytes);
+        self.emit(server_id, op, RecordKind::DirRead { file: dir, bytes });
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual memory.
+    // ------------------------------------------------------------------
+
+    fn do_proc_start(
+        &mut self,
+        op: &AppOp,
+        exec: FileId,
+        code_bytes: u64,
+        data_bytes: u64,
+        heap_bytes: u64,
+    ) {
+        let ci = op.client.raw() as usize;
+        if self.files.get(exec).is_none() {
+            let server = assign_server(exec, self.cfg.num_servers);
+            self.files.create(exec, server, false, self.now);
+            if let Some(m) = self.files.get_mut(exec) {
+                m.size = code_bytes + data_bytes;
+            }
+        }
+        let meta = self.files.get(exec).expect("exec exists");
+        let si = meta.server.raw() as usize;
+        let ps = self.cfg.page_size;
+        let code_pages = code_bytes.div_ceil(ps);
+        // Data pages include the heap/stack the process will grow to;
+        // only the initialized-data portion is faulted from the file.
+        let data_pages = (data_bytes + heap_bytes).div_ceil(ps).max(1);
+
+        // Shared program text: if another instance of this program is
+        // already running here, its code pages are shared — no code
+        // faults and no additional code memory.
+        let sharing = {
+            let entry = self.clients[ci].shared_text.entry(exec).or_insert((0, 0));
+            entry.0 += 1;
+            entry.0 > 1
+        };
+        let fault_code_pages = if sharing {
+            0
+        } else {
+            // Retained code from a previous run of the same program?
+            let reused = self.clients[ci].mem.code_hit(exec, self.now);
+            self.clients[ci].shared_text.insert(exec, (1, code_pages));
+            code_pages.saturating_sub(reused)
+        };
+
+        // Obtain physical pages for the process image.
+        let need = fault_code_pages + data_pages;
+        let steal = self.clients[ci].mem.vm_acquire(need);
+        for _ in 0..steal {
+            if self.evict_lru(ci, replace::VM_BLOCKS, replace::VM_AGE_US) {
+                self.clients[ci].mem.steal_from_fc();
+            } else {
+                // Nothing cached to evict: the machine is overcommitted.
+                self.clients[ci].mem.force_grow(1);
+            }
+        }
+
+        // Fault in code pages. Sprite checks the file cache on code
+        // faults (recompilation can leave new code there) but does not
+        // *install* code blocks in the file cache on a miss; a cached
+        // code block is released after its contents are copied to VM.
+        let code_fault_bytes = fault_code_pages * ps;
+        if code_fault_bytes > 0 {
+            self.clients[ci]
+                .metrics
+                .counters
+                .add(raw::PAGING_CODE_READ, code_fault_bytes);
+            for index in 0..fault_code_pages {
+                let key = BlockKey { file: exec, index };
+                let c = &mut self.clients[ci].metrics.counters;
+                c.bump(mc::PAGING_READ_OPS);
+                if op.migrated {
+                    c.bump(mig::PAGING_READ_OPS);
+                }
+                if self.clients[ci].cache.touch(key, self.now) {
+                    // Copy to VM; the block stays cached so a future
+                    // invocation on this machine can find it again.
+                } else {
+                    let c = &mut self.clients[ci].metrics.counters;
+                    c.bump(mc::PAGING_READ_MISS_OPS);
+                    c.add(srv::PAGING_READ, ps);
+                    count_rpc(c, RpcKind::PageIn, ps);
+                    if op.migrated {
+                        c.bump(mig::PAGING_READ_MISS_OPS);
+                    }
+                    self.servers[si].serve_read(key, ps, self.now);
+                    self.insert_block(ci, key);
+                }
+            }
+        }
+
+        // Fault in initialized data through the file cache (blocks stay
+        // cached so a re-run finds clean copies).
+        if data_bytes > 0 {
+            self.clients[ci]
+                .metrics
+                .counters
+                .add(raw::PAGING_INITDATA_READ, data_bytes);
+            self.cached_read(op, exec, code_bytes, data_bytes, si, true);
+        }
+
+        self.clients[ci].procs.insert(
+            op.pid,
+            ProcState {
+                exec,
+                code_pages,
+                data_pages,
+            },
+        );
+    }
+
+    fn do_proc_exit(&mut self, op: &AppOp) {
+        let ci = op.client.raw() as usize;
+        let Some(proc) = self.clients[ci].procs.remove(&op.pid) else {
+            return; // Unknown process: tolerate (migrant bookkeeping).
+        };
+        // Data and stack pages are always private.
+        self.clients[ci].mem.vm_release(self.now, proc.data_pages);
+        // Code is shared; the last instance out releases and retains it.
+        let last = {
+            let entry = self.clients[ci]
+                .shared_text
+                .get_mut(&proc.exec)
+                .expect("shared text entry exists for running process");
+            entry.0 = entry.0.saturating_sub(1);
+            if entry.0 == 0 {
+                Some(entry.1)
+            } else {
+                None
+            }
+        };
+        if let Some(code_pages) = last {
+            self.clients[ci].shared_text.remove(&proc.exec);
+            self.clients[ci].mem.vm_release(self.now, code_pages);
+            self.clients[ci]
+                .mem
+                .retain_code(proc.exec, code_pages, self.now);
+        }
+    }
+
+    fn do_page(&mut self, op: &AppOp, file: FileId, offset: u64, bytes: u64, read: bool) {
+        let ci = op.client.raw() as usize;
+        if self.files.get(file).is_none() {
+            let server = assign_server(file, self.cfg.num_servers);
+            self.files.create(file, server, false, self.now);
+        }
+        let meta = self.files.get_mut(file).expect("backing file exists");
+        let si = meta.server.raw() as usize;
+        let bs = self.cfg.block_size;
+        if read {
+            let c = &mut self.clients[ci].metrics.counters;
+            c.add(raw::PAGING_BACKING_READ, bytes);
+            c.add(srv::PAGING_READ, bytes);
+            count_rpc(c, RpcKind::PageIn, bytes);
+            count_rpc(&mut self.servers[si].counters, RpcKind::PageIn, bytes);
+            for index in offset / bs..=(offset + bytes.max(1) - 1) / bs {
+                self.servers[si].serve_read(BlockKey { file, index }, bs, self.now);
+            }
+        } else {
+            let was_empty = meta.size == 0;
+            if offset + bytes > meta.size {
+                meta.size = offset + bytes;
+            }
+            meta.note_write(self.now, was_empty);
+            let c = &mut self.clients[ci].metrics.counters;
+            c.add(raw::PAGING_BACKING_WRITE, bytes);
+            c.add(srv::PAGING_WRITE, bytes);
+            count_rpc(c, RpcKind::PageOut, bytes);
+            count_rpc(&mut self.servers[si].counters, RpcKind::PageOut, bytes);
+            for index in offset / bs..=(offset + bytes.max(1) - 1) / bs {
+                self.servers[si].accept_write(BlockKey { file, index }, bs, self.now);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Free helpers (split borrows across clients / servers / files).
+// ----------------------------------------------------------------------
+
+/// Writes one dirty block of `client` back to its server, recording the
+/// cleaning reason and age.
+fn writeback_block(
+    client: &mut Client,
+    servers: &mut [Server],
+    files: &FileTable,
+    cfg: &Config,
+    key: BlockKey,
+    now: SimTime,
+    reason: CleanReason,
+) {
+    let Some(before) = client.cache.clean(key) else {
+        return;
+    };
+    let Some(meta) = files.get(key.file) else {
+        // File deleted with dirty data still cached: cancelled write.
+        client
+            .metrics
+            .counters
+            .add(mc::CANCELLED_BYTES, before.dirty_app_bytes);
+        return;
+    };
+    let bs = cfg.block_size;
+    let block_start = key.index * bs;
+    let bytes = bs.min(meta.size.saturating_sub(block_start));
+    if bytes == 0 {
+        client
+            .metrics
+            .counters
+            .add(mc::CANCELLED_BYTES, before.dirty_app_bytes);
+        return;
+    }
+    let c = &mut client.metrics.counters;
+    c.add(mc::WRITEBACK_BYTES, bytes);
+    c.add(srv::FILE_WRITE, bytes);
+    count_rpc(c, RpcKind::WriteBlock, bytes);
+    c.bump(reason.blocks_key());
+    c.add(reason.age_key(), now.since(before.last_write).as_micros());
+    let si = meta.server.raw() as usize;
+    servers[si].accept_write(key, bytes, now);
+}
+
+/// Flushes every dirty block `client` holds for `file`.
+fn flush_file(
+    client: &mut Client,
+    servers: &mut [Server],
+    files: &FileTable,
+    cfg: &Config,
+    file: FileId,
+    now: SimTime,
+    reason: CleanReason,
+) {
+    for index in client.cache.dirty_blocks_of(file) {
+        writeback_block(
+            client,
+            servers,
+            files,
+            cfg,
+            BlockKey { file, index },
+            now,
+            reason,
+        );
+    }
+}
+
+/// Drops every cached block of `file` from `client`, releasing the pages.
+/// Dirty data is cancelled (never written). `stale` selects the
+/// staleness counter (consistency invalidation) over silent dropping.
+fn invalidate_file(client: &mut Client, file: FileId, stale: bool) {
+    let indices = client.cache.blocks_of(file);
+    let n = indices.len() as u64;
+    if n == 0 {
+        return;
+    }
+    for index in indices {
+        let key = BlockKey { file, index };
+        if let Some(entry) = client.cache.remove(key) {
+            if entry.dirty {
+                client
+                    .metrics
+                    .counters
+                    .add(mc::CANCELLED_BYTES, entry.dirty_app_bytes);
+            }
+        }
+    }
+    client.mem.fc_release(n);
+    if stale {
+        client.metrics.counters.add(consist::STALE_BLOCKS, n);
+    }
+}
+
+/// Delete/truncate path: identical mechanics to invalidation, but never
+/// counted as staleness.
+fn drop_file_blocks(client: &mut Client, file: FileId, _cfg: &Config) {
+    invalidate_file(client, file, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfs_trace::{Pid, UserId};
+
+    fn op(t: u64, client: u16, kind: OpKind) -> AppOp {
+        AppOp {
+            time: SimTime::from_secs(t),
+            client: ClientId(client),
+            user: UserId(1),
+            pid: Pid(1),
+            migrated: false,
+            kind,
+        }
+    }
+
+    fn cluster() -> Cluster<VecSink> {
+        let cfg = Config::small();
+        let sink = VecSink::new(cfg.num_servers);
+        Cluster::new(cfg, sink)
+    }
+
+    fn counters(cl: &Cluster<VecSink>, ci: usize) -> &sdfs_simkit::CounterSet {
+        &cl.clients()[ci].metrics.counters
+    }
+
+    #[test]
+    fn open_write_close_emits_records_and_delays_writeback() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            3,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 10_000,
+            },
+        ));
+        cl.apply(&op(4, 0, OpKind::Close { fd: Handle(1) }));
+        // Nothing written back yet: the 30-second delay has not elapsed.
+        assert_eq!(counters(&cl, 0).get(mc::WRITEBACK_BYTES), 0);
+        assert_eq!(cl.clients()[0].cache.dirty_len(), 3, "3 dirty 4K blocks");
+
+        // Advance past the delay; the daemon should flush.
+        cl.run(std::iter::empty(), SimTime::from_secs(60));
+        let c = counters(&cl, 0);
+        assert_eq!(c.get(clean::DELAY_BLOCKS), 3);
+        // Write-back is whole blocks capped at file size: 2*4096 + 1808.
+        assert_eq!(c.get(mc::WRITEBACK_BYTES), 10_000);
+        assert_eq!(c.get(mc::WRITE_BYTES), 10_000);
+        assert_eq!(cl.clients()[0].cache.dirty_len(), 0);
+
+        // Trace records: create, open, close on server 0 or 1.
+        let total: usize = cl.into_sink().len();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn read_misses_then_hits() {
+        let mut cl = cluster();
+        cl.preload(&[(FileId(0), 8192, false)]);
+        let open = |t| {
+            op(
+                t,
+                0,
+                OpKind::Open {
+                    fd: Handle(t),
+                    file: FileId(0),
+                    mode: OpenMode::Read,
+                },
+            )
+        };
+        cl.apply(&open(1));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Read {
+                fd: Handle(1),
+                len: 8192,
+            },
+        ));
+        cl.apply(&op(1, 0, OpKind::Close { fd: Handle(1) }));
+        let c = counters(&cl, 0);
+        assert_eq!(c.get(mc::READ_OPS), 2);
+        assert_eq!(c.get(mc::READ_MISS_OPS), 2);
+        assert_eq!(c.get(srv::FILE_READ), 8192);
+
+        cl.apply(&open(2));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Read {
+                fd: Handle(2),
+                len: 8192,
+            },
+        ));
+        cl.apply(&op(2, 0, OpKind::Close { fd: Handle(2) }));
+        let c = counters(&cl, 0);
+        assert_eq!(c.get(mc::READ_OPS), 4);
+        assert_eq!(c.get(mc::READ_MISS_OPS), 2, "second read all hits");
+    }
+
+    #[test]
+    fn delete_before_writeback_cancels_write_traffic() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 4096,
+            },
+        ));
+        cl.apply(&op(3, 0, OpKind::Close { fd: Handle(1) }));
+        cl.apply(&op(5, 0, OpKind::Delete { file: FileId(0) }));
+        cl.run(std::iter::empty(), SimTime::from_secs(120));
+        let c = counters(&cl, 0);
+        assert_eq!(c.get(mc::WRITEBACK_BYTES), 0, "no server write");
+        assert_eq!(c.get(mc::CANCELLED_BYTES), 4096);
+        assert_eq!(c.get(srv::FILE_WRITE), 0);
+    }
+
+    #[test]
+    fn fsync_flushes_immediately() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 100,
+            },
+        ));
+        cl.apply(&op(2, 0, OpKind::Fsync { fd: Handle(1) }));
+        let c = counters(&cl, 0);
+        assert_eq!(c.get(clean::FSYNC_BLOCKS), 1);
+        assert_eq!(c.get(mc::WRITEBACK_BYTES), 100);
+    }
+
+    #[test]
+    fn concurrent_write_sharing_disables_caching() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 4096,
+            },
+        ));
+        // A second client opens for read while client 0 writes: CWS.
+        cl.apply(&op(
+            2,
+            1,
+            OpKind::Open {
+                fd: Handle(2),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        assert_eq!(counters(&cl, 1).get(consist::CWS_OPENS), 1);
+        // Client 0's dirty block was flushed by the disable.
+        assert_eq!(counters(&cl, 0).get(clean::RECALL_BLOCKS), 1);
+        // Reads and writes now pass through and emit shared records.
+        cl.apply(&op(
+            3,
+            1,
+            OpKind::Read {
+                fd: Handle(2),
+                len: 1000,
+            },
+        ));
+        cl.apply(&op(
+            3,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 50,
+            },
+        ));
+        assert_eq!(counters(&cl, 1).get(raw::SHARED_READ), 1000);
+        assert_eq!(counters(&cl, 0).get(raw::SHARED_WRITE), 50);
+        // After both close, the file is cacheable again (Sprite policy).
+        cl.apply(&op(4, 1, OpKind::Close { fd: Handle(2) }));
+        cl.apply(&op(4, 0, OpKind::Close { fd: Handle(1) }));
+        let sink = cl.into_sink();
+        let shared: usize = sink
+            .per_server
+            .iter()
+            .flatten()
+            .filter(|r| {
+                matches!(
+                    r.kind,
+                    RecordKind::SharedRead { .. } | RecordKind::SharedWrite { .. }
+                )
+            })
+            .count();
+        assert_eq!(shared, 2);
+    }
+
+    #[test]
+    fn modified_sprite_reenables_caching_when_sharing_ends() {
+        let mut cfg = Config::small();
+        cfg.consistency = ConsistencyPolicy::SpriteModified;
+        let mut cl = Cluster::new(cfg, VecSink::new(1));
+        cl.preload(&[(FileId(0), 8192, false)]);
+        // Writer on client 0, reader on client 1: CWS disables caching.
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            1,
+            OpKind::Open {
+                fd: Handle(2),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(3, 1, OpKind::Read { fd: Handle(2), len: 1000 }));
+        assert_eq!(counters(&cl, 1).get(raw::SHARED_READ), 1000);
+        // The writer closes; under the modified policy the reader's next
+        // read is cacheable again even though it still holds the file.
+        cl.apply(&op(4, 0, OpKind::Close { fd: Handle(1) }));
+        cl.apply(&op(5, 1, OpKind::Read { fd: Handle(2), len: 1000 }));
+        assert_eq!(
+            counters(&cl, 1).get(raw::SHARED_READ),
+            1000,
+            "no more pass-through"
+        );
+        assert!(counters(&cl, 1).get(mc::READ_OPS) > 0);
+        cl.apply(&op(6, 1, OpKind::Close { fd: Handle(2) }));
+    }
+
+    #[test]
+    fn plain_sprite_stays_uncacheable_until_all_close() {
+        let mut cl = cluster();
+        cl.preload(&[(FileId(0), 8192, false)]);
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            1,
+            OpKind::Open {
+                fd: Handle(2),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(4, 0, OpKind::Close { fd: Handle(1) }));
+        // Reader still holds the file: Sprite keeps it uncacheable.
+        cl.apply(&op(5, 1, OpKind::Read { fd: Handle(2), len: 1000 }));
+        assert_eq!(counters(&cl, 1).get(raw::SHARED_READ), 1000);
+        cl.apply(&op(6, 1, OpKind::Close { fd: Handle(2) }));
+        // All closed: a fresh open caches normally.
+        cl.apply(&op(
+            7,
+            1,
+            OpKind::Open {
+                fd: Handle(3),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(7, 1, OpKind::Read { fd: Handle(3), len: 1000 }));
+        assert_eq!(
+            counters(&cl, 1).get(raw::SHARED_READ),
+            1000,
+            "caching restored after last close"
+        );
+    }
+
+    #[test]
+    fn recall_on_open_after_remote_write() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 4096,
+            },
+        ));
+        cl.apply(&op(3, 0, OpKind::Close { fd: Handle(1) }));
+        // Client 1 opens before the 30 s write-back: server recalls.
+        cl.apply(&op(
+            5,
+            1,
+            OpKind::Open {
+                fd: Handle(2),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        assert_eq!(counters(&cl, 1).get(consist::RECALL_OPENS), 1);
+        assert_eq!(counters(&cl, 0).get(clean::RECALL_BLOCKS), 1);
+        // Client 1 reads fresh data from the server.
+        cl.apply(&op(
+            6,
+            1,
+            OpKind::Read {
+                fd: Handle(2),
+                len: 4096,
+            },
+        ));
+        assert_eq!(counters(&cl, 1).get(mc::READ_MISS_OPS), 1);
+    }
+
+    #[test]
+    fn stale_cache_invalidated_on_reopen() {
+        let mut cl = cluster();
+        cl.preload(&[(FileId(0), 4096, false)]);
+        // Client 1 reads and caches.
+        cl.apply(&op(
+            1,
+            1,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            1,
+            OpKind::Read {
+                fd: Handle(1),
+                len: 4096,
+            },
+        ));
+        cl.apply(&op(1, 1, OpKind::Close { fd: Handle(1) }));
+        assert_eq!(cl.clients()[1].cache.len(), 1);
+        // Client 0 rewrites the file (bumps version).
+        cl.apply(&op(
+            10,
+            0,
+            OpKind::Open {
+                fd: Handle(2),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            10,
+            0,
+            OpKind::Write {
+                fd: Handle(2),
+                len: 4096,
+            },
+        ));
+        cl.apply(&op(10, 0, OpKind::Close { fd: Handle(2) }));
+        // Client 1 reopens: stale blocks invalidated.
+        cl.apply(&op(
+            50,
+            1,
+            OpKind::Open {
+                fd: Handle(3),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        assert_eq!(counters(&cl, 1).get(consist::STALE_BLOCKS), 1);
+        assert_eq!(cl.clients()[1].cache.len(), 0);
+    }
+
+    #[test]
+    fn proc_start_faults_code_and_data() {
+        let mut cl = cluster();
+        cl.preload(&[(FileId(0), 100 << 10, false)]);
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::ProcStart {
+                exec: FileId(0),
+                code_bytes: 40 << 10,
+                data_bytes: 20 << 10,
+                heap_bytes: 0,
+            },
+        ));
+        let c = counters(&cl, 0);
+        assert_eq!(c.get(raw::PAGING_CODE_READ), 40 << 10);
+        assert_eq!(c.get(raw::PAGING_INITDATA_READ), 20 << 10);
+        assert!(c.get(mc::PAGING_READ_MISS_OPS) > 0);
+        // Both code and init-data blocks linger in the file cache
+        // (10 code pages + 5 init-data blocks).
+        assert_eq!(cl.clients()[0].cache.len(), 15, "code + init-data blocks");
+        // Exit and immediately restart: code is retained, data hits cache.
+        cl.apply(&op(2, 0, OpKind::ProcExit));
+        let miss_before = counters(&cl, 0).get(mc::PAGING_READ_MISS_OPS);
+        cl.apply(&op(
+            3,
+            0,
+            OpKind::ProcStart {
+                exec: FileId(0),
+                code_bytes: 40 << 10,
+                data_bytes: 20 << 10,
+                heap_bytes: 0,
+            },
+        ));
+        let miss_after = counters(&cl, 0).get(mc::PAGING_READ_MISS_OPS);
+        assert_eq!(miss_before, miss_after, "re-run has no paging misses");
+    }
+
+    #[test]
+    fn backing_file_traffic_bypasses_client_cache() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::PageOut {
+                file: FileId(9),
+                offset: 0,
+                bytes: 8192,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::PageIn {
+                file: FileId(9),
+                offset: 0,
+                bytes: 8192,
+            },
+        ));
+        let c = counters(&cl, 0);
+        assert_eq!(c.get(raw::PAGING_BACKING_WRITE), 8192);
+        assert_eq!(c.get(raw::PAGING_BACKING_READ), 8192);
+        assert_eq!(cl.clients()[0].cache.len(), 0);
+    }
+
+    #[test]
+    fn write_fetch_on_partial_overwrite() {
+        let mut cl = cluster();
+        cl.preload(&[(FileId(0), 8192, false)]);
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Seek {
+                fd: Handle(1),
+                to: 100,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 50,
+            },
+        ));
+        let c = counters(&cl, 0);
+        assert_eq!(c.get(mc::WRITE_FETCH_OPS), 1);
+        assert_eq!(c.get(srv::FILE_READ), 4096);
+        cl.apply(&op(2, 0, OpKind::Close { fd: Handle(1) }));
+    }
+
+    #[test]
+    fn truncate_resets_content_and_emits_record() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 5000,
+            },
+        ));
+        cl.apply(&op(3, 0, OpKind::Close { fd: Handle(1) }));
+        cl.apply(&op(10, 0, OpKind::Truncate { file: FileId(0) }));
+        assert_eq!(cl.files().get(FileId(0)).expect("exists").size, 0);
+        let sink = cl.into_sink();
+        let trunc = sink
+            .per_server
+            .iter()
+            .flatten()
+            .find(|r| matches!(r.kind, RecordKind::Truncate { .. }))
+            .expect("truncate record");
+        if let RecordKind::Truncate { old_size, .. } = trunc.kind {
+            assert_eq!(old_size, 5000);
+        }
+    }
+
+    #[test]
+    fn readdir_counts_uncacheable_traffic() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(5),
+                is_dir: true,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::ReadDir {
+                dir: FileId(5),
+                bytes: 2048,
+            },
+        ));
+        let c = counters(&cl, 0);
+        assert_eq!(c.get(raw::DIR_READ), 2048);
+        assert_eq!(c.get(srv::DIR_READ), 2048);
+    }
+
+    #[test]
+    fn sampling_records_cache_sizes() {
+        let mut cl = cluster();
+        cl.preload(&[(FileId(0), 1 << 20, false)]);
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Read {
+                fd: Handle(1),
+                len: 1 << 20,
+            },
+        ));
+        cl.apply(&op(2, 0, OpKind::Close { fd: Handle(1) }));
+        cl.run(std::iter::empty(), SimTime::from_secs(300));
+        let samples = &cl.clients()[0].metrics.samples;
+        assert!(samples.len() >= 4, "samples every 60 s");
+        let last = samples.last().expect("non-empty");
+        assert_eq!(last.bytes, 1 << 20, "256 cached blocks");
+    }
+
+    #[test]
+    fn vm_pressure_steals_cache_blocks() {
+        let mut cl = cluster();
+        // Fill the cache with file data.
+        cl.preload(&[(FileId(0), 4 << 20, false)]);
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Read {
+                fd: Handle(1),
+                len: 4 << 20,
+            },
+        ));
+        cl.apply(&op(2, 0, OpKind::Close { fd: Handle(1) }));
+        let cache_before = cl.clients()[0].cache.len();
+        assert!(cache_before > 0);
+        // Start a big process: VM must steal from the cache.
+        cl.apply(&op(
+            3,
+            0,
+            OpKind::ProcStart {
+                exec: FileId(1),
+                code_bytes: 1 << 20,
+                data_bytes: 512 << 10,
+                heap_bytes: 0,
+            },
+        ));
+        let c = counters(&cl, 0);
+        assert!(c.get(replace::VM_BLOCKS) > 0, "blocks handed to VM");
+        assert!(cl.clients()[0].cache.len() < cache_before);
+    }
+
+    #[test]
+    fn polling_mode_write_through_and_stale_reads() {
+        let mut cfg = Config::small();
+        cfg.consistency = ConsistencyPolicy::Polling { interval_secs: 60 };
+        let mut cl = Cluster::new(cfg, VecSink::new(1));
+        cl.preload(&[(FileId(0), 4096, false)]);
+        // Client 1 reads and caches at t=1.
+        cl.apply(&op(
+            1,
+            1,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            1,
+            OpKind::Read {
+                fd: Handle(1),
+                len: 4096,
+            },
+        ));
+        cl.apply(&op(1, 1, OpKind::Close { fd: Handle(1) }));
+        // Client 0 writes at t=5 (write-through).
+        cl.apply(&op(
+            5,
+            0,
+            OpKind::Open {
+                fd: Handle(2),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            5,
+            0,
+            OpKind::Write {
+                fd: Handle(2),
+                len: 4096,
+            },
+        ));
+        assert!(
+            counters(&cl, 0).get(srv::FILE_WRITE) >= 4096,
+            "write-through"
+        );
+        cl.apply(&op(5, 0, OpKind::Close { fd: Handle(2) }));
+        // Client 1 rereads at t=10, inside its 60 s trust window: stale.
+        cl.apply(&op(
+            10,
+            1,
+            OpKind::Open {
+                fd: Handle(3),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(
+            10,
+            1,
+            OpKind::Read {
+                fd: Handle(3),
+                len: 4096,
+            },
+        ));
+        cl.apply(&op(10, 1, OpKind::Close { fd: Handle(3) }));
+        assert_eq!(counters(&cl, 1).get(consist::STALE_READ_OPS), 1);
+        // Rereading after the window revalidates and is fresh.
+        cl.apply(&op(
+            120,
+            1,
+            OpKind::Open {
+                fd: Handle(4),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(
+            120,
+            1,
+            OpKind::Read {
+                fd: Handle(4),
+                len: 4096,
+            },
+        ));
+        assert_eq!(counters(&cl, 1).get(consist::STALE_READ_OPS), 1, "no new");
+        assert_eq!(counters(&cl, 1).get(consist::STALE_BLOCKS), 1);
+    }
+
+    #[test]
+    fn token_mode_recalls_on_conflict() {
+        let mut cfg = Config::small();
+        cfg.consistency = ConsistencyPolicy::Token;
+        let mut cl = Cluster::new(cfg, VecSink::new(1));
+        cl.preload(&[(FileId(0), 8192, false)]);
+        // Client 0 writes (write token) and closes; token is retained.
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 8192,
+            },
+        ));
+        cl.apply(&op(2, 0, OpKind::Close { fd: Handle(1) }));
+        // Client 1 opens for read: the write token is recalled, dirty data
+        // flushed, and client 0 downgrades to reader.
+        cl.apply(&op(
+            3,
+            1,
+            OpKind::Open {
+                fd: Handle(2),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        assert_eq!(counters(&cl, 0).get("rpc.token_recall.msgs"), 1);
+        assert_eq!(counters(&cl, 0).get(clean::RECALL_BLOCKS), 2);
+        // Client 0 keeps its blocks after a downgrade.
+        assert_eq!(cl.clients()[0].cache.len(), 2);
+        cl.apply(&op(
+            3,
+            1,
+            OpKind::Read {
+                fd: Handle(2),
+                len: 8192,
+            },
+        ));
+        cl.apply(&op(4, 1, OpKind::Close { fd: Handle(2) }));
+        // Client 0 reopens for write: readers are invalidated.
+        cl.apply(&op(
+            5,
+            0,
+            OpKind::Open {
+                fd: Handle(3),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        assert_eq!(counters(&cl, 1).get("rpc.token_recall.msgs"), 1);
+        assert_eq!(cl.clients()[1].cache.len(), 0, "reader invalidated");
+    }
+
+    #[test]
+    fn crash_loses_dirty_data_and_reboots() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 10_000,
+            },
+        ));
+        assert_eq!(cl.dirty_exposure(ClientId(0)), 10_000);
+        let lost = cl.crash_client(ClientId(0));
+        assert_eq!(lost, 10_000, "all unflushed bytes are lost");
+        assert_eq!(cl.dirty_exposure(ClientId(0)), 0);
+        assert_eq!(cl.clients()[0].cache.len(), 0, "cold cache after reboot");
+        assert!(cl.clients()[0].fds.is_empty(), "fd table gone");
+        assert_eq!(
+            counters(&cl, 0).get("crash.lost.bytes"),
+            10_000,
+            "loss is recorded"
+        );
+        // The server no longer thinks the crashed client holds anything.
+        cl.apply(&op(
+            10,
+            1,
+            OpKind::Open {
+                fd: Handle(2),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        assert_eq!(
+            counters(&cl, 1).get(consist::RECALL_OPENS),
+            0,
+            "no recall from a crashed client"
+        );
+    }
+
+    #[test]
+    fn crash_after_writeback_loses_nothing() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 10_000,
+            },
+        ));
+        cl.apply(&op(2, 0, OpKind::Fsync { fd: Handle(1) }));
+        assert_eq!(cl.crash_client(ClientId(0)), 0, "flushed data is safe");
+    }
+
+    #[test]
+    fn delete_while_open_is_tolerated() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::ReadWrite,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 5000,
+            },
+        ));
+        cl.apply(&op(3, 1, OpKind::Delete { file: FileId(0) }));
+        // Further I/O on the orphaned handle is a no-op, and the close
+        // does not emit a record for the vanished file.
+        cl.apply(&op(
+            4,
+            0,
+            OpKind::Read {
+                fd: Handle(1),
+                len: 100,
+            },
+        ));
+        cl.apply(&op(
+            5,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 100,
+            },
+        ));
+        cl.apply(&op(6, 0, OpKind::Close { fd: Handle(1) }));
+        assert!(cl.files().get(FileId(0)).is_none());
+        assert_eq!(cl.clients()[0].cache.dirty_len(), 0, "dirty data dropped");
+    }
+
+    #[test]
+    fn truncate_invalidates_remote_caches() {
+        let mut cl = cluster();
+        cl.preload(&[(FileId(0), 8192, false)]);
+        // Client 1 caches the file.
+        cl.apply(&op(
+            1,
+            1,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            1,
+            OpKind::Read {
+                fd: Handle(1),
+                len: 8192,
+            },
+        ));
+        cl.apply(&op(2, 1, OpKind::Close { fd: Handle(1) }));
+        assert_eq!(cl.clients()[1].cache.len(), 2);
+        // Client 0 truncates: client 1's blocks must go.
+        cl.apply(&op(5, 0, OpKind::Truncate { file: FileId(0) }));
+        assert_eq!(cl.clients()[1].cache.len(), 0);
+    }
+
+    #[test]
+    fn read_past_eof_transfers_nothing() {
+        let mut cl = cluster();
+        cl.preload(&[(FileId(0), 100, false)]);
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Seek {
+                fd: Handle(1),
+                to: 500,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Read {
+                fd: Handle(1),
+                len: 100,
+            },
+        ));
+        cl.apply(&op(2, 0, OpKind::Close { fd: Handle(1) }));
+        let sink = cl.into_sink();
+        let close = sink
+            .per_server
+            .iter()
+            .flatten()
+            .find_map(|r| match &r.kind {
+                RecordKind::Close { total_read, .. } => Some(*total_read),
+                _ => None,
+            })
+            .expect("close record");
+        assert_eq!(close, 0, "no bytes exist past EOF");
+    }
+
+    #[test]
+    fn shared_text_accounts_concurrent_instances() {
+        let mut cl = cluster();
+        cl.preload(&[(FileId(0), 200 << 10, false)]);
+        let start = |t, pid| AppOp {
+            time: SimTime::from_secs(t),
+            client: ClientId(0),
+            user: UserId(1),
+            pid: Pid(pid),
+            migrated: false,
+            kind: OpKind::ProcStart {
+                exec: FileId(0),
+                code_bytes: 100 << 10,
+                data_bytes: 20 << 10,
+                heap_bytes: 0,
+            },
+        };
+        let exit = |t, pid| AppOp {
+            time: SimTime::from_secs(t),
+            client: ClientId(0),
+            user: UserId(1),
+            pid: Pid(pid),
+            migrated: false,
+            kind: OpKind::ProcExit,
+        };
+        cl.apply(&start(1, 1));
+        let misses_one = counters(&cl, 0).get(mc::PAGING_READ_MISS_OPS);
+        assert!(misses_one > 0);
+        // A second concurrent instance shares the text: no new code
+        // faults (only its private init data, already cached).
+        cl.apply(&start(2, 2));
+        let misses_two = counters(&cl, 0).get(mc::PAGING_READ_MISS_OPS);
+        assert_eq!(misses_one, misses_two, "shared text avoids refaults");
+        cl.apply(&exit(3, 1));
+        cl.apply(&exit(4, 2));
+        // Both gone: the text is retained for the next invocation.
+        cl.apply(&start(5, 3));
+        assert_eq!(
+            counters(&cl, 0).get(mc::PAGING_READ_MISS_OPS),
+            misses_two,
+            "retention covers the rerun"
+        );
+    }
+
+    #[test]
+    fn files_spread_across_servers() {
+        let mut cfg = Config::small();
+        cfg.num_servers = 4;
+        let mut cl = Cluster::new(cfg, VecSink::new(4));
+        for i in 0..64 {
+            cl.apply(&op(
+                1 + i,
+                0,
+                OpKind::Create {
+                    file: FileId(i),
+                    is_dir: false,
+                },
+            ));
+        }
+        let sink = cl.into_sink();
+        let with_records = sink.per_server.iter().filter(|v| !v.is_empty()).count();
+        assert!(with_records >= 2, "creates land on multiple servers");
+        // The first server dominates (the measured cluster's Sun 4).
+        let counts: Vec<usize> = sink.per_server.iter().map(Vec::len).collect();
+        assert!(
+            counts[0] > counts[1],
+            "server 0 holds most files: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn sampler_marks_idle_clients_inactive() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        // Only client 0 is active; run past a few sample points.
+        cl.run(std::iter::empty(), SimTime::from_secs(600));
+        let samples = &cl.clients()[1].metrics.samples;
+        assert!(!samples.is_empty());
+        assert!(
+            samples.iter().all(|s| !s.active),
+            "client 1 never did anything"
+        );
+    }
+
+    #[test]
+    fn ops_applied_counts() {
+        let mut cl = cluster();
+        assert_eq!(cl.ops_applied(), 0);
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        assert_eq!(cl.ops_applied(), 1);
+    }
+}

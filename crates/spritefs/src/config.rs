@@ -1,0 +1,275 @@
+//! Cluster configuration.
+//!
+//! Defaults reproduce the measured environment of Section 2: about 40
+//! diskless workstations with 24–32 Mbytes of memory, four file servers
+//! with the main one holding 128 Mbytes, 4-Kbyte blocks, a 30-second
+//! delayed-write policy scanned every 5 seconds, and a 20-minute virtual
+//! memory preference window.
+
+use sdfs_simkit::SimDuration;
+
+/// Which cache-consistency mechanism the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyPolicy {
+    /// Sprite's mechanism: version stamps on open, recall of dirty data
+    /// from the last writer, and cache disabling during concurrent
+    /// write-sharing. A disabled file stays uncacheable until every
+    /// client has closed it.
+    Sprite,
+    /// Like [`ConsistencyPolicy::Sprite`], but a file becomes cacheable
+    /// again as soon as enough closes have happened to end the concurrent
+    /// write-sharing (the first alternative in Section 5.6).
+    SpriteModified,
+    /// A token-based scheme in the style of Locus/Echo/DEcorum: a file is
+    /// always cacheable somewhere; conflicting opens trigger token
+    /// recalls (the second alternative in Section 5.6).
+    Token,
+    /// NFS-style polling: cached data is trusted for a fixed interval;
+    /// writes go through to the server almost immediately; stale reads
+    /// are possible (the weak scheme simulated in Section 5.5).
+    Polling {
+        /// How long cached data is trusted before revalidation, in
+        /// seconds (the paper simulates 3 and 60).
+        interval_secs: u32,
+    },
+}
+
+/// Latency model for the network between clients and servers.
+///
+/// The simulator does not feed latency back into the workload timing (the
+/// workload generator owns timestamps), but the constants are used to
+/// report latency estimates and mirror the paper's Section 5.3 argument
+/// (a 4-Kbyte page fetch takes 6–7 ms over the Ethernet; a local disk
+/// takes 20–30 ms).
+#[derive(Debug, Clone, Copy)]
+pub struct NetModel {
+    /// Fixed cost per RPC, in microseconds.
+    pub per_rpc_us: u64,
+    /// Per-byte transfer cost, in nanoseconds per byte.
+    pub per_byte_ns: u64,
+}
+
+impl NetModel {
+    /// Time to move `bytes` in one RPC.
+    pub fn rpc_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros(self.per_rpc_us + bytes * self.per_byte_ns / 1000)
+    }
+}
+
+/// Latency model for a server disk.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskModel {
+    /// Average positioning time per access, in microseconds.
+    pub access_us: u64,
+    /// Per-byte transfer cost, in nanoseconds per byte.
+    pub per_byte_ns: u64,
+}
+
+impl DiskModel {
+    /// Time to service one access of `bytes`.
+    pub fn access_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros(self.access_us + bytes * self.per_byte_ns / 1000)
+    }
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// File cache block size in bytes (Sprite used 4 Kbytes).
+    pub block_size: u64,
+    /// Virtual memory page size in bytes (also 4 Kbytes).
+    pub page_size: u64,
+    /// Number of diskless client workstations.
+    pub num_clients: u16,
+    /// Number of file servers.
+    pub num_servers: u16,
+    /// Physical memory per client, in bytes. Clients alternate between
+    /// this and `client_mem_alt_bytes` to model the 24–32 Mbyte mix.
+    pub client_mem_bytes: u64,
+    /// Alternate client memory size (every third machine).
+    pub client_mem_alt_bytes: u64,
+    /// Memory reserved for the kernel and other fixed uses per client.
+    pub reserved_bytes: u64,
+    /// Server cache size in bytes (the main Sun 4 server had 128 Mbytes).
+    pub server_cache_bytes: u64,
+    /// Age at which dirty data is written back (30 seconds in Sprite).
+    pub writeback_delay: SimDuration,
+    /// Period of the write-back daemon scan (5 seconds in Sprite).
+    pub daemon_period: SimDuration,
+    /// How long a VM page must sit unreferenced before the file cache may
+    /// claim it (20 minutes in Sprite).
+    pub vm_preference_window: SimDuration,
+    /// How long code pages of an exited program remain usable by a new
+    /// invocation before the memory is reclaimed.
+    pub code_retention: SimDuration,
+    /// The consistency mechanism in force.
+    pub consistency: ConsistencyPolicy,
+    /// How often per-client cache sizes are sampled for Table 4.
+    pub sample_period: SimDuration,
+    /// Network latency model.
+    pub net: NetModel,
+    /// Server disk latency model.
+    pub disk: DiskModel,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            block_size: 4096,
+            page_size: 4096,
+            num_clients: 36,
+            num_servers: 4,
+            client_mem_bytes: 24 << 20,
+            client_mem_alt_bytes: 32 << 20,
+            reserved_bytes: 6 << 20,
+            server_cache_bytes: 128 << 20,
+            writeback_delay: SimDuration::from_secs(30),
+            daemon_period: SimDuration::from_secs(5),
+            vm_preference_window: SimDuration::from_mins(20),
+            code_retention: SimDuration::from_mins(180),
+            consistency: ConsistencyPolicy::Sprite,
+            sample_period: SimDuration::from_secs(60),
+            net: NetModel {
+                // ~1.5 ms per RPC plus 10 Mbit/s Ethernet ≈ 0.8 µs/byte;
+                // yields ~6.5 ms for a 4-Kbyte block, matching Section 5.3.
+                per_rpc_us: 1_500,
+                per_byte_ns: 1_200,
+            },
+            disk: DiskModel {
+                // 1991-era disk: ~20 ms positioning, ~1.5 Mbyte/s media.
+                access_us: 20_000,
+                per_byte_ns: 650,
+            },
+        }
+    }
+}
+
+impl Config {
+    /// A reduced cluster for unit tests: 4 clients, 1 server, small
+    /// memories, same policies.
+    pub fn small() -> Self {
+        Config {
+            num_clients: 4,
+            num_servers: 1,
+            client_mem_bytes: 2 << 20,
+            client_mem_alt_bytes: 2 << 20,
+            reserved_bytes: 512 << 10,
+            server_cache_bytes: 8 << 20,
+            ..Config::default()
+        }
+    }
+
+    /// Physical memory of client `index`, alternating sizes across the
+    /// cluster to model the 24–32 Mbyte machine mix.
+    pub fn client_mem(&self, index: u16) -> u64 {
+        if index % 3 == 2 {
+            self.client_mem_alt_bytes
+        } else {
+            self.client_mem_bytes
+        }
+    }
+
+    /// Number of whole blocks in `bytes`.
+    pub fn blocks_in(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.block_size)
+    }
+
+    /// Validates internal consistency, returning a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.block_size == 0 || !self.block_size.is_power_of_two() {
+            return Err(format!(
+                "block_size {} must be a power of two",
+                self.block_size
+            ));
+        }
+        if self.page_size != self.block_size {
+            return Err("page_size must equal block_size (pages trade 1:1)".into());
+        }
+        if self.num_clients == 0 {
+            return Err("need at least one client".into());
+        }
+        if self.num_servers == 0 {
+            return Err("need at least one server".into());
+        }
+        if self.reserved_bytes >= self.client_mem_bytes
+            || self.reserved_bytes >= self.client_mem_alt_bytes
+        {
+            return Err("reserved_bytes exceeds client memory".into());
+        }
+        if self.daemon_period > self.writeback_delay {
+            return Err("daemon_period should not exceed writeback_delay".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        Config::default().validate().expect("default config valid");
+        Config::small().validate().expect("small config valid");
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Config::default();
+        assert_eq!(c.block_size, 4096);
+        assert_eq!(c.writeback_delay, SimDuration::from_secs(30));
+        assert_eq!(c.daemon_period, SimDuration::from_secs(5));
+        assert_eq!(c.vm_preference_window, SimDuration::from_mins(20));
+        assert_eq!(c.server_cache_bytes, 128 << 20);
+        assert_eq!(c.consistency, ConsistencyPolicy::Sprite);
+    }
+
+    #[test]
+    fn memory_mix() {
+        let c = Config::default();
+        assert_eq!(c.client_mem(0), 24 << 20);
+        assert_eq!(c.client_mem(1), 24 << 20);
+        assert_eq!(c.client_mem(2), 32 << 20);
+    }
+
+    #[test]
+    fn block_math() {
+        let c = Config::default();
+        assert_eq!(c.blocks_in(0), 0);
+        assert_eq!(c.blocks_in(1), 1);
+        assert_eq!(c.blocks_in(4096), 1);
+        assert_eq!(c.blocks_in(4097), 2);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = Config::default();
+        c.block_size = 1000;
+        assert!(c.validate().is_err());
+
+        let mut c = Config::default();
+        c.num_clients = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = Config::default();
+        c.reserved_bytes = c.client_mem_bytes;
+        assert!(c.validate().is_err());
+
+        let mut c = Config::default();
+        c.daemon_period = SimDuration::from_secs(60);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn latency_models() {
+        let c = Config::default();
+        let fetch = c.net.rpc_time(4096);
+        // Section 5.3: a 4-Kbyte page fetch takes about 6 to 7 ms.
+        let ms = fetch.as_secs_f64() * 1e3;
+        assert!((6.0..7.5).contains(&ms), "block fetch {ms} ms");
+        let disk = c.disk.access_time(4096);
+        let dms = disk.as_secs_f64() * 1e3;
+        assert!((20.0..30.0).contains(&dms), "disk access {dms} ms");
+    }
+}

@@ -1,0 +1,273 @@
+//! Counter vocabulary and per-machine metric state.
+//!
+//! The measured system kept ~50 kernel counters per machine, sampled for
+//! two weeks by a user-level daemon. This module fixes the counter *names*
+//! (so the analysis crate and the simulator cannot drift apart) and holds
+//! the per-client metric state: a [`CounterSet`] plus the periodic cache
+//! size samples behind Table 4.
+
+use sdfs_simkit::{CounterSet, SimTime};
+
+/// Counter names for raw (pre-cache) traffic presented by applications to
+/// the client operating system — the measurement point of Table 5.
+pub mod raw {
+    /// Cacheable file bytes read by applications.
+    pub const FILE_READ: &str = "raw.file.read.bytes";
+    /// Cacheable file bytes written by applications.
+    pub const FILE_WRITE: &str = "raw.file.write.bytes";
+    /// Code-page bytes faulted from executables.
+    pub const PAGING_CODE_READ: &str = "raw.paging.code.read.bytes";
+    /// Initialized-data bytes faulted from executables.
+    pub const PAGING_INITDATA_READ: &str = "raw.paging.initdata.read.bytes";
+    /// Bytes paged in from backing files (uncacheable on clients).
+    pub const PAGING_BACKING_READ: &str = "raw.paging.backing.read.bytes";
+    /// Bytes paged out to backing files.
+    pub const PAGING_BACKING_WRITE: &str = "raw.paging.backing.write.bytes";
+    /// Pass-through reads on write-shared files.
+    pub const SHARED_READ: &str = "raw.shared.read.bytes";
+    /// Pass-through writes on write-shared files.
+    pub const SHARED_WRITE: &str = "raw.shared.write.bytes";
+    /// Directory bytes read (directories are not cached on clients).
+    pub const DIR_READ: &str = "raw.dir.read.bytes";
+}
+
+/// Counter names for client cache effectiveness — the measurement point
+/// of Table 6.
+pub mod cache {
+    /// Block-granularity cache read operations.
+    pub const READ_OPS: &str = "cache.read.ops";
+    /// Cache read operations that missed.
+    pub const READ_MISS_OPS: &str = "cache.read.miss.ops";
+    /// Application bytes requested through the cache.
+    pub const READ_REQ_BYTES: &str = "cache.read.req.bytes";
+    /// Bytes fetched from the server to satisfy read misses.
+    pub const READ_MISS_BYTES: &str = "cache.read.miss.bytes";
+    /// Block-granularity cache write operations.
+    pub const WRITE_OPS: &str = "cache.write.ops";
+    /// Application bytes written into the cache.
+    pub const WRITE_BYTES: &str = "cache.write.bytes";
+    /// Cache writes that required fetching the block first (partial
+    /// write of a non-resident block).
+    pub const WRITE_FETCH_OPS: &str = "cache.write.fetch.ops";
+    /// Bytes written back to the server (whole blocks, so append padding
+    /// is included — the paper's write-back ratio can exceed 100%).
+    pub const WRITEBACK_BYTES: &str = "cache.writeback.bytes";
+    /// Dirty bytes discarded before write-back (deleted/truncated data).
+    pub const CANCELLED_BYTES: &str = "cache.cancelled.bytes";
+    /// Paging (code + initialized data) cache read operations.
+    pub const PAGING_READ_OPS: &str = "cache.paging.read.ops";
+    /// Paging cache read operations that missed.
+    pub const PAGING_READ_MISS_OPS: &str = "cache.paging.read.miss.ops";
+}
+
+/// Migrated-process variants of the Table 6 counters (the paper's
+/// "Client Migrated" column).
+pub mod mig {
+    /// Cache read operations from migrated processes.
+    pub const READ_OPS: &str = "mig.cache.read.ops";
+    /// Missed cache reads from migrated processes.
+    pub const READ_MISS_OPS: &str = "mig.cache.read.miss.ops";
+    /// Application bytes requested by migrated processes.
+    pub const READ_REQ_BYTES: &str = "mig.cache.read.req.bytes";
+    /// Miss bytes fetched for migrated processes.
+    pub const READ_MISS_BYTES: &str = "mig.cache.read.miss.bytes";
+    /// Write fetches from migrated processes.
+    pub const WRITE_FETCH_OPS: &str = "mig.cache.write.fetch.ops";
+    /// Cache write operations from migrated processes.
+    pub const WRITE_OPS: &str = "mig.cache.write.ops";
+    /// Paging reads from migrated processes.
+    pub const PAGING_READ_OPS: &str = "mig.cache.paging.read.ops";
+    /// Missed paging reads from migrated processes.
+    pub const PAGING_READ_MISS_OPS: &str = "mig.cache.paging.read.miss.ops";
+}
+
+/// Counter names for traffic actually sent from this client to servers —
+/// the measurement point of Table 7.
+pub mod srv {
+    /// File bytes fetched from servers (read misses + write fetches).
+    pub const FILE_READ: &str = "srv.file.read.bytes";
+    /// File bytes written back to servers.
+    pub const FILE_WRITE: &str = "srv.file.write.bytes";
+    /// Paging bytes read from servers (code/init-data misses + backing
+    /// page-ins).
+    pub const PAGING_READ: &str = "srv.paging.read.bytes";
+    /// Paging bytes written to servers (backing page-outs).
+    pub const PAGING_WRITE: &str = "srv.paging.write.bytes";
+    /// Write-shared pass-through read bytes.
+    pub const SHARED_READ: &str = "srv.shared.read.bytes";
+    /// Write-shared pass-through write bytes.
+    pub const SHARED_WRITE: &str = "srv.shared.write.bytes";
+    /// Directory bytes read from servers.
+    pub const DIR_READ: &str = "srv.dir.read.bytes";
+}
+
+/// Counter names for cache block replacement — Table 8.
+pub mod replace {
+    /// Blocks replaced to hold another file block.
+    pub const FILE_BLOCKS: &str = "replace.file.blocks";
+    /// Blocks whose page was handed to the virtual memory system.
+    pub const VM_BLOCKS: &str = "replace.vm.blocks";
+    /// Sum of (now − last reference) in microseconds for file
+    /// replacements.
+    pub const FILE_AGE_US: &str = "replace.file.age_us";
+    /// Sum of replacement ages for VM handoffs.
+    pub const VM_AGE_US: &str = "replace.vm.age_us";
+}
+
+/// Counter names for dirty-block cleaning — Table 9.
+pub mod clean {
+    /// Blocks cleaned by the 30-second delayed-write policy.
+    pub const DELAY_BLOCKS: &str = "clean.delay.blocks";
+    /// Blocks cleaned because an application called `fsync`.
+    pub const FSYNC_BLOCKS: &str = "clean.fsync.blocks";
+    /// Blocks cleaned because the server recalled them for another
+    /// client's access.
+    pub const RECALL_BLOCKS: &str = "clean.recall.blocks";
+    /// Blocks cleaned because their page was given to the VM system.
+    pub const VM_BLOCKS: &str = "clean.vm.blocks";
+    /// Blocks cleaned by LRU eviction while still dirty (rare).
+    pub const EVICT_BLOCKS: &str = "clean.evict.blocks";
+    /// Age sums (microseconds since last write) for each reason.
+    pub const DELAY_AGE_US: &str = "clean.delay.age_us";
+    /// Age sum for fsync cleanings.
+    pub const FSYNC_AGE_US: &str = "clean.fsync.age_us";
+    /// Age sum for recall cleanings.
+    pub const RECALL_AGE_US: &str = "clean.recall.age_us";
+    /// Age sum for VM handoff cleanings.
+    pub const VM_AGE_US: &str = "clean.vm.age_us";
+    /// Age sum for dirty LRU evictions.
+    pub const EVICT_AGE_US: &str = "clean.evict.age_us";
+}
+
+/// Counter names for consistency actions — Table 10 and the polling
+/// ablation.
+pub mod consist {
+    /// File opens (the denominator of Table 10).
+    pub const FILE_OPENS: &str = "consist.file.opens";
+    /// Opens under concurrent write-sharing.
+    pub const CWS_OPENS: &str = "consist.cws.opens";
+    /// Opens that required the server to recall dirty data.
+    pub const RECALL_OPENS: &str = "consist.recall.opens";
+    /// Cached blocks invalidated as stale at open time.
+    pub const STALE_BLOCKS: &str = "consist.stale.blocks";
+    /// Reads that returned stale data (polling mode only).
+    pub const STALE_READ_OPS: &str = "consist.stale.read.ops";
+    /// Stale bytes served (polling mode only).
+    pub const STALE_READ_BYTES: &str = "consist.stale.read.bytes";
+}
+
+/// One periodic observation of a client's cache size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeSample {
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// File cache size in bytes.
+    pub bytes: u64,
+    /// Whether the machine saw user activity during the preceding sample
+    /// period (Table 4 screens idle intervals out).
+    pub active: bool,
+}
+
+/// Metric state for one machine.
+#[derive(Debug, Default)]
+pub struct MachineMetrics {
+    /// The kernel counters.
+    pub counters: CounterSet,
+    /// Periodic cache-size samples.
+    pub samples: Vec<SizeSample>,
+}
+
+impl MachineMetrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        MachineMetrics::default()
+    }
+
+    /// Records a cache-size sample.
+    pub fn sample(&mut self, time: SimTime, bytes: u64, active: bool) {
+        self.samples.push(SizeSample {
+            time,
+            bytes,
+            active,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling() {
+        let mut m = MachineMetrics::new();
+        m.sample(SimTime::from_secs(60), 7 << 20, true);
+        m.sample(SimTime::from_secs(120), 8 << 20, false);
+        assert_eq!(m.samples.len(), 2);
+        assert_eq!(m.samples[0].bytes, 7 << 20);
+        assert!(!m.samples[1].active);
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        use std::collections::HashSet;
+        let names = [
+            raw::FILE_READ,
+            raw::FILE_WRITE,
+            raw::PAGING_CODE_READ,
+            raw::PAGING_INITDATA_READ,
+            raw::PAGING_BACKING_READ,
+            raw::PAGING_BACKING_WRITE,
+            raw::SHARED_READ,
+            raw::SHARED_WRITE,
+            raw::DIR_READ,
+            cache::READ_OPS,
+            cache::READ_MISS_OPS,
+            cache::READ_REQ_BYTES,
+            cache::READ_MISS_BYTES,
+            cache::WRITE_OPS,
+            cache::WRITE_BYTES,
+            cache::WRITE_FETCH_OPS,
+            cache::WRITEBACK_BYTES,
+            cache::CANCELLED_BYTES,
+            cache::PAGING_READ_OPS,
+            cache::PAGING_READ_MISS_OPS,
+            mig::READ_OPS,
+            mig::READ_MISS_OPS,
+            mig::READ_REQ_BYTES,
+            mig::READ_MISS_BYTES,
+            mig::WRITE_FETCH_OPS,
+            mig::WRITE_OPS,
+            mig::PAGING_READ_OPS,
+            mig::PAGING_READ_MISS_OPS,
+            srv::FILE_READ,
+            srv::FILE_WRITE,
+            srv::PAGING_READ,
+            srv::PAGING_WRITE,
+            srv::SHARED_READ,
+            srv::SHARED_WRITE,
+            srv::DIR_READ,
+            replace::FILE_BLOCKS,
+            replace::VM_BLOCKS,
+            replace::FILE_AGE_US,
+            replace::VM_AGE_US,
+            clean::DELAY_BLOCKS,
+            clean::FSYNC_BLOCKS,
+            clean::RECALL_BLOCKS,
+            clean::VM_BLOCKS,
+            clean::EVICT_BLOCKS,
+            clean::DELAY_AGE_US,
+            clean::FSYNC_AGE_US,
+            clean::RECALL_AGE_US,
+            clean::VM_AGE_US,
+            clean::EVICT_AGE_US,
+            consist::FILE_OPENS,
+            consist::CWS_OPENS,
+            consist::RECALL_OPENS,
+            consist::STALE_BLOCKS,
+            consist::STALE_READ_OPS,
+            consist::STALE_READ_BYTES,
+        ];
+        let set: HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

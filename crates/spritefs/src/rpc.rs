@@ -1,0 +1,198 @@
+//! Remote procedure call accounting.
+//!
+//! Sprite is an RPC system: opens, closes, block fetches, write-backs,
+//! recalls, and name operations all cross the network. The simulator does
+//! not model message contents, but it counts every RPC and its payload so
+//! the study can reason about network load (e.g. the consistency-overhead
+//! comparison of Table 12 is partly an RPC count).
+
+use sdfs_simkit::CounterSet;
+
+/// The RPC vocabulary between clients and servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RpcKind {
+    /// Open a file (naming operation, passes through to the server).
+    Open,
+    /// Close a file.
+    Close,
+    /// Fetch one cache block from the server.
+    ReadBlock,
+    /// Write one cache block back to the server.
+    WriteBlock,
+    /// Pass-through read on an uncacheable (write-shared) file.
+    SharedRead,
+    /// Pass-through write on an uncacheable file.
+    SharedWrite,
+    /// Read directory data (directories are not cached on clients).
+    ReadDir,
+    /// Page-in from a backing file.
+    PageIn,
+    /// Page-out to a backing file.
+    PageOut,
+    /// Server asks a client to flush dirty data (consistency recall).
+    Recall,
+    /// Server tells a client to drop cached blocks of a file.
+    Invalidate,
+    /// Create a file or directory.
+    Create,
+    /// Remove a file or directory.
+    Delete,
+    /// Truncate a file.
+    Truncate,
+    /// Force dirty data through (fsync).
+    Fsync,
+    /// Revalidate cached data against the server (polling mode).
+    GetAttr,
+    /// Acquire a read or write token (token mode).
+    TokenAcquire,
+    /// Server recalls a token from a client (token mode).
+    TokenRecall,
+}
+
+impl RpcKind {
+    /// Short lowercase name used in counter keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            RpcKind::Open => "open",
+            RpcKind::Close => "close",
+            RpcKind::ReadBlock => "read_block",
+            RpcKind::WriteBlock => "write_block",
+            RpcKind::SharedRead => "shared_read",
+            RpcKind::SharedWrite => "shared_write",
+            RpcKind::ReadDir => "read_dir",
+            RpcKind::PageIn => "page_in",
+            RpcKind::PageOut => "page_out",
+            RpcKind::Recall => "recall",
+            RpcKind::Invalidate => "invalidate",
+            RpcKind::Create => "create",
+            RpcKind::Delete => "delete",
+            RpcKind::Truncate => "truncate",
+            RpcKind::Fsync => "fsync",
+            RpcKind::GetAttr => "getattr",
+            RpcKind::TokenAcquire => "token_acquire",
+            RpcKind::TokenRecall => "token_recall",
+        }
+    }
+
+    /// Counter key for message counts of this kind.
+    pub fn msgs_key(self) -> &'static str {
+        match self {
+            RpcKind::Open => "rpc.open.msgs",
+            RpcKind::Close => "rpc.close.msgs",
+            RpcKind::ReadBlock => "rpc.read_block.msgs",
+            RpcKind::WriteBlock => "rpc.write_block.msgs",
+            RpcKind::SharedRead => "rpc.shared_read.msgs",
+            RpcKind::SharedWrite => "rpc.shared_write.msgs",
+            RpcKind::ReadDir => "rpc.read_dir.msgs",
+            RpcKind::PageIn => "rpc.page_in.msgs",
+            RpcKind::PageOut => "rpc.page_out.msgs",
+            RpcKind::Recall => "rpc.recall.msgs",
+            RpcKind::Invalidate => "rpc.invalidate.msgs",
+            RpcKind::Create => "rpc.create.msgs",
+            RpcKind::Delete => "rpc.delete.msgs",
+            RpcKind::Truncate => "rpc.truncate.msgs",
+            RpcKind::Fsync => "rpc.fsync.msgs",
+            RpcKind::GetAttr => "rpc.getattr.msgs",
+            RpcKind::TokenAcquire => "rpc.token_acquire.msgs",
+            RpcKind::TokenRecall => "rpc.token_recall.msgs",
+        }
+    }
+
+    /// Counter key for payload bytes of this kind.
+    pub fn bytes_key(self) -> &'static str {
+        match self {
+            RpcKind::Open => "rpc.open.bytes",
+            RpcKind::Close => "rpc.close.bytes",
+            RpcKind::ReadBlock => "rpc.read_block.bytes",
+            RpcKind::WriteBlock => "rpc.write_block.bytes",
+            RpcKind::SharedRead => "rpc.shared_read.bytes",
+            RpcKind::SharedWrite => "rpc.shared_write.bytes",
+            RpcKind::ReadDir => "rpc.read_dir.bytes",
+            RpcKind::PageIn => "rpc.page_in.bytes",
+            RpcKind::PageOut => "rpc.page_out.bytes",
+            RpcKind::Recall => "rpc.recall.bytes",
+            RpcKind::Invalidate => "rpc.invalidate.bytes",
+            RpcKind::Create => "rpc.create.bytes",
+            RpcKind::Delete => "rpc.delete.bytes",
+            RpcKind::Truncate => "rpc.truncate.bytes",
+            RpcKind::Fsync => "rpc.fsync.bytes",
+            RpcKind::GetAttr => "rpc.getattr.bytes",
+            RpcKind::TokenAcquire => "rpc.token_acquire.bytes",
+            RpcKind::TokenRecall => "rpc.token_recall.bytes",
+        }
+    }
+}
+
+/// Records one RPC of `kind` carrying `bytes` of payload into `counters`.
+pub fn count_rpc(counters: &mut CounterSet, kind: RpcKind, bytes: u64) {
+    counters.bump(kind.msgs_key());
+    if bytes > 0 {
+        counters.add(kind.bytes_key(), bytes);
+    }
+}
+
+/// Total RPC messages recorded in `counters`.
+pub fn total_msgs(counters: &CounterSet) -> u64 {
+    counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("rpc.") && k.ends_with(".msgs"))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// Total RPC payload bytes recorded in `counters`.
+pub fn total_bytes(counters: &CounterSet) -> u64 {
+    counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("rpc.") && k.ends_with(".bytes"))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let mut c = CounterSet::new();
+        count_rpc(&mut c, RpcKind::ReadBlock, 4096);
+        count_rpc(&mut c, RpcKind::ReadBlock, 4096);
+        count_rpc(&mut c, RpcKind::Open, 0);
+        assert_eq!(c.get("rpc.read_block.msgs"), 2);
+        assert_eq!(c.get("rpc.read_block.bytes"), 8192);
+        assert_eq!(c.get("rpc.open.msgs"), 1);
+        assert_eq!(c.get("rpc.open.bytes"), 0);
+        assert_eq!(total_msgs(&c), 3);
+        assert_eq!(total_bytes(&c), 8192);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        use std::collections::HashSet;
+        let kinds = [
+            RpcKind::Open,
+            RpcKind::Close,
+            RpcKind::ReadBlock,
+            RpcKind::WriteBlock,
+            RpcKind::SharedRead,
+            RpcKind::SharedWrite,
+            RpcKind::ReadDir,
+            RpcKind::PageIn,
+            RpcKind::PageOut,
+            RpcKind::Recall,
+            RpcKind::Invalidate,
+            RpcKind::Create,
+            RpcKind::Delete,
+            RpcKind::Truncate,
+            RpcKind::Fsync,
+            RpcKind::GetAttr,
+            RpcKind::TokenAcquire,
+            RpcKind::TokenRecall,
+        ];
+        let names: HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+        let keys: HashSet<&str> = kinds.iter().map(|k| k.msgs_key()).collect();
+        assert_eq!(keys.len(), kinds.len());
+    }
+}

@@ -1,0 +1,291 @@
+//! File-server state: server caches and per-file consistency bookkeeping.
+//!
+//! Servers cache both naming information and file data (clients cache
+//! only file data); naming operations — opens, closes, deletes — always
+//! pass through to the server, which is what makes system-wide tracing
+//! from the servers possible. The server also owns the consistency
+//! state: who has each file open and in what mode, who wrote it last,
+//! whether client caching is disabled, and (in token mode) who holds
+//! which tokens.
+
+use std::collections::{HashMap, HashSet};
+
+use sdfs_simkit::{CounterSet, SimTime};
+use sdfs_trace::{ClientId, FileId, Handle, OpenMode, ServerId};
+
+use crate::cache::{BlockCache, BlockKey};
+
+/// One client's open of a file, as the server sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenEntry {
+    /// The opening client.
+    pub client: ClientId,
+    /// The open handle.
+    pub handle: Handle,
+    /// Declared mode.
+    pub mode: OpenMode,
+}
+
+/// Token state for one file (token consistency mode only).
+#[derive(Debug, Clone, Default)]
+pub struct TokenState {
+    /// Clients holding read tokens.
+    pub readers: HashSet<ClientId>,
+    /// The client holding the write token, if any.
+    pub writer: Option<ClientId>,
+}
+
+/// Per-file consistency state kept by the owning server.
+#[derive(Debug, Clone, Default)]
+pub struct SrvFileState {
+    /// Current opens of this file.
+    pub opens: Vec<OpenEntry>,
+    /// Whether clients may cache this file (false during concurrent
+    /// write-sharing under the Sprite policies).
+    pub uncacheable: bool,
+    /// The client whose cache may hold the newest data.
+    pub last_writer: Option<ClientId>,
+    /// Token holders (token mode).
+    pub tokens: TokenState,
+}
+
+impl SrvFileState {
+    /// Number of distinct clients with the file open.
+    pub fn distinct_clients(&self) -> usize {
+        let mut seen: Vec<ClientId> = self.opens.iter().map(|o| o.client).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Whether any open is a writing open.
+    pub fn any_writer(&self) -> bool {
+        self.opens.iter().any(|o| o.mode.writes())
+    }
+
+    /// The concurrent write-sharing condition of Section 5.5: open on
+    /// multiple machines with at least one writer.
+    pub fn write_shared(&self) -> bool {
+        self.distinct_clients() >= 2 && self.any_writer()
+    }
+
+    /// Removes the open identified by `handle`, returning it.
+    pub fn remove_open(&mut self, handle: Handle) -> Option<OpenEntry> {
+        let idx = self.opens.iter().position(|o| o.handle == handle)?;
+        Some(self.opens.remove(idx))
+    }
+
+    /// Whether this state carries no information and can be dropped.
+    pub fn is_quiescent(&self) -> bool {
+        self.opens.is_empty()
+            && !self.uncacheable
+            && self.last_writer.is_none()
+            && self.tokens.readers.is_empty()
+            && self.tokens.writer.is_none()
+    }
+}
+
+/// One file server.
+#[derive(Debug)]
+pub struct Server {
+    /// The server's identity.
+    pub id: ServerId,
+    /// The server's block cache.
+    pub cache: BlockCache,
+    /// Cache capacity in blocks.
+    pub capacity_blocks: u64,
+    /// Per-file consistency state (only for files with activity).
+    pub files: HashMap<FileId, SrvFileState>,
+    /// Server-side counters (disk traffic, RPCs served).
+    pub counters: CounterSet,
+}
+
+impl Server {
+    /// Creates a server with the given cache capacity.
+    pub fn new(id: ServerId, capacity_bytes: u64, block_size: u64) -> Self {
+        Server {
+            id,
+            cache: BlockCache::new(),
+            capacity_blocks: capacity_bytes / block_size,
+            files: HashMap::new(),
+            counters: CounterSet::new(),
+        }
+    }
+
+    /// Mutable access to the consistency state for `file`, creating it on
+    /// first touch.
+    pub fn file_state(&mut self, file: FileId) -> &mut SrvFileState {
+        self.files.entry(file).or_default()
+    }
+
+    /// Drops quiescent file state to keep the map small.
+    pub fn gc_file(&mut self, file: FileId) {
+        if self
+            .files
+            .get(&file)
+            .is_some_and(SrvFileState::is_quiescent)
+        {
+            self.files.remove(&file);
+        }
+    }
+
+    /// Serves a block read from a client: hit in the server cache or a
+    /// disk read. `block_bytes` is the payload size.
+    pub fn serve_read(&mut self, key: BlockKey, block_bytes: u64, now: SimTime) {
+        self.counters.add("server.read.bytes", block_bytes);
+        if self.cache.touch(key, now) {
+            self.counters.bump("server.cache.read.hit");
+        } else {
+            self.counters.bump("server.cache.read.miss");
+            self.counters.add("server.disk.read.bytes", block_bytes);
+            self.insert_block(key, now);
+        }
+    }
+
+    /// Accepts a block write from a client into the server cache (the
+    /// server itself uses a 30-second delayed write to disk).
+    pub fn accept_write(&mut self, key: BlockKey, block_bytes: u64, now: SimTime) {
+        self.counters.add("server.write.bytes", block_bytes);
+        self.insert_block(key, now);
+        self.cache.mark_dirty(key, now, block_bytes);
+    }
+
+    /// Inserts a block, evicting LRU blocks past capacity (dirty
+    /// evictions are written to disk first).
+    fn insert_block(&mut self, key: BlockKey, now: SimTime) {
+        self.cache.insert(key, now);
+        while self.cache.len() as u64 > self.capacity_blocks {
+            if let Some((_, entry)) = self.cache.pop_lru() {
+                if entry.dirty {
+                    self.counters.add("server.disk.write.bytes", 4096);
+                }
+                self.counters.bump("server.cache.evictions");
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The server's delayed-write daemon: flush blocks dirty since
+    /// `cutoff` to disk.
+    pub fn flush_dirty_before(&mut self, cutoff: SimTime, block_size: u64) {
+        let files = self.cache.files_with_dirty_before(cutoff);
+        for file in files {
+            for index in self.cache.dirty_blocks_of(file) {
+                let key = BlockKey { file, index };
+                if self.cache.clean(key).is_some() {
+                    self.counters.add("server.disk.write.bytes", block_size);
+                }
+            }
+        }
+    }
+
+    /// Drops all cached blocks of `file` (deletion or truncation).
+    pub fn drop_file_blocks(&mut self, file: FileId) {
+        for index in self.cache.blocks_of(file) {
+            self.cache.remove(BlockKey { file, index });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(file: u64, index: u64) -> BlockKey {
+        BlockKey {
+            file: FileId(file),
+            index,
+        }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn write_sharing_condition() {
+        let mut s = SrvFileState::default();
+        s.opens.push(OpenEntry {
+            client: ClientId(1),
+            handle: Handle(1),
+            mode: OpenMode::Read,
+        });
+        assert!(!s.write_shared());
+        s.opens.push(OpenEntry {
+            client: ClientId(1),
+            handle: Handle(2),
+            mode: OpenMode::Write,
+        });
+        // Same machine twice: not *concurrent* write-sharing.
+        assert!(!s.write_shared());
+        s.opens.push(OpenEntry {
+            client: ClientId(2),
+            handle: Handle(3),
+            mode: OpenMode::Read,
+        });
+        assert!(s.write_shared());
+        s.remove_open(Handle(2));
+        assert!(!s.write_shared());
+    }
+
+    #[test]
+    fn quiescence_and_gc() {
+        let mut srv = Server::new(ServerId(0), 1 << 20, 4096);
+        let st = srv.file_state(FileId(1));
+        st.opens.push(OpenEntry {
+            client: ClientId(0),
+            handle: Handle(1),
+            mode: OpenMode::Read,
+        });
+        srv.gc_file(FileId(1));
+        assert!(srv.files.contains_key(&FileId(1)), "still open");
+        srv.file_state(FileId(1)).remove_open(Handle(1));
+        srv.gc_file(FileId(1));
+        assert!(!srv.files.contains_key(&FileId(1)), "gc after quiesce");
+    }
+
+    #[test]
+    fn server_cache_hit_miss() {
+        let mut srv = Server::new(ServerId(0), 8 * 4096, 4096);
+        srv.serve_read(key(1, 0), 4096, t(1));
+        assert_eq!(srv.counters.get("server.cache.read.miss"), 1);
+        assert_eq!(srv.counters.get("server.disk.read.bytes"), 4096);
+        srv.serve_read(key(1, 0), 4096, t(2));
+        assert_eq!(srv.counters.get("server.cache.read.hit"), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_writes_dirty_to_disk() {
+        let mut srv = Server::new(ServerId(0), 2 * 4096, 4096);
+        srv.accept_write(key(1, 0), 4096, t(1));
+        srv.accept_write(key(1, 1), 4096, t(2));
+        assert_eq!(srv.cache.len(), 2);
+        srv.serve_read(key(2, 0), 4096, t(3));
+        assert_eq!(srv.cache.len(), 2, "capacity enforced");
+        assert_eq!(srv.counters.get("server.cache.evictions"), 1);
+        // The evicted block (1,0) was dirty → disk write.
+        assert_eq!(srv.counters.get("server.disk.write.bytes"), 4096);
+    }
+
+    #[test]
+    fn daemon_flush() {
+        let mut srv = Server::new(ServerId(0), 1 << 20, 4096);
+        srv.accept_write(key(1, 0), 4096, t(0));
+        srv.accept_write(key(2, 0), 4096, t(50));
+        srv.flush_dirty_before(t(30), 4096);
+        assert_eq!(srv.counters.get("server.disk.write.bytes"), 4096);
+        assert_eq!(srv.cache.dirty_len(), 1);
+    }
+
+    #[test]
+    fn drop_file_blocks() {
+        let mut srv = Server::new(ServerId(0), 1 << 20, 4096);
+        srv.accept_write(key(1, 0), 4096, t(0));
+        srv.accept_write(key(1, 1), 4096, t(0));
+        srv.accept_write(key(2, 0), 4096, t(0));
+        srv.drop_file_blocks(FileId(1));
+        assert_eq!(srv.cache.len(), 1);
+        assert_eq!(srv.cache.dirty_len(), 1);
+    }
+}

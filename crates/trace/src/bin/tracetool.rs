@@ -1,0 +1,148 @@
+//! `tracetool` — inspect and manipulate SDFS trace files.
+//!
+//! ```text
+//! tracetool dump  <trace.bin>              # binary → tab-separated text
+//! tracetool stats <trace.bin>...           # Table 1 statistics per file
+//! tracetool merge <out.bin> <in.bin>...    # k-way time merge
+//! tracetool scrub <out.bin> <in.bin> <uid>...  # drop records of users
+//! tracetool head  <trace.bin> [n]          # first n records as text
+//! ```
+//!
+//! This is the workflow the paper describes in Section 3: per-server
+//! trace files are merged into one ordered list, and records produced by
+//! the tracing itself or the nightly backup are scrubbed by user id.
+
+use std::process::ExitCode;
+
+use sdfs_trace::codec::to_text_line;
+use sdfs_trace::file::{read_all, TraceWriter};
+use sdfs_trace::merge::{Merge, Scrub};
+use sdfs_trace::{TraceReader, TraceStats, UserId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tracetool: {msg}");
+            eprintln!("usage: tracetool dump|head|stats|merge|scrub <files...>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "dump" => dump(args.get(1).ok_or("dump: missing file")?, usize::MAX),
+        "head" => {
+            let n = args
+                .get(2)
+                .map(|s| s.parse().map_err(|_| "head: bad count".to_string()))
+                .transpose()?
+                .unwrap_or(20);
+            dump(args.get(1).ok_or("head: missing file")?, n)
+        }
+        "stats" => {
+            if args.len() < 2 {
+                return Err("stats: need at least one file".into());
+            }
+            for path in &args[1..] {
+                stats(path)?;
+            }
+            Ok(())
+        }
+        "merge" => {
+            let out = args.get(1).ok_or("merge: missing output")?;
+            if args.len() < 3 {
+                return Err("merge: need at least one input".into());
+            }
+            merge(out, &args[2..])
+        }
+        "scrub" => {
+            let out = args.get(1).ok_or("scrub: missing output")?;
+            let input = args.get(2).ok_or("scrub: missing input")?;
+            if args.len() < 4 {
+                return Err("scrub: need at least one user id".into());
+            }
+            let users: Result<Vec<u32>, _> = args[3..].iter().map(|s| s.parse::<u32>()).collect();
+            let users = users.map_err(|_| "scrub: bad user id".to_string())?;
+            scrub(out, input, &users)
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn dump(path: &str, limit: usize) -> Result<(), String> {
+    let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
+    for (i, rec) in reader.enumerate() {
+        if i >= limit {
+            break;
+        }
+        let rec = rec.map_err(|e| e.to_string())?;
+        println!("{}", to_text_line(&rec));
+    }
+    Ok(())
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let records = read_all(path).map_err(|e| e.to_string())?;
+    let s = TraceStats::compute(records.iter());
+    println!("{path}:");
+    println!("  duration:        {:.1} h", s.duration_hours());
+    println!(
+        "  users:           {} ({} with migration)",
+        s.different_users, s.users_of_migration
+    );
+    println!(
+        "  MB read/written: {:.1} / {:.1}",
+        s.mbytes_read_files(),
+        s.mbytes_written_files()
+    );
+    println!("  MB from dirs:    {:.1}", s.mbytes_read_dirs());
+    println!(
+        "  events: {} opens, {} closes, {} seeks, {} deletes, {} truncates",
+        s.open_events, s.close_events, s.reposition_events, s.delete_events, s.truncate_events
+    );
+    println!(
+        "  shared: {} reads, {} writes",
+        s.shared_read_events, s.shared_write_events
+    );
+    Ok(())
+}
+
+fn merge(out: &str, inputs: &[String]) -> Result<(), String> {
+    let readers: Result<Vec<_>, _> = inputs.iter().map(TraceReader::open).collect();
+    let readers = readers.map_err(|e| e.to_string())?;
+    let merged = Merge::new(readers).map_err(|e| e.to_string())?;
+    let mut writer = TraceWriter::create(out).map_err(|e| e.to_string())?;
+    for rec in merged {
+        let rec = rec.map_err(|e| e.to_string())?;
+        writer.write(&rec).map_err(|e| e.to_string())?;
+    }
+    let n = writer.count();
+    writer.finish().map_err(|e| e.to_string())?;
+    eprintln!(
+        "merged {} records from {} files into {out}",
+        n,
+        inputs.len()
+    );
+    Ok(())
+}
+
+fn scrub(out: &str, input: &str, users: &[u32]) -> Result<(), String> {
+    let records = read_all(input).map_err(|e| e.to_string())?;
+    let mut filter = Scrub::new();
+    for &u in users {
+        filter = filter.exclude_user(UserId(u));
+    }
+    let mut writer = TraceWriter::create(out).map_err(|e| e.to_string())?;
+    let before = records.len();
+    for rec in filter.filter(records) {
+        writer.write(&rec).map_err(|e| e.to_string())?;
+    }
+    let kept = writer.count();
+    writer.finish().map_err(|e| e.to_string())?;
+    eprintln!("kept {kept} of {before} records -> {out}");
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! Overall per-trace statistics (Table 1 of the paper).
+
+use std::collections::HashSet;
+
+use sdfs_simkit::SimTime;
+
+use crate::ids::UserId;
+use crate::record::{Record, RecordKind};
+
+/// The summary row the paper reports for each 24-hour trace in Table 1.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// First record timestamp (zero for an empty trace).
+    pub start: SimTime,
+    /// Last record timestamp.
+    pub end: SimTime,
+    /// Number of distinct users appearing in the trace.
+    pub different_users: usize,
+    /// Number of distinct users with at least one migrated-process record.
+    pub users_of_migration: usize,
+    /// Bytes read from files by user processes.
+    pub bytes_read_files: u64,
+    /// Bytes written to files by user processes.
+    pub bytes_written_files: u64,
+    /// Bytes read from directories by user processes.
+    pub bytes_read_dirs: u64,
+    /// Number of file or directory opens.
+    pub open_events: u64,
+    /// Number of closes.
+    pub close_events: u64,
+    /// Number of repositions (`lseek`).
+    pub reposition_events: u64,
+    /// Number of deletes.
+    pub delete_events: u64,
+    /// Number of truncate-to-zero events.
+    pub truncate_events: u64,
+    /// Reads on files undergoing concurrent write-sharing.
+    pub shared_read_events: u64,
+    /// Writes on files undergoing concurrent write-sharing.
+    pub shared_write_events: u64,
+    /// Number of creates (not in Table 1, but cheap and useful).
+    pub create_events: u64,
+}
+
+impl TraceStats {
+    /// Computes the statistics over an iterator of records.
+    pub fn compute<'a, I: IntoIterator<Item = &'a Record>>(records: I) -> Self {
+        let mut s = TraceStats::default();
+        let mut users: HashSet<UserId> = HashSet::new();
+        let mut migration_users: HashSet<UserId> = HashSet::new();
+        let mut first: Option<SimTime> = None;
+        for rec in records {
+            if first.is_none() {
+                first = Some(rec.time);
+            }
+            s.end = s.end.max(rec.time);
+            users.insert(rec.user);
+            if rec.migrated {
+                migration_users.insert(rec.user);
+            }
+            match &rec.kind {
+                RecordKind::Open { .. } => s.open_events += 1,
+                RecordKind::Close {
+                    total_read,
+                    total_written,
+                    ..
+                } => {
+                    s.close_events += 1;
+                    s.bytes_read_files += total_read;
+                    s.bytes_written_files += total_written;
+                }
+                RecordKind::Reposition { .. } => s.reposition_events += 1,
+                RecordKind::Create { .. } => s.create_events += 1,
+                RecordKind::Delete { .. } => s.delete_events += 1,
+                RecordKind::Truncate { .. } => s.truncate_events += 1,
+                RecordKind::SharedRead { .. } => s.shared_read_events += 1,
+                RecordKind::SharedWrite { .. } => s.shared_write_events += 1,
+                RecordKind::DirRead { bytes, .. } => s.bytes_read_dirs += bytes,
+            }
+        }
+        s.start = first.unwrap_or(SimTime::ZERO);
+        s.different_users = users.len();
+        s.users_of_migration = migration_users.len();
+        s
+    }
+
+    /// Trace duration in hours.
+    pub fn duration_hours(&self) -> f64 {
+        (self.end - self.start).as_hours_f64()
+    }
+
+    /// Megabytes read from files (paper reports Mbytes).
+    pub fn mbytes_read_files(&self) -> f64 {
+        self.bytes_read_files as f64 / 1e6
+    }
+
+    /// Megabytes written to files.
+    pub fn mbytes_written_files(&self) -> f64 {
+        self.bytes_written_files as f64 / 1e6
+    }
+
+    /// Megabytes read from directories.
+    pub fn mbytes_read_dirs(&self) -> f64 {
+        self.bytes_read_dirs as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClientId, FileId, Handle, Pid};
+    use crate::record::OpenMode;
+    use sdfs_simkit::SimDuration;
+
+    fn rec(t: u64, user: u32, migrated: bool, kind: RecordKind) -> Record {
+        Record {
+            time: SimTime::from_secs(t),
+            client: ClientId(0),
+            user: UserId(user),
+            pid: Pid(0),
+            migrated,
+            kind,
+        }
+    }
+
+    #[test]
+    fn counts_and_bytes() {
+        let records = vec![
+            rec(
+                0,
+                1,
+                false,
+                RecordKind::Open {
+                    fd: Handle(1),
+                    file: FileId(1),
+                    mode: OpenMode::Read,
+                    size: 100,
+                    is_dir: false,
+                },
+            ),
+            rec(
+                1,
+                1,
+                false,
+                RecordKind::Close {
+                    fd: Handle(1),
+                    file: FileId(1),
+                    offset: 100,
+                    run_read: 100,
+                    run_written: 0,
+                    total_read: 100,
+                    total_written: 25,
+                    size: 100,
+                    opened_at: SimTime::ZERO,
+                },
+            ),
+            rec(
+                2,
+                2,
+                true,
+                RecordKind::DirRead {
+                    file: FileId(2),
+                    bytes: 512,
+                },
+            ),
+            rec(
+                3600,
+                2,
+                true,
+                RecordKind::Delete {
+                    file: FileId(1),
+                    size: 100,
+                    is_dir: false,
+                    oldest_age: SimDuration::from_secs(10),
+                    newest_age: SimDuration::from_secs(1),
+                },
+            ),
+        ];
+        let s = TraceStats::compute(&records);
+        assert_eq!(s.open_events, 1);
+        assert_eq!(s.close_events, 1);
+        assert_eq!(s.delete_events, 1);
+        assert_eq!(s.bytes_read_files, 100);
+        assert_eq!(s.bytes_written_files, 25);
+        assert_eq!(s.bytes_read_dirs, 512);
+        assert_eq!(s.different_users, 2);
+        assert_eq!(s.users_of_migration, 1);
+        assert!((s.duration_hours() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::compute(std::iter::empty());
+        assert_eq!(s.different_users, 0);
+        assert_eq!(s.duration_hours(), 0.0);
+        assert_eq!(s.mbytes_read_files(), 0.0);
+    }
+}

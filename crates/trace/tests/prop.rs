@@ -1,0 +1,203 @@
+//! Property-based tests for the trace format: arbitrary records must
+//! survive both encodings, and merging must preserve order and content.
+
+use proptest::prelude::*;
+use sdfs_simkit::{SimDuration, SimTime};
+use sdfs_trace::codec::{from_text_line, to_text_line};
+use sdfs_trace::file::{from_bytes, to_bytes};
+use sdfs_trace::merge::merge_vecs;
+use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, Record, RecordKind, UserId};
+
+fn mode_strategy() -> impl Strategy<Value = OpenMode> {
+    prop_oneof![
+        Just(OpenMode::Read),
+        Just(OpenMode::Write),
+        Just(OpenMode::ReadWrite),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = RecordKind> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            any::<u64>(),
+            mode_strategy(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(fd, file, mode, size, is_dir)| RecordKind::Open {
+                fd: Handle(fd),
+                file: FileId(file),
+                mode,
+                size,
+                is_dir,
+            }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(fd, file, from, to, r, w)| RecordKind::Reposition {
+                fd: Handle(fd),
+                file: FileId(file),
+                from,
+                to,
+                run_read: r,
+                run_written: w,
+            }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(fd, file, offset, rr, rw, tr, tw, size, at)| RecordKind::Close {
+                    fd: Handle(fd),
+                    file: FileId(file),
+                    offset,
+                    run_read: rr,
+                    run_written: rw,
+                    total_read: tr,
+                    total_written: tw,
+                    size,
+                    opened_at: SimTime::from_micros(at),
+                }
+            ),
+        (any::<u64>(), any::<bool>()).prop_map(|(file, is_dir)| RecordKind::Create {
+            file: FileId(file),
+            is_dir,
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(file, size, is_dir, oa, na)| RecordKind::Delete {
+                file: FileId(file),
+                size,
+                is_dir,
+                oldest_age: SimDuration::from_micros(oa),
+                newest_age: SimDuration::from_micros(na),
+            }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(file, old_size, oa, na)| RecordKind::Truncate {
+                file: FileId(file),
+                old_size,
+                oldest_age: SimDuration::from_micros(oa),
+                newest_age: SimDuration::from_micros(na),
+            }
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(file, offset, len)| {
+            RecordKind::SharedRead {
+                file: FileId(file),
+                offset,
+                len,
+            }
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(file, offset, len)| {
+            RecordKind::SharedWrite {
+                file: FileId(file),
+                offset,
+                len,
+            }
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(file, bytes)| RecordKind::DirRead {
+            file: FileId(file),
+            bytes,
+        }),
+    ]
+}
+
+prop_compose! {
+    fn record_strategy()(
+        time in any::<u64>(),
+        client in any::<u16>(),
+        user in any::<u32>(),
+        pid in any::<u32>(),
+        migrated in any::<bool>(),
+        kind in kind_strategy(),
+    ) -> Record {
+        Record {
+            time: SimTime::from_micros(time),
+            client: ClientId(client),
+            user: UserId(user),
+            pid: Pid(pid),
+            migrated,
+            kind,
+        }
+    }
+}
+
+/// Records sorted by time (trace writers require monotone time).
+fn sorted_records(max: usize) -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec(record_strategy(), 0..max).prop_map(|mut v| {
+        v.sort_by_key(|r| r.time);
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn binary_round_trip(records in sorted_records(50)) {
+        let bytes = to_bytes(&records).expect("encode");
+        let back = from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn text_round_trip(rec in record_strategy()) {
+        let line = to_text_line(&rec);
+        let back = from_text_line(&line).expect("parse");
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn truncated_binary_never_panics(records in sorted_records(10), cut in any::<prop::sample::Index>()) {
+        let bytes = to_bytes(&records).expect("encode");
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let cut = cut.index(bytes.len());
+        // Decoding a truncated stream must error or return a prefix, not
+        // panic.
+        let _ = from_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn corrupted_binary_never_panics(records in sorted_records(5),
+                                     pos in any::<prop::sample::Index>(),
+                                     val: u8) {
+        let mut bytes = to_bytes(&records).expect("encode");
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let i = pos.index(bytes.len());
+        bytes[i] = val;
+        let _ = from_bytes(&bytes);
+    }
+
+    #[test]
+    fn merge_is_sorted_and_complete(
+        a in sorted_records(30),
+        b in sorted_records(30),
+        c in sorted_records(30),
+    ) {
+        let total = a.len() + b.len() + c.len();
+        let merged = merge_vecs(vec![a, b, c]);
+        prop_assert_eq!(merged.len(), total);
+        for w in merged.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+    }
+}

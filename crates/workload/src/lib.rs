@@ -1,0 +1,33 @@
+//! Synthetic workload generation for the SDFS study.
+//!
+//! The original study traced ~70 real users on the Berkeley Sprite
+//! cluster for eight 24-hour periods. Those traces no longer exist, so
+//! this crate synthesizes a workload with the same *structure*: four user
+//! groups (operating systems, architecture/I-O simulation, VLSI/parallel
+//! processing, and miscellaneous), the applications the paper names
+//! (interactive editors, program development with `pmake` and process
+//! migration, electronic mail, document production, and multi-megabyte
+//! simulations), diurnal sessions, and heavy-tailed file sizes.
+//!
+//! The generator emits the application-level operation stream
+//! (`sdfs_spritefs::AppOp`) that the cluster simulator executes. Every
+//! distributional *shape* the paper reports — small files dominating
+//! accesses while large files dominate bytes, sequential whole-file
+//! access, sub-second opens, short lifetimes, migration bursts,
+//! infrequent-but-real write sharing — should emerge from these models
+//! rather than being painted on afterwards.
+//!
+//! Determinism: the generator is a pure function of
+//! [`config::WorkloadConfig`] (including its seed). Day-by-day generation
+//! ([`gen::Generator::generate_day`]) keeps memory bounded for the
+//! two-week counter runs.
+
+pub mod apps;
+pub mod config;
+pub mod gen;
+pub mod namespace;
+pub mod summary;
+pub mod user;
+
+pub use config::{TraceSpec, WorkloadConfig};
+pub use gen::Generator;

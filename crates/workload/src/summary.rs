@@ -1,0 +1,163 @@
+//! Quick summaries of generated operation streams.
+//!
+//! The generator's output is the input to everything else, so being able
+//! to see at a glance what a day contains — op counts by kind, bytes
+//! requested, process and migration activity — matters both for
+//! calibration work and for tests that want to assert on the stream
+//! without running the full cluster.
+
+use std::collections::HashSet;
+
+use sdfs_spritefs::ops::{AppOp, OpKind};
+use sdfs_trace::{ClientId, UserId};
+
+/// Aggregate statistics over an operation stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpSummary {
+    /// Open operations.
+    pub opens: u64,
+    /// Close operations.
+    pub closes: u64,
+    /// Read operations and the bytes they request.
+    pub reads: u64,
+    /// Total bytes requested by reads.
+    pub read_bytes: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// Total bytes written.
+    pub write_bytes: u64,
+    /// Seek operations.
+    pub seeks: u64,
+    /// fsync calls.
+    pub fsyncs: u64,
+    /// File/directory creations.
+    pub creates: u64,
+    /// Deletions.
+    pub deletes: u64,
+    /// Truncations.
+    pub truncates: u64,
+    /// Directory listings.
+    pub readdirs: u64,
+    /// Process starts.
+    pub proc_starts: u64,
+    /// Process exits.
+    pub proc_exits: u64,
+    /// Backing-file page-ins (count, bytes).
+    pub page_ins: u64,
+    /// Bytes paged in.
+    pub page_in_bytes: u64,
+    /// Backing-file page-outs.
+    pub page_outs: u64,
+    /// Bytes paged out.
+    pub page_out_bytes: u64,
+    /// Operations issued by migrated processes.
+    pub migrated_ops: u64,
+    /// Distinct users appearing.
+    pub users: usize,
+    /// Distinct clients appearing.
+    pub clients: usize,
+}
+
+impl OpSummary {
+    /// Computes the summary over a stream.
+    pub fn compute<'a, I: IntoIterator<Item = &'a AppOp>>(ops: I) -> Self {
+        let mut s = OpSummary::default();
+        let mut users: HashSet<UserId> = HashSet::new();
+        let mut clients: HashSet<ClientId> = HashSet::new();
+        for op in ops {
+            users.insert(op.user);
+            clients.insert(op.client);
+            if op.migrated {
+                s.migrated_ops += 1;
+            }
+            match &op.kind {
+                OpKind::Open { .. } => s.opens += 1,
+                OpKind::Close { .. } => s.closes += 1,
+                OpKind::Read { len, .. } => {
+                    s.reads += 1;
+                    s.read_bytes += len;
+                }
+                OpKind::Write { len, .. } => {
+                    s.writes += 1;
+                    s.write_bytes += len;
+                }
+                OpKind::Seek { .. } => s.seeks += 1,
+                OpKind::Fsync { .. } => s.fsyncs += 1,
+                OpKind::Create { .. } => s.creates += 1,
+                OpKind::Delete { .. } => s.deletes += 1,
+                OpKind::Truncate { .. } => s.truncates += 1,
+                OpKind::ReadDir { .. } => s.readdirs += 1,
+                OpKind::ProcStart { .. } => s.proc_starts += 1,
+                OpKind::ProcExit => s.proc_exits += 1,
+                OpKind::PageIn { bytes, .. } => {
+                    s.page_ins += 1;
+                    s.page_in_bytes += bytes;
+                }
+                OpKind::PageOut { bytes, .. } => {
+                    s.page_outs += 1;
+                    s.page_out_bytes += bytes;
+                }
+            }
+        }
+        s.users = users.len();
+        s.clients = clients.len();
+        s
+    }
+
+    /// Total operation count.
+    pub fn total_ops(&self) -> u64 {
+        self.opens
+            + self.closes
+            + self.reads
+            + self.writes
+            + self.seeks
+            + self.fsyncs
+            + self.creates
+            + self.deletes
+            + self.truncates
+            + self.readdirs
+            + self.proc_starts
+            + self.proc_exits
+            + self.page_ins
+            + self.page_outs
+    }
+
+    /// Application read:write byte ratio (0 when no writes).
+    pub fn read_write_byte_ratio(&self) -> f64 {
+        if self.write_bytes == 0 {
+            0.0
+        } else {
+            self.read_bytes as f64 / self.write_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Generator, WorkloadConfig};
+
+    #[test]
+    fn generated_day_summary_is_balanced() {
+        let mut gen = Generator::new(WorkloadConfig::small());
+        let ops = gen.generate_day(0);
+        let s = OpSummary::compute(&ops);
+        assert_eq!(s.opens, s.closes, "every open closes");
+        assert_eq!(s.proc_starts, s.proc_exits, "every process exits");
+        assert!(s.reads > s.writes, "read-dominated workload");
+        assert!(s.read_write_byte_ratio() > 1.5, "bytes skew to reads");
+        assert!(s.users > 1);
+        assert!(s.clients > 1);
+        assert_eq!(s.total_ops() as usize, ops.len());
+        // Creates at least cover deletions of trace-born files.
+        assert!(s.creates > 0 && s.deletes > 0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = OpSummary::compute(std::iter::empty());
+        assert_eq!(s, OpSummary::default());
+        assert_eq!(s.total_ops(), 0);
+        assert_eq!(s.read_write_byte_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! End-to-end pipeline integration tests: workload generation → cluster
+//! simulation → trace files → merge → analysis.
+
+use sdfs_core::access::reconstruct;
+use sdfs_core::{Study, StudyConfig};
+use sdfs_simkit::SimTime;
+use sdfs_trace::file::{from_bytes, to_bytes};
+use sdfs_trace::merge::Scrub;
+use sdfs_trace::{RecordKind, TraceStats};
+use sdfs_workload::TraceSpec;
+
+fn tiny_study() -> Study {
+    let mut cfg = StudyConfig::quick();
+    cfg.workload.activity_scale = 0.3;
+    Study::new(cfg)
+}
+
+#[test]
+fn trace_round_trips_through_the_binary_format() {
+    let study = tiny_study();
+    let records = study.run_trace_records(TraceSpec {
+        seed: 5,
+        heavy_sim: false,
+    });
+    assert!(records.len() > 500);
+    let bytes = to_bytes(&records).expect("encode");
+    let back = from_bytes(&bytes).expect("decode");
+    assert_eq!(back, records, "binary round trip is lossless");
+}
+
+#[test]
+fn merged_trace_is_time_ordered_and_consistent() {
+    let study = tiny_study();
+    let records = study.run_trace_records(TraceSpec {
+        seed: 6,
+        heavy_sim: false,
+    });
+    for w in records.windows(2) {
+        assert!(w[0].time <= w[1].time, "merge must be time ordered");
+    }
+    let stats = TraceStats::compute(records.iter());
+    assert_eq!(
+        stats.open_events,
+        stats.close_events + count_unclosed(&records)
+    );
+    assert!(stats.different_users > 1);
+    assert!(stats.bytes_read_files > 0);
+}
+
+fn count_unclosed(records: &[sdfs_trace::Record]) -> u64 {
+    use std::collections::HashSet;
+    let mut open: HashSet<sdfs_trace::Handle> = HashSet::new();
+    for r in records {
+        match &r.kind {
+            RecordKind::Open { fd, .. } => {
+                open.insert(*fd);
+            }
+            RecordKind::Close { fd, .. } => {
+                open.remove(fd);
+            }
+            _ => {}
+        }
+    }
+    open.len() as u64
+}
+
+#[test]
+fn accesses_reconstruct_with_conserved_bytes() {
+    let study = tiny_study();
+    let records = study.run_trace_records(TraceSpec {
+        seed: 7,
+        heavy_sim: false,
+    });
+    let accesses = reconstruct(&records);
+    assert!(!accesses.is_empty());
+    // Total bytes from closes must equal total bytes from accesses.
+    let stats = TraceStats::compute(records.iter());
+    let access_read: u64 = accesses.iter().map(|a| a.total_read).sum();
+    let access_written: u64 = accesses.iter().map(|a| a.total_written).sum();
+    assert_eq!(access_read, stats.bytes_read_files);
+    assert_eq!(access_written, stats.bytes_written_files);
+    // Run totals never exceed access totals.
+    for a in &accesses {
+        let run_total: u64 = a.runs.iter().map(|r| r.len()).sum();
+        assert_eq!(
+            run_total,
+            a.total_read + a.total_written,
+            "run bytes must partition access bytes"
+        );
+    }
+}
+
+#[test]
+fn scrubbing_removes_a_user_completely() {
+    let study = tiny_study();
+    let records = study.run_trace_records(TraceSpec {
+        seed: 8,
+        heavy_sim: false,
+    });
+    let victim = records[0].user;
+    let scrub = Scrub::new().exclude_user(victim);
+    let kept: Vec<_> = scrub.filter(records.iter().cloned()).collect();
+    assert!(kept.iter().all(|r| r.user != victim));
+    assert!(kept.len() < records.len());
+}
+
+#[test]
+fn counter_campaign_is_internally_consistent() {
+    let study = tiny_study();
+    let data = study.run_counters();
+    let c = &data.total;
+    // Misses cannot exceed operations.
+    assert!(c.get("cache.read.miss.ops") <= c.get("cache.read.ops"));
+    assert!(c.get("cache.write.fetch.ops") <= c.get("cache.write.ops"));
+    assert!(
+        c.get("mig.cache.read.miss.ops") <= c.get("mig.cache.read.ops"),
+        "migrated misses bounded"
+    );
+    // Bytes written back + cancelled should not exceed bytes written
+    // plus block-padding slack (padding is bounded by one block per
+    // write-back).
+    let written = c.get("cache.write.bytes");
+    let back = c.get("cache.writeback.bytes");
+    let cancelled = c.get("cache.cancelled.bytes");
+    assert!(cancelled <= written, "cancelled bytes bounded by writes");
+    assert!(back > 0 && written > 0);
+    // Cache sizes never exceed client memory.
+    for m in &data.clients {
+        for s in &m.samples {
+            assert!(s.bytes <= 32 << 20, "cache larger than memory");
+        }
+    }
+}
+
+#[test]
+fn cluster_time_is_monotone_through_daemons() {
+    let study = tiny_study();
+    let spec = TraceSpec {
+        seed: 9,
+        heavy_sim: false,
+    };
+    let records = study.run_trace_records(spec);
+    let last = records.last().expect("records").time;
+    assert!(last <= SimTime::from_secs(86_400), "trace fits in a day");
+}
