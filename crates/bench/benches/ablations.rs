@@ -1,17 +1,29 @@
-//! Criterion benchmarks for the design-choice ablations called out in
+//! Plain timing benchmarks for the design-choice ablations called out in
 //! DESIGN.md: write-back delay, cache capacity, block size, VM
 //! preference window, and polling interval. Each benchmark runs a short
 //! counter campaign (or polling simulation) under one parameter setting
-//! so `cargo bench --bench ablations` sweeps the design space.
+//! so `cargo bench --bench ablations` sweeps the design space offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use sdfs_bench::bench_config;
 use sdfs_core::staleness::simulate_polling;
 use sdfs_core::Study;
 use sdfs_simkit::SimDuration;
 use sdfs_workload::TraceSpec;
+
+const ITERS: u32 = 5;
+
+fn time<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / ITERS;
+    println!("{name:<32} {:>12.3} ms/iter", per_iter.as_secs_f64() * 1e3);
+}
 
 fn short_campaign(mutate: impl Fn(&mut sdfs_core::StudyConfig)) -> u64 {
     let mut cfg = bench_config();
@@ -23,95 +35,51 @@ fn short_campaign(mutate: impl Fn(&mut sdfs_core::StudyConfig)) -> u64 {
     data.total.get("cache.read.miss.ops")
 }
 
-fn bench_writeback_delay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("writeback_delay");
-    group.sample_size(10);
+fn main() {
     for delay in [5u64, 30, 120] {
-        group.bench_with_input(BenchmarkId::from_parameter(delay), &delay, |b, &d| {
-            b.iter(|| {
-                black_box(short_campaign(|cfg| {
-                    cfg.cluster.writeback_delay = SimDuration::from_secs(d);
-                    cfg.cluster.daemon_period = SimDuration::from_secs(d.min(5).max(1));
-                }))
+        time(&format!("writeback_delay/{delay}"), || {
+            short_campaign(|cfg| {
+                cfg.cluster.writeback_delay = SimDuration::from_secs(delay);
+                cfg.cluster.daemon_period = SimDuration::from_secs(delay.clamp(1, 5));
             })
         });
     }
-    group.finish();
-}
 
-fn bench_cache_capacity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_capacity_mb");
-    group.sample_size(10);
     for mem_mb in [8u64, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(mem_mb), &mem_mb, |b, &m| {
-            b.iter(|| {
-                black_box(short_campaign(|cfg| {
-                    cfg.cluster.client_mem_bytes = m << 20;
-                    cfg.cluster.client_mem_alt_bytes = m << 20;
-                    cfg.cluster.reserved_bytes = (m << 20) / 6;
-                }))
+        time(&format!("cache_capacity_mb/{mem_mb}"), || {
+            short_campaign(|cfg| {
+                cfg.cluster.client_mem_bytes = mem_mb << 20;
+                cfg.cluster.client_mem_alt_bytes = mem_mb << 20;
+                cfg.cluster.reserved_bytes = (mem_mb << 20) / 6;
             })
         });
     }
-    group.finish();
-}
 
-fn bench_block_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block_size");
-    group.sample_size(10);
     for kb in [4u64, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(kb), &kb, |b, &k| {
-            b.iter(|| {
-                black_box(short_campaign(|cfg| {
-                    cfg.cluster.block_size = k << 10;
-                    cfg.cluster.page_size = k << 10;
-                }))
+        time(&format!("block_size/{kb}"), || {
+            short_campaign(|cfg| {
+                cfg.cluster.block_size = kb << 10;
+                cfg.cluster.page_size = kb << 10;
             })
         });
     }
-    group.finish();
-}
 
-fn bench_vm_preference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vm_preference_mins");
-    group.sample_size(10);
     for mins in [5u64, 20, 60] {
-        group.bench_with_input(BenchmarkId::from_parameter(mins), &mins, |b, &m| {
-            b.iter(|| {
-                black_box(short_campaign(|cfg| {
-                    cfg.cluster.vm_preference_window = SimDuration::from_mins(m);
-                }))
+        time(&format!("vm_preference_mins/{mins}"), || {
+            short_campaign(|cfg| {
+                cfg.cluster.vm_preference_window = SimDuration::from_mins(mins);
             })
         });
     }
-    group.finish();
-}
 
-fn bench_polling_interval(c: &mut Criterion) {
     let study = Study::new(bench_config());
     let records = study.run_trace_records(TraceSpec {
         seed: 300,
         heavy_sim: false,
     });
-    let mut group = c.benchmark_group("polling_interval_secs");
-    group.sample_size(10);
     for secs in [3u64, 60, 300] {
-        group.bench_with_input(BenchmarkId::from_parameter(secs), &secs, |b, &s| {
-            b.iter(|| {
-                black_box(simulate_polling(
-                    black_box(&records),
-                    SimDuration::from_secs(s),
-                ))
-            })
+        time(&format!("polling_interval_secs/{secs}"), || {
+            simulate_polling(&records, SimDuration::from_secs(secs))
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = bench_writeback_delay, bench_cache_capacity, bench_block_size,
-        bench_vm_preference, bench_polling_interval
-}
-criterion_main!(ablations);

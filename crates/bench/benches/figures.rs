@@ -1,9 +1,10 @@
-//! Criterion benchmarks: one group per paper *figure*, plus the pipeline
-//! stages (generation, simulation, merge, reconstruction) the figures
-//! depend on.
+//! Plain timing benchmarks: one timer per paper *figure*, plus the
+//! pipeline stages (generation, simulation, merge, reconstruction) the
+//! figures depend on. Dependency-free (std::time::Instant) so the
+//! harness runs offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use sdfs_bench::bench_study;
 use sdfs_core::access::reconstruct;
@@ -13,7 +14,19 @@ use sdfs_spritefs::{Cluster, VecSink};
 use sdfs_trace::merge::merge_vecs;
 use sdfs_workload::{Generator, TraceSpec};
 
-fn bench_figures(c: &mut Criterion) {
+const ITERS: u32 = 10;
+
+fn time<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / ITERS;
+    println!("{name:<32} {:>12.3} ms/iter", per_iter.as_secs_f64() * 1e3);
+}
+
+fn main() {
     let study = bench_study();
     let spec = TraceSpec {
         seed: 200,
@@ -22,37 +35,21 @@ fn bench_figures(c: &mut Criterion) {
     let records = study.run_trace_records(spec);
     let accesses = reconstruct(&records);
 
-    c.bench_function("fig1_run_lengths", |b| {
-        b.iter(|| black_box(run_lengths(black_box(&accesses))))
-    });
-    c.bench_function("fig2_file_sizes", |b| {
-        b.iter(|| black_box(file_sizes(black_box(&accesses))))
-    });
-    c.bench_function("fig3_open_times", |b| {
-        b.iter(|| black_box(open_times(black_box(&accesses))))
-    });
-    c.bench_function("fig4_lifetimes", |b| {
-        b.iter(|| black_box(lifetimes(black_box(&records))))
-    });
-    c.bench_function("access_reconstruction", |b| {
-        b.iter(|| black_box(reconstruct(black_box(&records))))
-    });
-}
+    time("fig1_run_lengths", || run_lengths(&accesses));
+    time("fig2_file_sizes", || file_sizes(&accesses));
+    time("fig3_open_times", || open_times(&accesses));
+    time("fig4_lifetimes", || lifetimes(&records));
+    time("access_reconstruction", || reconstruct(&records));
 
-fn bench_pipeline(c: &mut Criterion) {
-    let study = bench_study();
     let cfg = study.config().clone();
     let spec = TraceSpec {
         seed: 201,
         heavy_sim: false,
     };
-
-    c.bench_function("workload_generate_day", |b| {
-        b.iter(|| {
-            let wl = cfg.workload.for_trace(spec);
-            let mut gen = Generator::new(wl);
-            black_box(gen.generate_day(0))
-        })
+    time("workload_generate_day", || {
+        let wl = cfg.workload.for_trace(spec);
+        let mut gen = Generator::new(wl);
+        gen.generate_day(0)
     });
 
     // Pre-generate once; bench the cluster execution alone.
@@ -60,14 +57,11 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut gen = Generator::new(wl);
     let preload = gen.preload_list();
     let ops = gen.generate_day(0);
-    c.bench_function("cluster_execute_day", |b| {
-        b.iter(|| {
-            let mut cluster =
-                Cluster::new(cfg.cluster.clone(), VecSink::new(cfg.cluster.num_servers));
-            cluster.preload(&preload);
-            cluster.run(ops.iter().cloned(), SimTime::from_secs(86_400));
-            black_box(cluster.into_sink().len())
-        })
+    time("cluster_execute_day", || {
+        let mut cluster = Cluster::new(cfg.cluster.clone(), VecSink::new(cfg.cluster.num_servers));
+        cluster.preload(&preload);
+        cluster.run(ops.iter().cloned(), SimTime::from_secs(86_400));
+        cluster.into_sink().len()
     });
 
     let records_per_server = {
@@ -76,14 +70,5 @@ fn bench_pipeline(c: &mut Criterion) {
         cluster.run(ops.iter().cloned(), SimTime::from_secs(86_400));
         cluster.into_sink().per_server
     };
-    c.bench_function("trace_merge", |b| {
-        b.iter(|| black_box(merge_vecs(black_box(records_per_server.clone()))))
-    });
+    time("trace_merge", || merge_vecs(records_per_server.clone()));
 }
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_figures, bench_pipeline
-}
-criterion_main!(figures);

@@ -1,11 +1,12 @@
-//! Criterion benchmarks: one group per paper *table*.
+//! Plain timing benchmarks: one timer per paper *table*.
 //!
 //! Each benchmark regenerates a table of the paper over a pre-built
 //! trace or counter campaign, so `cargo bench --bench tables` both
-//! exercises and times every analysis.
+//! exercises and times every analysis. The harness is dependency-free
+//! (std::time::Instant) so it runs offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use sdfs_bench::bench_study;
 use sdfs_core::activity::table2;
@@ -14,66 +15,41 @@ use sdfs_core::consistency::table10;
 use sdfs_core::overhead::table12;
 use sdfs_core::patterns::table3;
 use sdfs_core::staleness::table11;
-use sdfs_core::study::CounterData;
-use sdfs_trace::{Record, TraceStats};
+use sdfs_trace::TraceStats;
 use sdfs_workload::TraceSpec;
 
-fn trace() -> Vec<Record> {
-    bench_study().run_trace_records(TraceSpec {
+const ITERS: u32 = 10;
+
+fn time<T>(name: &str, mut f: impl FnMut() -> T) {
+    // One warm-up, then the timed iterations.
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / ITERS;
+    println!("{name:<32} {:>12.3} ms/iter", per_iter.as_secs_f64() * 1e3);
+}
+
+fn main() {
+    let records = bench_study().run_trace_records(TraceSpec {
         seed: 100,
         heavy_sim: false,
-    })
-}
+    });
+    let data = bench_study().run_counters();
 
-fn counters() -> CounterData {
-    bench_study().run_counters()
+    time("table1_trace_stats", || TraceStats::compute(&records));
+    time("table2_user_activity", || table2(&records));
+    time("table3_access_patterns", || table3(&records));
+    time("table4_cache_sizes", || table4(&data.clients));
+    time("table5_traffic_sources", || table5(&data.total, &data.per_day));
+    time("table6_cache_effectiveness", || {
+        table6(&data.total, &data.per_day)
+    });
+    time("table7_server_traffic", || table7(&data.total, &data.per_day));
+    time("table8_block_replacement", || table8(&data.total));
+    time("table9_dirty_cleaning", || table9(&data.total));
+    time("table10_consistency_actions", || table10(&records));
+    time("table11_stale_data", || table11(&records));
+    time("table12_consistency_overhead", || table12(&records));
 }
-
-fn bench_tables(c: &mut Criterion) {
-    let records = trace();
-    let data = counters();
-
-    c.bench_function("table1_trace_stats", |b| {
-        b.iter(|| black_box(TraceStats::compute(black_box(&records))))
-    });
-    c.bench_function("table2_user_activity", |b| {
-        b.iter(|| black_box(table2(black_box(&records))))
-    });
-    c.bench_function("table3_access_patterns", |b| {
-        b.iter(|| black_box(table3(black_box(&records))))
-    });
-    c.bench_function("table4_cache_sizes", |b| {
-        b.iter(|| black_box(table4(black_box(&data.clients))))
-    });
-    c.bench_function("table5_traffic_sources", |b| {
-        b.iter(|| black_box(table5(black_box(&data.total), black_box(&data.per_day))))
-    });
-    c.bench_function("table6_cache_effectiveness", |b| {
-        b.iter(|| black_box(table6(black_box(&data.total), black_box(&data.per_day))))
-    });
-    c.bench_function("table7_server_traffic", |b| {
-        b.iter(|| black_box(table7(black_box(&data.total), black_box(&data.per_day))))
-    });
-    c.bench_function("table8_block_replacement", |b| {
-        b.iter(|| black_box(table8(black_box(&data.total))))
-    });
-    c.bench_function("table9_dirty_cleaning", |b| {
-        b.iter(|| black_box(table9(black_box(&data.total))))
-    });
-    c.bench_function("table10_consistency_actions", |b| {
-        b.iter(|| black_box(table10(black_box(&records))))
-    });
-    c.bench_function("table11_stale_data", |b| {
-        b.iter(|| black_box(table11(black_box(&records))))
-    });
-    c.bench_function("table12_consistency_overhead", |b| {
-        b.iter(|| black_box(table12(black_box(&records))))
-    });
-}
-
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets = bench_tables
-}
-criterion_main!(tables);

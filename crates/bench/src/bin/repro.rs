@@ -31,7 +31,7 @@ fn main() {
     let value_flags = ["--traces", "--days", "--csv"];
     let mut what = String::from("all");
     let mut skip_next = false;
-    for (i, a) in args.iter().enumerate() {
+    for a in args.iter() {
         if skip_next {
             skip_next = false;
             continue;
@@ -45,7 +45,6 @@ fn main() {
         }
         what = a.clone();
         // `gen-trace OUT` keeps OUT as its own argument.
-        let _ = i;
         break;
     }
 
@@ -68,6 +67,11 @@ fn main() {
         cfg.counter_days = n;
     }
     let study = Study::new(cfg);
+
+    if what == "bench" {
+        run_bench();
+        return;
+    }
 
     let t0 = Instant::now();
     eprintln!(
@@ -180,4 +184,87 @@ fn main() {
         _ => report::render_all(&mut results),
     };
     println!("{out}");
+}
+
+/// Pre-optimization wall clock of `repro --quick all` on the reference
+/// machine, for the speedup figure in the bench report. Measured before
+/// the fused-analysis / allocation-diet work landed.
+const BASELINE_QUICK_ALL_SECS: f64 = 6.55;
+
+/// `repro bench`: time each pipeline stage on the quick configuration
+/// and write the results to `BENCH_0001.json`.
+///
+/// Stages are timed in isolation (simulate, fused analysis, the old
+/// separate-pass analysis for comparison, the counter campaign, report
+/// rendering) and then the whole `run_all` + render path end to end.
+fn run_bench() {
+    let study = Study::new(sdfs_bench::bench_config());
+
+    // Stage 1: simulate — synthesize and execute every trace.
+    let t = Instant::now();
+    let per_trace: Vec<_> = study
+        .config()
+        .traces
+        .iter()
+        .map(|&spec| (spec, study.run_trace_records(spec)))
+        .collect();
+    let simulate_secs = t.elapsed().as_secs_f64();
+    let total_records: usize = per_trace.iter().map(|(_, r)| r.len()).sum();
+
+    // Stage 2: fused single-pass analysis.
+    let t = Instant::now();
+    let fused: Vec<_> = per_trace
+        .iter()
+        .map(|(spec, records)| study.analyze_trace(*spec, records))
+        .collect();
+    let fused_secs = t.elapsed().as_secs_f64();
+
+    // Stage 3: the old one-scan-per-table analysis, for comparison.
+    let t = Instant::now();
+    for (spec, records) in &per_trace {
+        let _ = study.analyze_trace_separate(*spec, records);
+    }
+    let separate_secs = t.elapsed().as_secs_f64();
+    drop(fused);
+
+    // Stage 4: the counter campaign.
+    let t = Instant::now();
+    let _ = study.run_counters();
+    let counters_secs = t.elapsed().as_secs_f64();
+
+    // Stage 5: the full pipeline end to end, rendered.
+    let t = Instant::now();
+    let mut results = study.run_all();
+    let rendered = report::render_all(&mut results);
+    let end_to_end_secs = t.elapsed().as_secs_f64();
+
+    let rps = |secs: f64| {
+        if secs > 0.0 {
+            total_records as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    let speedup = BASELINE_QUICK_ALL_SECS / end_to_end_secs.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"config\": \"quick\",\n  \"traces\": {},\n  \"total_records\": {},\n  \"stages\": [\n    {{ \"name\": \"simulate\", \"secs\": {:.3}, \"records_per_sec\": {:.0} }},\n    {{ \"name\": \"analyze_fused\", \"secs\": {:.3}, \"records_per_sec\": {:.0} }},\n    {{ \"name\": \"analyze_separate\", \"secs\": {:.3}, \"records_per_sec\": {:.0} }},\n    {{ \"name\": \"counter_campaign\", \"secs\": {:.3} }},\n    {{ \"name\": \"end_to_end\", \"secs\": {:.3} }}\n  ],\n  \"analyze_speedup_fused_vs_separate\": {:.2},\n  \"baseline_end_to_end_secs\": {:.2},\n  \"end_to_end_speedup_vs_baseline\": {:.2},\n  \"report_bytes\": {}\n}}\n",
+        per_trace.len(),
+        total_records,
+        simulate_secs,
+        rps(simulate_secs),
+        fused_secs,
+        rps(fused_secs),
+        separate_secs,
+        rps(separate_secs),
+        counters_secs,
+        end_to_end_secs,
+        separate_secs / fused_secs.max(1e-9),
+        BASELINE_QUICK_ALL_SECS,
+        speedup,
+        rendered.len(),
+    );
+    std::fs::write("BENCH_0001.json", &json).expect("write BENCH_0001.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_0001.json");
 }

@@ -1,13 +1,13 @@
 //! Benchmark harness support for the SDFS study.
 //!
-//! The crate hosts the Criterion benchmark groups (one per paper table
-//! and figure), the `repro` report binary, the workspace examples, and
+//! The crate hosts the benchmark binaries (one per paper table and
+//! figure group), the `repro` report binary, the workspace examples, and
 //! the cross-crate integration tests. The library itself provides small
 //! shared helpers for those targets.
 
 use sdfs_core::{Study, StudyConfig};
 
-/// A study configuration scaled down enough for Criterion iterations and
+/// A study configuration scaled down enough for benchmark iterations and
 /// CI runs while still exercising every code path: a smaller cluster,
 /// lighter activity, one normal and one heavy trace, two counter days.
 pub fn bench_config() -> StudyConfig {

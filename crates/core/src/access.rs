@@ -139,13 +139,25 @@ struct Pending {
     runs: Vec<Run>,
 }
 
-/// Reconstructs accesses from a time-ordered record stream. Accesses
-/// whose close never appears (still open at trace end) are dropped, as in
-/// the paper.
-pub fn reconstruct<'a, I: IntoIterator<Item = &'a Record>>(records: I) -> Vec<Access> {
-    let mut pending: HashMap<Handle, Pending> = HashMap::new();
-    let mut out = Vec::new();
-    for rec in records {
+/// Streaming open/close state machine: feed records in time order and
+/// collect each [`Access`] as its close arrives.
+///
+/// [`reconstruct`] and the fused single-pass driver share this machine,
+/// so every consumer sees accesses in the same (close-completion) order.
+#[derive(Debug, Default)]
+pub struct AccessScanner {
+    pending: HashMap<Handle, Pending>,
+}
+
+impl AccessScanner {
+    /// Creates an empty scanner.
+    pub fn new() -> Self {
+        AccessScanner::default()
+    }
+
+    /// Advances the state machine by one record; returns the completed
+    /// access when `rec` is a close that matches a pending open.
+    pub fn record(&mut self, rec: &Record) -> Option<Access> {
         match &rec.kind {
             RecordKind::Open {
                 fd,
@@ -154,7 +166,7 @@ pub fn reconstruct<'a, I: IntoIterator<Item = &'a Record>>(records: I) -> Vec<Ac
                 is_dir,
                 ..
             } => {
-                pending.insert(
+                self.pending.insert(
                     *fd,
                     Pending {
                         file: *file,
@@ -165,6 +177,7 @@ pub fn reconstruct<'a, I: IntoIterator<Item = &'a Record>>(records: I) -> Vec<Ac
                         runs: Vec::new(),
                     },
                 );
+                None
             }
             RecordKind::Reposition {
                 fd,
@@ -173,7 +186,7 @@ pub fn reconstruct<'a, I: IntoIterator<Item = &'a Record>>(records: I) -> Vec<Ac
                 run_written,
                 ..
             } => {
-                if let Some(p) = pending.get_mut(fd) {
+                if let Some(p) = self.pending.get_mut(fd) {
                     if run_read + run_written > 0 {
                         p.runs.push(Run {
                             start: p.run_start,
@@ -183,6 +196,7 @@ pub fn reconstruct<'a, I: IntoIterator<Item = &'a Record>>(records: I) -> Vec<Ac
                     }
                     p.run_start = *to;
                 }
+                None
             }
             RecordKind::Close {
                 fd,
@@ -193,31 +207,43 @@ pub fn reconstruct<'a, I: IntoIterator<Item = &'a Record>>(records: I) -> Vec<Ac
                 size,
                 ..
             } => {
-                if let Some(mut p) = pending.remove(fd) {
-                    if run_read + run_written > 0 {
-                        p.runs.push(Run {
-                            start: p.run_start,
-                            read: *run_read,
-                            written: *run_written,
-                        });
-                    }
-                    out.push(Access {
-                        file: p.file,
-                        user: rec.user,
-                        client: rec.client,
-                        migrated: rec.migrated,
-                        opened_at: p.opened_at,
-                        closed_at: rec.time,
-                        total_read: *total_read,
-                        total_written: *total_written,
-                        size: *size,
-                        size_at_open: p.size_at_open,
-                        is_dir: p.is_dir,
-                        runs: p.runs,
+                let mut p = self.pending.remove(fd)?;
+                if run_read + run_written > 0 {
+                    p.runs.push(Run {
+                        start: p.run_start,
+                        read: *run_read,
+                        written: *run_written,
                     });
                 }
+                Some(Access {
+                    file: p.file,
+                    user: rec.user,
+                    client: rec.client,
+                    migrated: rec.migrated,
+                    opened_at: p.opened_at,
+                    closed_at: rec.time,
+                    total_read: *total_read,
+                    total_written: *total_written,
+                    size: *size,
+                    size_at_open: p.size_at_open,
+                    is_dir: p.is_dir,
+                    runs: p.runs,
+                })
             }
-            _ => {}
+            _ => None,
+        }
+    }
+}
+
+/// Reconstructs accesses from a time-ordered record stream. Accesses
+/// whose close never appears (still open at trace end) are dropped, as in
+/// the paper.
+pub fn reconstruct<'a, I: IntoIterator<Item = &'a Record>>(records: I) -> Vec<Access> {
+    let mut scanner = AccessScanner::new();
+    let mut out = Vec::new();
+    for rec in records {
+        if let Some(access) = scanner.record(rec) {
+            out.push(access);
         }
     }
     out

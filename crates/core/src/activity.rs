@@ -65,6 +65,106 @@ fn record_bytes(rec: &Record) -> u64 {
     }
 }
 
+/// Streaming accumulator for one interval width and one population.
+///
+/// Feed every record via [`ActivityAccumulator::record`], then call
+/// [`ActivityAccumulator::finish`]. [`analyze_activity`] and the fused
+/// single-pass driver share this code, so both produce the same numbers.
+#[derive(Debug)]
+pub struct ActivityAccumulator {
+    width: SimDuration,
+    migrated_only: bool,
+    per_interval_users: HashMap<u64, Vec<UserId>>,
+    user_interval_bytes: HashMap<(u64, UserId), u64>,
+    end: SimTime,
+}
+
+impl ActivityAccumulator {
+    /// Creates an accumulator for one interval width; with
+    /// `migrated_only`, only records from migrated processes count —
+    /// both for activity and for bytes (the paper's second column).
+    pub fn new(width: SimDuration, migrated_only: bool) -> Self {
+        ActivityAccumulator {
+            width,
+            migrated_only,
+            per_interval_users: HashMap::new(),
+            user_interval_bytes: HashMap::new(),
+            end: SimTime::ZERO,
+        }
+    }
+
+    /// Accumulates one record.
+    pub fn record(&mut self, rec: &Record) {
+        self.end = self.end.max(rec.time);
+        if self.migrated_only && !rec.migrated {
+            return;
+        }
+        let idx = rec.time.interval_index(self.width);
+        self.per_interval_users
+            .entry(idx)
+            .or_default()
+            .push(rec.user);
+        let bytes = record_bytes(rec);
+        if bytes > 0 {
+            *self
+                .user_interval_bytes
+                .entry((idx, rec.user))
+                .or_insert(0) += bytes;
+        }
+    }
+
+    /// Finalizes the statistics. User-interval throughputs are folded in
+    /// sorted key order so the floating-point summaries are bit-identical
+    /// across runs regardless of hash-map iteration order.
+    pub fn finish(self) -> ActivityStats {
+        let n_intervals = self.end.interval_index(self.width) + 1;
+        let secs = self.width.as_secs_f64();
+
+        let mut active_users = Summary::new();
+        let mut max_active = 0u64;
+        for idx in 0..n_intervals {
+            let count = self
+                .per_interval_users
+                .get(&idx)
+                .map(|users| {
+                    let mut u = users.clone();
+                    u.sort_unstable();
+                    u.dedup();
+                    u.len() as u64
+                })
+                .unwrap_or(0);
+            active_users.add(count as f64);
+            max_active = max_active.max(count);
+        }
+
+        let mut entries: Vec<((u64, UserId), u64)> =
+            self.user_interval_bytes.into_iter().collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        let mut throughput = Summary::new();
+        let mut peak_user = 0.0f64;
+        let mut interval_totals: HashMap<u64, u64> = HashMap::new();
+        for &((idx, _user), bytes) in &entries {
+            let rate = bytes as f64 / secs;
+            throughput.add(rate);
+            peak_user = peak_user.max(rate);
+            *interval_totals.entry(idx).or_insert(0) += bytes;
+        }
+        let peak_total = interval_totals
+            .values()
+            .map(|&b| b as f64 / secs)
+            .fold(0.0, f64::max);
+
+        ActivityStats {
+            width: self.width,
+            active_users,
+            max_active_users: max_active,
+            throughput_per_user: throughput,
+            peak_user_throughput: peak_user,
+            peak_total_throughput: peak_total,
+        }
+    }
+}
+
 /// Computes activity statistics for one interval width.
 ///
 /// With `migrated_only`, only records from migrated processes count —
@@ -74,74 +174,68 @@ pub fn analyze_activity<'a>(
     width: SimDuration,
     migrated_only: bool,
 ) -> ActivityStats {
-    let mut per_interval_users: HashMap<u64, Vec<UserId>> = HashMap::new();
-    let mut user_interval_bytes: HashMap<(u64, UserId), u64> = HashMap::new();
-    let mut end = SimTime::ZERO;
+    let mut acc = ActivityAccumulator::new(width, migrated_only);
     for rec in records {
-        end = end.max(rec.time);
-        if migrated_only && !rec.migrated {
-            continue;
+        acc.record(rec);
+    }
+    acc.finish()
+}
+
+/// Streaming accumulator for the full Table 2: all four
+/// width × population combinations in one pass.
+#[derive(Debug)]
+pub struct Table2Accumulator {
+    ten_min_all: ActivityAccumulator,
+    ten_min_migrated: ActivityAccumulator,
+    ten_sec_all: ActivityAccumulator,
+    ten_sec_migrated: ActivityAccumulator,
+}
+
+impl Table2Accumulator {
+    /// Creates the four accumulators.
+    pub fn new() -> Self {
+        let ten_min = SimDuration::from_mins(10);
+        let ten_sec = SimDuration::from_secs(10);
+        Table2Accumulator {
+            ten_min_all: ActivityAccumulator::new(ten_min, false),
+            ten_min_migrated: ActivityAccumulator::new(ten_min, true),
+            ten_sec_all: ActivityAccumulator::new(ten_sec, false),
+            ten_sec_migrated: ActivityAccumulator::new(ten_sec, true),
         }
-        let idx = rec.time.interval_index(width);
-        per_interval_users.entry(idx).or_default().push(rec.user);
-        let bytes = record_bytes(rec);
-        if bytes > 0 {
-            *user_interval_bytes.entry((idx, rec.user)).or_insert(0) += bytes;
+    }
+
+    /// Accumulates one record into all four views.
+    pub fn record(&mut self, rec: &Record) {
+        self.ten_min_all.record(rec);
+        self.ten_min_migrated.record(rec);
+        self.ten_sec_all.record(rec);
+        self.ten_sec_migrated.record(rec);
+    }
+
+    /// Finalizes Table 2.
+    pub fn finish(self) -> UserActivity {
+        UserActivity {
+            ten_min_all: self.ten_min_all.finish(),
+            ten_min_migrated: self.ten_min_migrated.finish(),
+            ten_sec_all: self.ten_sec_all.finish(),
+            ten_sec_migrated: self.ten_sec_migrated.finish(),
         }
     }
-    let n_intervals = end.interval_index(width) + 1;
-    let secs = width.as_secs_f64();
+}
 
-    let mut active_users = Summary::new();
-    let mut max_active = 0u64;
-    for idx in 0..n_intervals {
-        let count = per_interval_users
-            .get(&idx)
-            .map(|users| {
-                let mut u = users.clone();
-                u.sort_unstable();
-                u.dedup();
-                u.len() as u64
-            })
-            .unwrap_or(0);
-        active_users.add(count as f64);
-        max_active = max_active.max(count);
-    }
-
-    let mut throughput = Summary::new();
-    let mut peak_user = 0.0f64;
-    let mut interval_totals: HashMap<u64, u64> = HashMap::new();
-    for (&(idx, _user), &bytes) in &user_interval_bytes {
-        let rate = bytes as f64 / secs;
-        throughput.add(rate);
-        peak_user = peak_user.max(rate);
-        *interval_totals.entry(idx).or_insert(0) += bytes;
-    }
-    let peak_total = interval_totals
-        .values()
-        .map(|&b| b as f64 / secs)
-        .fold(0.0, f64::max);
-
-    ActivityStats {
-        width,
-        active_users,
-        max_active_users: max_active,
-        throughput_per_user: throughput,
-        peak_user_throughput: peak_user,
-        peak_total_throughput: peak_total,
+impl Default for Table2Accumulator {
+    fn default() -> Self {
+        Table2Accumulator::new()
     }
 }
 
 /// Computes the full Table 2.
 pub fn table2(records: &[Record]) -> UserActivity {
-    let ten_min = SimDuration::from_mins(10);
-    let ten_sec = SimDuration::from_secs(10);
-    UserActivity {
-        ten_min_all: analyze_activity(records, ten_min, false),
-        ten_min_migrated: analyze_activity(records, ten_min, true),
-        ten_sec_all: analyze_activity(records, ten_sec, false),
-        ten_sec_migrated: analyze_activity(records, ten_sec, true),
+    let mut acc = Table2Accumulator::new();
+    for rec in records {
+        acc.record(rec);
     }
+    acc.finish()
 }
 
 #[cfg(test)]

@@ -60,11 +60,23 @@ impl FileState {
     }
 }
 
-/// Computes Table 10 from a time-ordered record stream.
-pub fn table10(records: &[Record]) -> Table10 {
-    let mut t = Table10::default();
-    let mut files: HashMap<FileId, FileState> = HashMap::new();
-    for rec in records {
+/// Streaming Table 10 builder: feed records in time order, then call
+/// [`Table10Builder::finish`]. [`table10`] and the fused single-pass
+/// driver share this state machine.
+#[derive(Debug, Default)]
+pub struct Table10Builder {
+    t: Table10,
+    files: HashMap<FileId, FileState>,
+}
+
+impl Table10Builder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Table10Builder::default()
+    }
+
+    /// Advances the state machine by one record.
+    pub fn record(&mut self, rec: &Record) {
         match &rec.kind {
             RecordKind::Open {
                 fd,
@@ -74,20 +86,20 @@ pub fn table10(records: &[Record]) -> Table10 {
                 ..
             } => {
                 if *is_dir {
-                    continue;
+                    return;
                 }
-                t.file_opens += 1;
-                let st = files.entry(*file).or_default();
+                self.t.file_opens += 1;
+                let st = self.files.entry(*file).or_default();
                 if let Some(w) = st.last_writer {
                     if w != rec.client {
-                        t.recall_opens += 1;
+                        self.t.recall_opens += 1;
                         // After the recall, the server holds current data.
                         st.last_writer = None;
                     }
                 }
                 st.opens.push((*fd, rec.client, mode.writes()));
                 if st.write_shared() {
-                    t.cws_opens += 1;
+                    self.t.cws_opens += 1;
                 }
             }
             RecordKind::Close {
@@ -96,7 +108,7 @@ pub fn table10(records: &[Record]) -> Table10 {
                 total_written,
                 ..
             } => {
-                if let Some(st) = files.get_mut(file) {
+                if let Some(st) = self.files.get_mut(file) {
                     if let Some(i) = st.opens.iter().position(|&(h, _, _)| h == *fd) {
                         st.opens.remove(i);
                     }
@@ -106,12 +118,25 @@ pub fn table10(records: &[Record]) -> Table10 {
                 }
             }
             RecordKind::Delete { file, .. } | RecordKind::Truncate { file, .. } => {
-                files.remove(file);
+                self.files.remove(file);
             }
             _ => {}
         }
     }
-    t
+
+    /// Returns the finished table.
+    pub fn finish(self) -> Table10 {
+        self.t
+    }
+}
+
+/// Computes Table 10 from a time-ordered record stream.
+pub fn table10(records: &[Record]) -> Table10 {
+    let mut b = Table10Builder::new();
+    for rec in records {
+        b.record(rec);
+    }
+    b.finish()
 }
 
 #[cfg(test)]

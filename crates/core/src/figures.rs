@@ -35,20 +35,27 @@ pub struct RunLengths {
     pub by_bytes: WeightedCdf,
 }
 
-/// Builds Figure 1's distributions from accesses.
-pub fn run_lengths<'a>(accesses: impl IntoIterator<Item = &'a Access>) -> RunLengths {
-    let mut out = RunLengths::default();
-    for a in accesses {
+impl RunLengths {
+    /// Adds one access's runs (directories excluded).
+    pub fn add(&mut self, a: &Access) {
         if a.is_dir {
-            continue;
+            return;
         }
         for run in &a.runs {
             let len = run.len();
             if len > 0 {
-                out.by_runs.add(len as f64);
-                out.by_bytes.add_weighted(len as f64, len as f64);
+                self.by_runs.add(len as f64);
+                self.by_bytes.add_weighted(len as f64, len as f64);
             }
         }
+    }
+}
+
+/// Builds Figure 1's distributions from accesses.
+pub fn run_lengths<'a>(accesses: impl IntoIterator<Item = &'a Access>) -> RunLengths {
+    let mut out = RunLengths::default();
+    for a in accesses {
+        out.add(a);
     }
     out
 }
@@ -62,34 +69,47 @@ pub struct FileSizes {
     pub by_bytes: WeightedCdf,
 }
 
+impl FileSizes {
+    /// Adds one access (directories and zero-byte accesses excluded).
+    pub fn add(&mut self, a: &Access) {
+        if a.is_dir {
+            return;
+        }
+        let bytes = a.total_bytes();
+        if bytes == 0 {
+            return;
+        }
+        let size = a.size.max(1) as f64;
+        self.by_accesses.add(size);
+        self.by_bytes.add_weighted(size, bytes as f64);
+    }
+}
+
 /// Builds Figure 2's distributions: file sizes measured when files are
 /// closed, for accesses that actually transferred data.
 pub fn file_sizes<'a>(accesses: impl IntoIterator<Item = &'a Access>) -> FileSizes {
     let mut out = FileSizes::default();
     for a in accesses {
-        if a.is_dir {
-            continue;
-        }
-        let bytes = a.total_bytes();
-        if bytes == 0 {
-            continue;
-        }
-        let size = a.size.max(1) as f64;
-        out.by_accesses.add(size);
-        out.by_bytes.add_weighted(size, bytes as f64);
+        out.add(a);
     }
     out
+}
+
+/// Adds one access's open duration to a Figure 3 distribution
+/// (directories excluded).
+pub fn add_open_time(cdf: &mut WeightedCdf, a: &Access) {
+    if a.is_dir {
+        return;
+    }
+    // Clamp to a small positive floor so log-axis plots behave.
+    cdf.add(a.open_duration().as_secs_f64().max(1e-4));
 }
 
 /// Figure 3: the distribution of open durations, in seconds.
 pub fn open_times<'a>(accesses: impl IntoIterator<Item = &'a Access>) -> WeightedCdf {
     let mut cdf = WeightedCdf::new();
     for a in accesses {
-        if a.is_dir {
-            continue;
-        }
-        // Clamp to a small positive floor so log-axis plots behave.
-        cdf.add(a.open_duration().as_secs_f64().max(1e-4));
+        add_open_time(&mut cdf, a);
     }
     cdf
 }
@@ -108,10 +128,9 @@ pub struct Lifetimes {
 /// Number of interpolation segments for byte-age weighting.
 const AGE_SEGMENTS: u32 = 16;
 
-/// Builds Figure 4's distributions from delete and truncate records.
-pub fn lifetimes<'a>(records: impl IntoIterator<Item = &'a Record>) -> Lifetimes {
-    let mut out = Lifetimes::default();
-    for rec in records {
+impl Lifetimes {
+    /// Adds one record if it is a (non-directory) delete or truncate.
+    pub fn add(&mut self, rec: &Record) {
         let (size, is_dir, oldest, newest) = match &rec.kind {
             RecordKind::Delete {
                 size,
@@ -126,15 +145,15 @@ pub fn lifetimes<'a>(records: impl IntoIterator<Item = &'a Record>) -> Lifetimes
                 newest_age,
                 ..
             } => (*old_size, false, *oldest_age, *newest_age),
-            _ => continue,
+            _ => return,
         };
         if is_dir {
-            continue;
+            return;
         }
         let oldest_s = oldest.as_secs_f64();
         let newest_s = newest.as_secs_f64();
         let mid = ((oldest_s + newest_s) / 2.0).max(1e-3);
-        out.by_files.add(mid);
+        self.by_files.add(mid);
         if size > 0 {
             // Sequentially written: the byte at offset x has age
             // interpolated between oldest (x = 0) and newest (x = size).
@@ -142,9 +161,17 @@ pub fn lifetimes<'a>(records: impl IntoIterator<Item = &'a Record>) -> Lifetimes
             for s in 0..AGE_SEGMENTS {
                 let frac = (s as f64 + 0.5) / AGE_SEGMENTS as f64;
                 let age = (oldest_s + frac * (newest_s - oldest_s)).max(1e-3);
-                out.by_bytes.add_weighted(age, seg_bytes);
+                self.by_bytes.add_weighted(age, seg_bytes);
             }
         }
+    }
+}
+
+/// Builds Figure 4's distributions from delete and truncate records.
+pub fn lifetimes<'a>(records: impl IntoIterator<Item = &'a Record>) -> Lifetimes {
+    let mut out = Lifetimes::default();
+    for rec in records {
+        out.add(rec);
     }
     out
 }
@@ -160,6 +187,46 @@ pub struct AllFigures {
     pub open_times: WeightedCdf,
     /// Figure 4 raw distributions.
     pub lifetimes: Lifetimes,
+}
+
+/// Streaming builder for all four figures: the fused single-pass driver
+/// feeds it every record (Figure 4) and every reconstructed access
+/// (Figures 1–3), in the same orders the standalone builders see.
+#[derive(Debug, Default)]
+pub struct FiguresAccumulator {
+    run_lengths: RunLengths,
+    file_sizes: FileSizes,
+    open_times: WeightedCdf,
+    lifetimes: Lifetimes,
+}
+
+impl FiguresAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        FiguresAccumulator::default()
+    }
+
+    /// Feeds one raw record (drives Figure 4).
+    pub fn record(&mut self, rec: &Record) {
+        self.lifetimes.add(rec);
+    }
+
+    /// Feeds one reconstructed access (drives Figures 1–3).
+    pub fn access(&mut self, a: &Access) {
+        self.run_lengths.add(a);
+        self.file_sizes.add(a);
+        add_open_time(&mut self.open_times, a);
+    }
+
+    /// Returns the finished figures.
+    pub fn finish(self) -> AllFigures {
+        AllFigures {
+            run_lengths: self.run_lengths,
+            file_sizes: self.file_sizes,
+            open_times: self.open_times,
+            lifetimes: self.lifetimes,
+        }
+    }
 }
 
 /// Computes every figure from one trace.

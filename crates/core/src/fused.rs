@@ -1,0 +1,307 @@
+//! Fused single-pass trace analysis.
+//!
+//! The separate analyses ([`crate::study::Study::analyze_trace_separate`])
+//! each scan the whole record stream: Table 1 stats, Table 2 activity,
+//! Table 3 patterns, Figures 1–4, Table 10 consistency, two Table 11
+//! polling simulations, and three Table 12 overhead simulations — and
+//! three of them (Table 3 and Figures 1–3 via `reconstruct`) repeat the
+//! open/close access reconstruction. [`FusedAnalyzer`] dispatches each
+//! record once to every consumer and fans completed accesses out from a
+//! single shared [`AccessScanner`], so the stream is walked once and the
+//! reconstruction runs once.
+//!
+//! Every consumer is the *same* streaming state machine the standalone
+//! entry points delegate to, fed records (and accesses) in the same
+//! order, so the fused results are identical — bit-for-bit, including
+//! floating-point summaries — to the separate passes. The equivalence
+//! regression test in `tests/equivalence.rs` checks this end to end on
+//! rendered output.
+
+use sdfs_simkit::SimDuration;
+use sdfs_trace::{Record, TraceStats, TraceStatsBuilder};
+
+use crate::access::AccessScanner;
+use crate::activity::{Table2Accumulator, UserActivity};
+use crate::consistency::{Table10, Table10Builder};
+use crate::figures::{AllFigures, FiguresAccumulator};
+use crate::overhead::{Table12, Table12Builder};
+use crate::patterns::AccessPatterns;
+use crate::staleness::{PollingSim, Table11};
+
+/// The outputs of one fused pass: everything [`crate::study::TraceAnalysis`]
+/// needs except the spec.
+#[derive(Debug)]
+pub struct FusedAnalysis {
+    /// Table 1 row.
+    pub stats: TraceStats,
+    /// Table 2 contribution.
+    pub activity: UserActivity,
+    /// Table 3 contribution.
+    pub patterns: AccessPatterns,
+    /// Figures 1–4 distributions.
+    pub figures: AllFigures,
+    /// Table 10 counts.
+    pub table10: Table10,
+    /// Table 11 simulation results.
+    pub table11: Table11,
+    /// Table 12 simulation results.
+    pub table12: Table12,
+}
+
+/// Single-pass driver: every trace-driven analysis registered on one
+/// record stream.
+#[derive(Debug)]
+pub struct FusedAnalyzer {
+    stats: TraceStatsBuilder,
+    activity: Table2Accumulator,
+    scanner: AccessScanner,
+    patterns: AccessPatterns,
+    figures: FiguresAccumulator,
+    table10: Table10Builder,
+    sixty: PollingSim,
+    three: PollingSim,
+    table12: Table12Builder,
+}
+
+impl FusedAnalyzer {
+    /// Creates a driver with every consumer registered.
+    pub fn new() -> Self {
+        FusedAnalyzer {
+            stats: TraceStatsBuilder::new(),
+            activity: Table2Accumulator::new(),
+            scanner: AccessScanner::new(),
+            patterns: AccessPatterns::default(),
+            figures: FiguresAccumulator::new(),
+            table10: Table10Builder::new(),
+            sixty: PollingSim::new(SimDuration::from_secs(60)),
+            three: PollingSim::new(SimDuration::from_secs(3)),
+            table12: Table12Builder::new(),
+        }
+    }
+
+    /// Dispatches one record to every consumer. Completed accesses fan
+    /// out to the access-level consumers in close-completion order — the
+    /// same order `reconstruct` emits.
+    pub fn record(&mut self, rec: &Record) {
+        self.stats.record(rec);
+        self.activity.record(rec);
+        self.figures.record(rec);
+        self.table10.record(rec);
+        self.sixty.record(rec);
+        self.three.record(rec);
+        self.table12.record(rec);
+        if let Some(access) = self.scanner.record(rec) {
+            self.patterns.add(&access);
+            self.figures.access(&access);
+        }
+    }
+
+    /// Finalizes every consumer.
+    pub fn finish(self) -> FusedAnalysis {
+        FusedAnalysis {
+            stats: self.stats.finish(),
+            activity: self.activity.finish(),
+            patterns: self.patterns,
+            figures: self.figures.finish(),
+            table10: self.table10.finish(),
+            table11: Table11 {
+                sixty: self.sixty.finish(),
+                three: self.three.finish(),
+            },
+            table12: self.table12.finish(),
+        }
+    }
+
+    /// Runs the fused pass over a full record stream.
+    pub fn analyze(records: &[Record]) -> FusedAnalysis {
+        let mut fused = FusedAnalyzer::new();
+        for rec in records {
+            fused.record(rec);
+        }
+        fused.finish()
+    }
+}
+
+impl Default for FusedAnalyzer {
+    fn default() -> Self {
+        FusedAnalyzer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::table2;
+    use crate::consistency::table10;
+    use crate::figures::all_figures;
+    use crate::overhead::table12;
+    use crate::patterns::table3;
+    use crate::staleness::table11;
+    use sdfs_simkit::SimTime;
+    use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, RecordKind, UserId};
+
+    /// A small hand-rolled trace exercising every record kind.
+    fn sample_trace() -> Vec<Record> {
+        let rec = |t: u64, client: u16, kind: RecordKind| Record {
+            time: SimTime::from_secs(t),
+            client: ClientId(client),
+            user: UserId(client as u32 + 1),
+            pid: Pid(0),
+            migrated: client == 1,
+            kind,
+        };
+        vec![
+            rec(
+                0,
+                0,
+                RecordKind::Open {
+                    fd: Handle(1),
+                    file: FileId(7),
+                    mode: OpenMode::ReadWrite,
+                    size: 4096,
+                    is_dir: false,
+                },
+            ),
+            rec(
+                1,
+                1,
+                RecordKind::Open {
+                    fd: Handle(2),
+                    file: FileId(7),
+                    mode: OpenMode::Read,
+                    size: 4096,
+                    is_dir: false,
+                },
+            ),
+            rec(
+                2,
+                0,
+                RecordKind::SharedWrite {
+                    file: FileId(7),
+                    offset: 0,
+                    len: 512,
+                },
+            ),
+            rec(
+                3,
+                1,
+                RecordKind::SharedRead {
+                    file: FileId(7),
+                    offset: 0,
+                    len: 512,
+                },
+            ),
+            rec(
+                4,
+                0,
+                RecordKind::Reposition {
+                    fd: Handle(1),
+                    file: FileId(7),
+                    from: 512,
+                    to: 2048,
+                    run_read: 0,
+                    run_written: 512,
+                },
+            ),
+            rec(
+                5,
+                0,
+                RecordKind::Close {
+                    fd: Handle(1),
+                    file: FileId(7),
+                    offset: 2560,
+                    run_read: 0,
+                    run_written: 512,
+                    total_read: 0,
+                    total_written: 1024,
+                    size: 4096,
+                    opened_at: SimTime::ZERO,
+                },
+            ),
+            rec(
+                6,
+                1,
+                RecordKind::Close {
+                    fd: Handle(2),
+                    file: FileId(7),
+                    offset: 512,
+                    run_read: 512,
+                    run_written: 0,
+                    total_read: 512,
+                    total_written: 0,
+                    size: 4096,
+                    opened_at: SimTime::from_secs(1),
+                },
+            ),
+            rec(
+                7,
+                0,
+                RecordKind::Delete {
+                    file: FileId(7),
+                    size: 4096,
+                    is_dir: false,
+                    oldest_age: sdfs_simkit::SimDuration::from_secs(100),
+                    newest_age: sdfs_simkit::SimDuration::from_secs(2),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn fused_matches_separate_passes() {
+        let records = sample_trace();
+        let fused = FusedAnalyzer::analyze(&records);
+
+        let stats = TraceStats::compute(records.iter());
+        assert_eq!(fused.stats.open_events, stats.open_events);
+        assert_eq!(fused.stats.bytes_read_files, stats.bytes_read_files);
+        assert_eq!(fused.stats.bytes_written_files, stats.bytes_written_files);
+
+        let act = table2(&records);
+        assert_eq!(
+            fused.activity.ten_sec_all.max_active_users,
+            act.ten_sec_all.max_active_users
+        );
+        assert_eq!(
+            fused.activity.ten_sec_all.peak_total_throughput,
+            act.ten_sec_all.peak_total_throughput
+        );
+
+        let pat = table3(&records);
+        assert_eq!(fused.patterns.total_accesses(), pat.total_accesses());
+        assert_eq!(fused.patterns.total_bytes(), pat.total_bytes());
+
+        let figs = all_figures(&records);
+        assert_eq!(
+            fused.figures.run_lengths.by_runs.len(),
+            figs.run_lengths.by_runs.len()
+        );
+        assert_eq!(
+            fused.figures.lifetimes.by_files.len(),
+            figs.lifetimes.by_files.len()
+        );
+
+        let t10 = table10(&records);
+        assert_eq!(fused.table10.file_opens, t10.file_opens);
+        assert_eq!(fused.table10.cws_opens, t10.cws_opens);
+        assert_eq!(fused.table10.recall_opens, t10.recall_opens);
+
+        let t11 = table11(&records);
+        assert_eq!(fused.table11.sixty.errors, t11.sixty.errors);
+        assert_eq!(fused.table11.three.errors, t11.three.errors);
+        assert_eq!(fused.table11.sixty.file_opens, t11.sixty.file_opens);
+
+        let t12 = table12(&records);
+        assert_eq!(fused.table12.sprite.alg_rpcs, t12.sprite.alg_rpcs);
+        assert_eq!(fused.table12.modified.alg_bytes, t12.modified.alg_bytes);
+        assert_eq!(fused.table12.token.alg_rpcs, t12.token.alg_rpcs);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let fused = FusedAnalyzer::analyze(&[]);
+        assert_eq!(fused.stats.open_events, 0);
+        assert_eq!(fused.table10.file_opens, 0);
+        assert_eq!(fused.patterns.total_accesses(), 0);
+    }
+}

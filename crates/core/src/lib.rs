@@ -30,6 +30,7 @@ pub mod check;
 pub mod consistency;
 pub mod extensions;
 pub mod figures;
+pub mod fused;
 pub mod latency;
 pub mod overhead;
 pub mod patterns;

@@ -109,6 +109,15 @@ impl AccessPatterns {
         ])
     }
 
+    /// Adds one access, skipping directories and zero-byte accesses as
+    /// in the paper. Shared by [`from_accesses`] and the fused driver.
+    pub fn add(&mut self, access: &Access) {
+        if access.is_dir {
+            return;
+        }
+        tally(self, access);
+    }
+
     /// Fraction of *all* transferred bytes that moved sequentially
     /// (whole-file or other-sequential runs) — the paper reports >90%.
     pub fn sequential_byte_fraction(&self) -> f64 {
@@ -147,10 +156,7 @@ fn tally(patterns: &mut AccessPatterns, access: &Access) {
 pub fn from_accesses<'a>(accesses: impl IntoIterator<Item = &'a Access>) -> AccessPatterns {
     let mut patterns = AccessPatterns::default();
     for a in accesses {
-        if a.is_dir {
-            continue;
-        }
-        tally(&mut patterns, a);
+        patterns.add(a);
     }
     patterns
 }

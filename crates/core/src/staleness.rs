@@ -81,35 +81,55 @@ struct ClientView {
     flagged_version: u64,
 }
 
-/// Simulates the polling consistency scheme over one trace.
-pub fn simulate_polling(records: &[Record], interval: SimDuration) -> PollingOutcome {
-    let mut versions: HashMap<FileId, u64> = HashMap::new();
-    let mut views: HashMap<(ClientId, FileId), ClientView> = HashMap::new();
-    let mut users: HashSet<UserId> = HashSet::new();
-    let mut affected: HashSet<UserId> = HashSet::new();
+/// Streaming polling-scheme simulator: feed records in time order, then
+/// call [`PollingSim::finish`]. [`simulate_polling`] and the fused
+/// single-pass driver share this state machine.
+#[derive(Debug)]
+pub struct PollingSim {
+    interval: SimDuration,
+    versions: HashMap<FileId, u64>,
+    views: HashMap<(ClientId, FileId), ClientView>,
+    users: HashSet<UserId>,
+    affected: HashSet<UserId>,
     // Open currently erroneous, keyed by (client, file): counts opens
     // during which any stale use happened.
-    let mut open_error: HashMap<(ClientId, FileId), bool> = HashMap::new();
-    let mut stale_events = 0u64;
+    open_error: HashMap<(ClientId, FileId), bool>,
+    stale_events: u64,
     // A client that wrote through shared events must not double-bump the
     // version at close.
-    let mut shared_writer: HashSet<(ClientId, FileId)> = HashSet::new();
-    let mut file_opens = 0u64;
-    let mut opens_with_error = 0u64;
-    let mut migrated_opens = 0u64;
-    let mut migrated_opens_with_error = 0u64;
-    let mut end = SimTime::ZERO;
-    let mut start: Option<SimTime> = None;
+    shared_writer: HashSet<(ClientId, FileId)>,
+    file_opens: u64,
+    opens_with_error: u64,
+    migrated_opens: u64,
+    migrated_opens_with_error: u64,
+    end: SimTime,
+    start: Option<SimTime>,
+}
 
-    let mut read_access = |views: &mut HashMap<(ClientId, FileId), ClientView>,
-                           versions: &HashMap<FileId, u64>,
-                           client: ClientId,
-                           file: FileId,
-                           user: UserId,
-                           now: SimTime|
-     -> bool {
-        let current = versions.get(&file).copied().unwrap_or(0);
-        let v = views.entry((client, file)).or_default();
+impl PollingSim {
+    /// Creates a simulator for the given refresh interval.
+    pub fn new(interval: SimDuration) -> Self {
+        PollingSim {
+            interval,
+            versions: HashMap::new(),
+            views: HashMap::new(),
+            users: HashSet::new(),
+            affected: HashSet::new(),
+            open_error: HashMap::new(),
+            stale_events: 0,
+            shared_writer: HashSet::new(),
+            file_opens: 0,
+            opens_with_error: 0,
+            migrated_opens: 0,
+            migrated_opens_with_error: 0,
+            end: SimTime::ZERO,
+            start: None,
+        }
+    }
+
+    fn read_access(&mut self, client: ClientId, file: FileId, user: UserId, now: SimTime) -> bool {
+        let current = self.versions.get(&file).copied().unwrap_or(0);
+        let v = self.views.entry((client, file)).or_default();
         if !v.has_cache {
             // First contact: fetch fresh data.
             v.has_cache = true;
@@ -117,7 +137,7 @@ pub fn simulate_polling(records: &[Record], interval: SimDuration) -> PollingOut
             v.last_check = now;
             return false;
         }
-        if now.since(v.last_check) > interval {
+        if now.since(v.last_check) > self.interval {
             // Poll the server: refresh if changed.
             v.last_check = now;
             v.cached_version = current;
@@ -125,105 +145,117 @@ pub fn simulate_polling(records: &[Record], interval: SimDuration) -> PollingOut
         }
         if v.cached_version != current && v.flagged_version != current {
             v.flagged_version = current;
-            stale_events += 1;
-            affected.insert(user);
+            self.stale_events += 1;
+            self.affected.insert(user);
             return true;
         }
         false
-    };
+    }
 
-    for rec in records {
-        users.insert(rec.user);
-        end = end.max(rec.time);
-        if start.is_none() {
-            start = Some(rec.time);
+    /// Advances the simulation by one record.
+    pub fn record(&mut self, rec: &Record) {
+        self.users.insert(rec.user);
+        self.end = self.end.max(rec.time);
+        if self.start.is_none() {
+            self.start = Some(rec.time);
         }
         match &rec.kind {
             RecordKind::Open {
                 file, mode, is_dir, ..
             } => {
                 if *is_dir {
-                    continue;
+                    return;
                 }
-                file_opens += 1;
+                self.file_opens += 1;
                 if rec.migrated {
-                    migrated_opens += 1;
+                    self.migrated_opens += 1;
                 }
                 let mut erroneous = false;
                 if mode.reads() {
-                    erroneous =
-                        read_access(&mut views, &versions, rec.client, *file, rec.user, rec.time);
+                    erroneous = self.read_access(rec.client, *file, rec.user, rec.time);
                 }
-                open_error.insert((rec.client, *file), erroneous);
+                self.open_error.insert((rec.client, *file), erroneous);
             }
             RecordKind::SharedRead { file, .. } => {
-                let err = read_access(&mut views, &versions, rec.client, *file, rec.user, rec.time);
+                let err = self.read_access(rec.client, *file, rec.user, rec.time);
                 if err {
-                    if let Some(flag) = open_error.get_mut(&(rec.client, *file)) {
+                    if let Some(flag) = self.open_error.get_mut(&(rec.client, *file)) {
                         *flag = true;
                     }
                 }
             }
             RecordKind::SharedWrite { file, .. } => {
-                let v = versions.entry(*file).or_insert(0);
+                let v = self.versions.entry(*file).or_insert(0);
                 *v += 1;
                 let current = *v;
-                let view = views.entry((rec.client, *file)).or_default();
+                let view = self.views.entry((rec.client, *file)).or_default();
                 // Write-through: the writer's cache matches the server.
                 view.has_cache = true;
                 view.cached_version = current;
                 view.last_check = rec.time;
-                shared_writer.insert((rec.client, *file));
+                self.shared_writer.insert((rec.client, *file));
             }
             RecordKind::Close {
                 file,
                 total_written,
                 ..
             } => {
-                let wrote_through = shared_writer.remove(&(rec.client, *file));
+                let wrote_through = self.shared_writer.remove(&(rec.client, *file));
                 if *total_written > 0 && !wrote_through {
-                    let v = versions.entry(*file).or_insert(0);
+                    let v = self.versions.entry(*file).or_insert(0);
                     *v += 1;
                     let current = *v;
-                    let view = views.entry((rec.client, *file)).or_default();
+                    let view = self.views.entry((rec.client, *file)).or_default();
                     view.has_cache = true;
                     view.cached_version = current;
                     view.last_check = rec.time;
                 }
-                if let Some(err) = open_error.remove(&(rec.client, *file)) {
+                if let Some(err) = self.open_error.remove(&(rec.client, *file)) {
                     if err {
-                        opens_with_error += 1;
+                        self.opens_with_error += 1;
                         if rec.migrated {
-                            migrated_opens_with_error += 1;
+                            self.migrated_opens_with_error += 1;
                         }
                     }
                 }
             }
             RecordKind::Delete { file, .. } | RecordKind::Truncate { file, .. } => {
-                versions.remove(file);
-                views.retain(|&(_, f), _| f != *file);
-                shared_writer.retain(|&(_, f)| f != *file);
+                self.versions.remove(file);
+                self.views.retain(|&(_, f), _| f != *file);
+                self.shared_writer.retain(|&(_, f)| f != *file);
             }
             _ => {}
         }
     }
 
-    let hours = (end - start.unwrap_or(SimTime::ZERO))
-        .as_hours_f64()
-        .max(1e-9);
-    PollingOutcome {
-        interval,
-        errors: opens_with_error,
-        stale_events,
-        errors_per_hour: opens_with_error as f64 / hours,
-        users_affected: affected,
-        total_users: users.len(),
-        users_seen: users,
-        file_opens,
-        opens_with_error,
-        migrated_opens,
-        migrated_opens_with_error,
+    /// Returns the finished outcome.
+    pub fn finish(self) -> PollingOutcome {
+        let hours = (self.end - self.start.unwrap_or(SimTime::ZERO))
+            .as_hours_f64()
+            .max(1e-9);
+        PollingOutcome {
+            interval: self.interval,
+            errors: self.opens_with_error,
+            stale_events: self.stale_events,
+            errors_per_hour: self.opens_with_error as f64 / hours,
+            users_affected: self.affected,
+            total_users: self.users.len(),
+            users_seen: self.users,
+            file_opens: self.file_opens,
+            opens_with_error: self.opens_with_error,
+            migrated_opens: self.migrated_opens,
+            migrated_opens_with_error: self.migrated_opens_with_error,
+        }
     }
+}
+
+/// Simulates the polling consistency scheme over one trace.
+pub fn simulate_polling(records: &[Record], interval: SimDuration) -> PollingOutcome {
+    let mut sim = PollingSim::new(interval);
+    for rec in records {
+        sim.record(rec);
+    }
+    sim.finish()
 }
 
 /// Table 11: the two intervals the paper simulates.

@@ -186,8 +186,29 @@ impl Study {
         merge_vecs(sink.per_server)
     }
 
-    /// Runs every analysis over one merged trace.
+    /// Runs every analysis over one merged trace in a single fused pass.
+    ///
+    /// Produces output identical to [`Study::analyze_trace_separate`] —
+    /// both build on the same streaming state machines — while walking
+    /// the record stream once instead of ten times.
     pub fn analyze_trace(&self, spec: TraceSpec, records: &[Record]) -> TraceAnalysis {
+        let fused = crate::fused::FusedAnalyzer::analyze(records);
+        TraceAnalysis {
+            spec,
+            stats: fused.stats,
+            activity: fused.activity,
+            patterns: fused.patterns,
+            figures: fused.figures,
+            table10: fused.table10,
+            table11: fused.table11,
+            table12: fused.table12,
+        }
+    }
+
+    /// The original analysis path: one full scan of the record stream
+    /// per table or figure. Kept as the reference implementation for the
+    /// equivalence regression test and the bench comparison.
+    pub fn analyze_trace_separate(&self, spec: TraceSpec, records: &[Record]) -> TraceAnalysis {
         TraceAnalysis {
             spec,
             stats: TraceStats::compute(records.iter()),
@@ -200,30 +221,45 @@ impl Study {
         }
     }
 
-    /// Gathers and analyzes all configured traces, a few at a time.
+    /// Gathers and analyzes all configured traces on a pool of
+    /// work-stealing workers.
+    ///
+    /// Each worker claims the next unclaimed trace from a shared atomic
+    /// index, so a long trace (the heavy-simulation day) no longer
+    /// stalls a whole batch the way fixed chunks did. Output order
+    /// follows the spec order, and every trace seeds its own generator
+    /// from its [`TraceSpec`], so results are byte-identical regardless
+    /// of which worker runs which trace.
     pub fn run_traces(&self) -> Vec<TraceAnalysis> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
         let specs = self.cfg.traces.clone();
-        let mut out: Vec<Option<TraceAnalysis>> = specs.iter().map(|_| None).collect();
-        let chunk = self.cfg.parallelism.max(1);
-        for batch in specs.chunks(chunk) {
-            let offset = out.iter().position(Option::is_none).unwrap_or(0);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = batch
-                    .iter()
-                    .map(|&spec| {
-                        scope.spawn(move || {
-                            let records = self.run_trace_records(spec);
-                            self.analyze_trace(spec, &records)
-                        })
-                    })
-                    .collect();
-                for (i, h) in handles.into_iter().enumerate() {
-                    out[offset + i] = Some(h.join().expect("trace worker panicked"));
-                }
-            });
-        }
-        out.into_iter()
-            .map(|o| o.expect("all traces ran"))
+        let n = specs.len();
+        let workers = self.cfg.parallelism.max(1).min(n.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<TraceAnalysis>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let spec = specs[i];
+                    let records = self.run_trace_records(spec);
+                    let analysis = self.analyze_trace(spec, &records);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(analysis);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("all traces ran")
+            })
             .collect()
     }
 
@@ -241,18 +277,16 @@ impl Study {
         for day in 0..self.cfg.counter_days {
             let ops = gen.generate_day(day);
             cluster.run(ops, SimTime::from_secs((day as u64 + 1) * 86_400));
-            let snap: Vec<CounterSet> = cluster
-                .clients()
-                .iter()
-                .map(|c| c.metrics.counters.clone())
-                .collect();
-            per_day.push(
-                snap.iter()
-                    .zip(&prev)
-                    .map(|(now, before)| now.delta_since(before))
-                    .collect(),
-            );
-            prev = snap;
+            // Delta in place: counters are monotonic, so folding the
+            // day's delta back into the running snapshot reproduces the
+            // current totals without cloning every set every day.
+            let mut day_rows = Vec::with_capacity(prev.len());
+            for (client, before) in cluster.clients().iter().zip(prev.iter_mut()) {
+                let delta = client.metrics.counters.delta_since(before);
+                before.merge(&delta);
+                day_rows.push(delta);
+            }
+            per_day.push(day_rows);
         }
         let (_sink, clients, servers) = cluster.into_parts();
         let metrics: Vec<MachineMetrics> = clients.into_iter().map(|c| c.metrics).collect();
@@ -268,10 +302,18 @@ impl Study {
         }
     }
 
-    /// Runs the full study: traces plus counters plus all tables.
+    /// Runs the full study: traces plus counters plus all tables. The
+    /// trace campaign and the counter campaign are independent, so they
+    /// run concurrently; neither reads the other's state.
     pub fn run_all(&self) -> StudyResults {
-        let traces = self.run_traces();
-        let counters = self.run_counters();
+        let (traces, counters) = std::thread::scope(|scope| {
+            let counters = scope.spawn(|| self.run_counters());
+            let traces = self.run_traces();
+            (
+                traces,
+                counters.join().expect("counter campaign panicked"),
+            )
+        });
         let table4 = table4(&counters.clients);
         let table5 = table5(&counters.total, &counters.per_day);
         let table6 = table6(&counters.total, &counters.per_day);

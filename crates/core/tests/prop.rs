@@ -1,129 +1,131 @@
-//! Property-based tests for the analysis layer: byte conservation in
-//! access reconstruction, CDF sanity in the figures, and monotonicity of
-//! the polling simulation.
+//! Randomized tests for the analysis layer: byte conservation in access
+//! reconstruction, CDF sanity in the figures, and monotonicity of the
+//! polling simulation. Cases are generated with the workspace's seeded
+//! `SimRng` so the suite is hermetic and reproducible offline.
 
-use proptest::prelude::*;
 use sdfs_core::access::reconstruct;
 use sdfs_core::figures::{file_sizes, open_times, run_lengths};
 use sdfs_core::staleness::simulate_polling;
-use sdfs_simkit::{SimDuration, SimTime};
+use sdfs_simkit::{SimDuration, SimRng, SimTime};
 use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, Record, RecordKind, UserId};
+
+const CASES: usize = 128;
 
 /// Generates a structurally valid trace: opens matched with closes and
 /// interleaved repositions on a handful of files and clients.
-fn valid_trace() -> impl Strategy<Value = Vec<Record>> {
-    proptest::collection::vec(
-        (
-            0u16..4,       // client
-            0u64..6,       // file
-            0u64..100_000, // bytes in run 1
-            0u64..100_000, // bytes in run 2 (after a seek)
-            any::<bool>(), // writes?
-            1u64..500,     // open duration (seconds scaled)
-        ),
-        0..40,
-    )
-    .prop_map(|accesses| {
-        let mut records = Vec::new();
-        let mut t = 0u64;
-        for (i, (client, file, run1, run2, writes, dur)) in accesses.into_iter().enumerate() {
-            t += 10;
-            let fd = Handle(i as u64);
-            let open_t = SimTime::from_secs(t);
-            let close_t = SimTime::from_secs(t + dur);
-            let mk = |time, kind| Record {
-                time,
-                client: ClientId(client),
-                user: UserId(client as u32),
-                pid: Pid(1),
-                migrated: false,
-                kind,
-            };
+fn valid_trace(rng: &mut SimRng) -> Vec<Record> {
+    let n = rng.below(40) as usize;
+    let mut records = Vec::new();
+    let mut t = 0u64;
+    for i in 0..n {
+        let client = rng.below(4) as u16;
+        let file = rng.below(6);
+        let run1 = rng.below(100_000);
+        let run2 = rng.below(100_000);
+        let writes = rng.chance(0.5);
+        let dur = rng.range(1, 500);
+        t += 10;
+        let fd = Handle(i as u64);
+        let open_t = SimTime::from_secs(t);
+        let close_t = SimTime::from_secs(t + dur);
+        let mk = |time, kind| Record {
+            time,
+            client: ClientId(client),
+            user: UserId(client as u32),
+            pid: Pid(1),
+            migrated: false,
+            kind,
+        };
+        records.push(mk(
+            open_t,
+            RecordKind::Open {
+                fd,
+                file: FileId(file),
+                mode: if writes {
+                    OpenMode::ReadWrite
+                } else {
+                    OpenMode::Read
+                },
+                size: run1 + run2,
+                is_dir: false,
+            },
+        ));
+        let (r1, w1) = if writes { (0, run1) } else { (run1, 0) };
+        let (r2, w2) = if writes { (0, run2) } else { (run2, 0) };
+        if run2 > 0 {
             records.push(mk(
-                open_t,
-                RecordKind::Open {
+                SimTime::from_secs(t + dur / 2),
+                RecordKind::Reposition {
                     fd,
                     file: FileId(file),
-                    mode: if writes {
-                        OpenMode::ReadWrite
-                    } else {
-                        OpenMode::Read
-                    },
-                    size: run1 + run2,
-                    is_dir: false,
+                    from: run1,
+                    to: 0,
+                    run_read: r1,
+                    run_written: w1,
                 },
             ));
-            let (r1, w1) = if writes { (0, run1) } else { (run1, 0) };
-            let (r2, w2) = if writes { (0, run2) } else { (run2, 0) };
-            if run2 > 0 {
-                records.push(mk(
-                    SimTime::from_secs(t + dur / 2),
-                    RecordKind::Reposition {
-                        fd,
-                        file: FileId(file),
-                        from: run1,
-                        to: 0,
-                        run_read: r1,
-                        run_written: w1,
-                    },
-                ));
-                records.push(mk(
-                    close_t,
-                    RecordKind::Close {
-                        fd,
-                        file: FileId(file),
-                        offset: run2,
-                        run_read: r2,
-                        run_written: w2,
-                        total_read: r1 + r2,
-                        total_written: w1 + w2,
-                        size: run1 + run2,
-                        opened_at: open_t,
-                    },
-                ));
-            } else {
-                records.push(mk(
-                    close_t,
-                    RecordKind::Close {
-                        fd,
-                        file: FileId(file),
-                        offset: run1,
-                        run_read: r1,
-                        run_written: w1,
-                        total_read: r1,
-                        total_written: w1,
-                        size: run1 + run2,
-                        opened_at: open_t,
-                    },
-                ));
-            }
+            records.push(mk(
+                close_t,
+                RecordKind::Close {
+                    fd,
+                    file: FileId(file),
+                    offset: run2,
+                    run_read: r2,
+                    run_written: w2,
+                    total_read: r1 + r2,
+                    total_written: w1 + w2,
+                    size: run1 + run2,
+                    opened_at: open_t,
+                },
+            ));
+        } else {
+            records.push(mk(
+                close_t,
+                RecordKind::Close {
+                    fd,
+                    file: FileId(file),
+                    offset: run1,
+                    run_read: r1,
+                    run_written: w1,
+                    total_read: r1,
+                    total_written: w1,
+                    size: run1 + run2,
+                    opened_at: open_t,
+                },
+            ));
         }
-        records.sort_by_key(|r| r.time);
-        records
-    })
+    }
+    records.sort_by_key(|r| r.time);
+    records
 }
 
-proptest! {
-    /// Reconstruction conserves bytes: sum of run bytes equals the close
-    /// totals for every access.
-    #[test]
-    fn reconstruction_conserves_bytes(records in valid_trace()) {
+/// Reconstruction conserves bytes: sum of run bytes equals the close
+/// totals for every access.
+#[test]
+fn reconstruction_conserves_bytes() {
+    let mut rng = SimRng::seed_from_u64(0x434f_5245_0001);
+    for _ in 0..CASES {
+        let records = valid_trace(&mut rng);
         let accesses = reconstruct(&records);
         for a in &accesses {
             let runs: u64 = a.runs.iter().map(|r| r.len()).sum();
-            prop_assert_eq!(runs, a.total_read + a.total_written);
+            assert_eq!(runs, a.total_read + a.total_written);
         }
         let opens = records
             .iter()
             .filter(|r| matches!(r.kind, RecordKind::Open { .. }))
             .count();
-        prop_assert_eq!(accesses.len(), opens);
+        assert_eq!(accesses.len(), opens);
     }
+}
 
-    /// Figure builders never produce weights exceeding their inputs and
-    /// their CDFs stay in [0, 1].
-    #[test]
-    fn figure_cdfs_are_sane(records in valid_trace()) {
+/// Figure builders never produce weights exceeding their inputs and
+/// their CDFs stay in [0, 1].
+#[test]
+fn figure_cdfs_are_sane() {
+    let mut rng = SimRng::seed_from_u64(0x434f_5245_0002);
+    for _ in 0..CASES {
+        let records = valid_trace(&mut rng);
         let accesses = reconstruct(&records);
         let mut rl = run_lengths(&accesses);
         let mut fs = file_sizes(&accesses);
@@ -136,34 +138,44 @@ proptest! {
                 fs.by_bytes.fraction_below(x),
                 ot.fraction_below(x),
             ] {
-                prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+                assert!((0.0..=1.0 + 1e-12).contains(&f));
             }
         }
         // Total byte weight equals the bytes moved.
         let total: u64 = accesses.iter().map(|a| a.total_read + a.total_written).sum();
-        prop_assert!((rl.by_bytes.total_weight() - total as f64).abs() < 1e-6);
+        assert!((rl.by_bytes.total_weight() - total as f64).abs() < 1e-6);
     }
+}
 
-    /// Polling errors are monotone in the interval: trusting cached data
-    /// longer can never produce fewer stale opens.
-    #[test]
-    fn polling_errors_monotone_in_interval(records in valid_trace()) {
+/// Polling errors are monotone in the interval: trusting cached data
+/// longer can never produce fewer stale opens.
+#[test]
+fn polling_errors_monotone_in_interval() {
+    let mut rng = SimRng::seed_from_u64(0x434f_5245_0003);
+    for _ in 0..CASES {
+        let records = valid_trace(&mut rng);
         let short = simulate_polling(&records, SimDuration::from_secs(3));
         let long = simulate_polling(&records, SimDuration::from_secs(300));
-        prop_assert!(short.errors <= long.errors,
+        assert!(
+            short.errors <= long.errors,
             "3 s errors {} must not exceed 300 s errors {}",
-            short.errors, long.errors);
-        prop_assert!(short.file_opens == long.file_opens);
+            short.errors,
+            long.errors
+        );
+        assert!(short.file_opens == long.file_opens);
     }
+}
 
-    /// The polling simulation never reports more erroneous opens than
-    /// opens.
-    #[test]
-    fn polling_errors_bounded(records in valid_trace(),
-                              secs in 1u64..600) {
+/// The polling simulation never reports more erroneous opens than opens.
+#[test]
+fn polling_errors_bounded() {
+    let mut rng = SimRng::seed_from_u64(0x434f_5245_0004);
+    for _ in 0..CASES {
+        let records = valid_trace(&mut rng);
+        let secs = rng.range(1, 600);
         let out = simulate_polling(&records, SimDuration::from_secs(secs));
-        prop_assert!(out.opens_with_error <= out.file_opens);
-        prop_assert!(out.errors <= out.stale_events.max(out.errors));
-        prop_assert!(out.users_affected.len() <= out.total_users);
+        assert!(out.opens_with_error <= out.file_opens);
+        assert!(out.errors <= out.stale_events.max(out.errors));
+        assert!(out.users_affected.len() <= out.total_users);
     }
 }

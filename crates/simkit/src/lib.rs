@@ -21,12 +21,14 @@
 
 pub mod counters;
 pub mod dist;
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use counters::CounterSet;
+pub use hash::{FastMap, FastSet};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary, WeightedCdf};

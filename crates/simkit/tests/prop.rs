@@ -1,50 +1,71 @@
-//! Property-based tests for the simulation substrate.
+//! Randomized tests for the simulation substrate, driven by the crate's
+//! own seeded `SimRng` so the suite is hermetic and reproducible offline.
 
-use proptest::prelude::*;
 use sdfs_simkit::{EventQueue, SimDuration, SimRng, SimTime, Summary, WeightedCdf};
 
-proptest! {
-    /// Time arithmetic: (t + d) - d == t whenever no saturation occurs.
-    #[test]
-    fn time_add_sub_round_trip(t in 0u64..1u64 << 40, d in 0u64..1u64 << 40) {
+const CASES: usize = 256;
+
+/// Time arithmetic: (t + d) - d == t whenever no saturation occurs.
+#[test]
+fn time_add_sub_round_trip() {
+    let mut rng = SimRng::seed_from_u64(0x5349_4d01);
+    for _ in 0..CASES {
+        let t = rng.below(1 << 40);
+        let d = rng.below(1 << 40);
         let time = SimTime::from_micros(t);
         let dur = SimDuration::from_micros(d);
-        prop_assert_eq!((time + dur) - dur, time);
-        prop_assert_eq!((time + dur) - time, dur);
+        assert_eq!((time + dur) - dur, time);
+        assert_eq!((time + dur) - time, dur);
     }
+}
 
-    /// since() never goes negative and is consistent with ordering.
-    #[test]
-    fn since_is_saturating(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+/// since() never goes negative and is consistent with ordering.
+#[test]
+fn since_is_saturating() {
+    let mut rng = SimRng::seed_from_u64(0x5349_4d02);
+    for _ in 0..CASES {
+        let a = rng.below(1 << 40);
+        let b = rng.below(1 << 40);
         let ta = SimTime::from_micros(a);
         let tb = SimTime::from_micros(b);
         let d = ta.since(tb);
         if a >= b {
-            prop_assert_eq!(d.as_micros(), a - b);
+            assert_eq!(d.as_micros(), a - b);
         } else {
-            prop_assert_eq!(d, SimDuration::ZERO);
+            assert_eq!(d, SimDuration::ZERO);
         }
     }
+}
 
-    /// Interval indices are monotone in time.
-    #[test]
-    fn interval_index_monotone(mut times in proptest::collection::vec(0u64..1u64 << 30, 2..50),
-                               w in 1u64..1u64 << 20) {
+/// Interval indices are monotone in time.
+#[test]
+fn interval_index_monotone() {
+    let mut rng = SimRng::seed_from_u64(0x5349_4d03);
+    for _ in 0..CASES {
+        let n = rng.range(2, 50) as usize;
+        let mut times: Vec<u64> = (0..n).map(|_| rng.below(1 << 30)).collect();
         times.sort_unstable();
-        let width = SimDuration::from_micros(w);
+        let width = SimDuration::from_micros(rng.range(1, 1 << 20));
         let idx: Vec<u64> = times
             .iter()
             .map(|&t| SimTime::from_micros(t).interval_index(width))
             .collect();
         for pair in idx.windows(2) {
-            prop_assert!(pair[0] <= pair[1]);
+            assert!(pair[0] <= pair[1]);
         }
     }
+}
 
-    /// The event queue returns events in non-decreasing time order,
-    /// with all payloads preserved.
-    #[test]
-    fn event_queue_sorts(events in proptest::collection::vec((0u64..1_000_000, 0u32..1000), 0..200)) {
+/// The event queue returns events in non-decreasing time order, with all
+/// payloads preserved.
+#[test]
+fn event_queue_sorts() {
+    let mut rng = SimRng::seed_from_u64(0x5349_4d04);
+    for _ in 0..CASES {
+        let n = rng.below(200) as usize;
+        let events: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.below(1_000_000), rng.below(1000) as u32))
+            .collect();
         let mut q = EventQueue::new();
         for &(t, p) in &events {
             q.push(SimTime::from_micros(t), p);
@@ -52,22 +73,26 @@ proptest! {
         let mut out = Vec::new();
         let mut last = SimTime::ZERO;
         while let Some((t, p)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             out.push(p);
         }
-        prop_assert_eq!(out.len(), events.len());
+        assert_eq!(out.len(), events.len());
         let mut want: Vec<u32> = events.iter().map(|&(_, p)| p).collect();
         want.sort_unstable();
         out.sort_unstable();
-        prop_assert_eq!(out, want);
+        assert_eq!(out, want);
     }
+}
 
-    /// Welford merging equals sequential accumulation.
-    #[test]
-    fn summary_merge_equivalence(xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
-                                 split in 0usize..100) {
-        let split = split % xs.len();
+/// Welford merging equals sequential accumulation.
+#[test]
+fn summary_merge_equivalence() {
+    let mut rng = SimRng::seed_from_u64(0x5349_4d05);
+    for _ in 0..CASES {
+        let n = rng.range(1, 100) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+        let split = rng.below(n as u64) as usize;
         let mut whole = Summary::new();
         for &x in &xs {
             whole.add(x);
@@ -81,14 +106,21 @@ proptest! {
             b.add(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
-        prop_assert!((a.stddev() - whole.stddev()).abs() < 1e-6);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-6);
     }
+}
 
-    /// A weighted CDF is monotone and normalized.
-    #[test]
-    fn cdf_monotone_and_normalized(samples in proptest::collection::vec((0f64..1e9, 0.01f64..1e6), 1..200)) {
+/// A weighted CDF is monotone and normalized.
+#[test]
+fn cdf_monotone_and_normalized() {
+    let mut rng = SimRng::seed_from_u64(0x5349_4d06);
+    for _ in 0..CASES {
+        let n = rng.range(1, 200) as usize;
+        let samples: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.range_f64(0.0, 1e9), rng.range_f64(0.01, 1e6)))
+            .collect();
         let mut cdf = WeightedCdf::new();
         for &(v, w) in &samples {
             cdf.add_weighted(v, w);
@@ -97,51 +129,66 @@ proptest! {
         for i in 0..20 {
             let x = 1e9 * i as f64 / 19.0;
             let f = cdf.fraction_below(x);
-            prop_assert!(f >= last - 1e-12, "CDF must be monotone");
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+            assert!(f >= last - 1e-12, "CDF must be monotone");
+            assert!((0.0..=1.0 + 1e-12).contains(&f));
             last = f;
         }
-        prop_assert!((cdf.fraction_below(1e10) - 1.0).abs() < 1e-12);
+        assert!((cdf.fraction_below(1e10) - 1.0).abs() < 1e-12);
         // Quantiles live within the sample range.
         let min = samples.iter().map(|&(v, _)| v).fold(f64::INFINITY, f64::min);
         let max = samples.iter().map(|&(v, _)| v).fold(0.0, f64::max);
         for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let v = cdf.quantile(q);
-            prop_assert!(v >= min && v <= max);
+            assert!(v >= min && v <= max);
         }
     }
+}
 
-    /// Quantile and fraction_below are inverse-consistent.
-    #[test]
-    fn cdf_quantile_inverse(samples in proptest::collection::vec(0f64..1e6, 1..100),
-                            q in 0.01f64..1.0) {
+/// Quantile and fraction_below are inverse-consistent.
+#[test]
+fn cdf_quantile_inverse() {
+    let mut rng = SimRng::seed_from_u64(0x5349_4d07);
+    for _ in 0..CASES {
+        let n = rng.range(1, 100) as usize;
+        let samples: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1e6)).collect();
+        let q = rng.range_f64(0.01, 1.0);
         let mut cdf = WeightedCdf::new();
         for &v in &samples {
             cdf.add(v);
         }
         let x = cdf.quantile(q);
-        prop_assert!(cdf.fraction_below(x) + 1e-12 >= q);
+        assert!(cdf.fraction_below(x) + 1e-12 >= q);
     }
+}
 
-    /// The RNG's bounded draw stays in bounds, for any bound.
-    #[test]
-    fn rng_below_in_bounds(seed: u64, bound in 1u64..u64::MAX) {
-        let mut rng = SimRng::seed_from_u64(seed);
+/// The RNG's bounded draw stays in bounds, for any bound.
+#[test]
+fn rng_below_in_bounds() {
+    let mut seeds = SimRng::seed_from_u64(0x5349_4d08);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let bound = seeds.range(1, u64::MAX);
         for _ in 0..50 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
     }
+}
 
-    /// Weighted picks always return a valid index with positive weight.
-    #[test]
-    fn rng_pick_weighted_valid(seed: u64,
-                               weights in proptest::collection::vec(0.0f64..10.0, 1..20)) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
-        let mut rng = SimRng::seed_from_u64(seed);
+/// Weighted picks always return a valid index with positive weight.
+#[test]
+fn rng_pick_weighted_valid() {
+    let mut seeds = SimRng::seed_from_u64(0x5349_4d09);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let n = seeds.range(1, 20) as usize;
+        let weights: Vec<f64> = (0..n).map(|_| seeds.range_f64(0.0, 10.0)).collect();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            continue;
+        }
         for _ in 0..50 {
             let i = rng.pick_weighted(&weights);
-            prop_assert!(i < weights.len());
-            prop_assert!(weights[i] > 0.0 || weights.iter().all(|&w| w == 0.0));
+            assert!(i < weights.len());
+            assert!(weights[i] > 0.0 || weights.iter().all(|&w| w == 0.0));
         }
     }
 }

@@ -6,10 +6,20 @@
 //! least-recently-used order. *Policy* — when to grow, when to shrink,
 //! what eviction means — lives with the caller (the client trades pages
 //! with the VM system; the server has a fixed capacity).
+//!
+//! Two structures keep the hot paths cheap:
+//!
+//! * LRU order is an intrusive doubly-linked list threaded through a
+//!   slab, so a touch is one hash lookup plus O(1) pointer surgery.
+//!   Simulated time never decreases, so list order is exactly the old
+//!   `(last_ref, seq)` order.
+//! * Dirty blocks are indexed by `(dirty_since, key)` in a B-tree, so
+//!   the write-back daemon's 5-second scan visits only blocks that have
+//!   actually expired instead of sweeping the whole dirty set.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
-use sdfs_simkit::{SimDuration, SimTime};
+use sdfs_simkit::{FastMap, FastSet, SimDuration, SimTime};
 use sdfs_trace::FileId;
 
 /// Identity of one cached block: a file and a block index within it.
@@ -26,8 +36,6 @@ pub struct BlockKey {
 pub struct BlockEntry {
     /// Last reference time (LRU key).
     pub last_ref: SimTime,
-    /// Monotonic sequence for deterministic LRU tie-breaks.
-    seq: u64,
     /// Whether the block holds data not yet written to the server.
     pub dirty: bool,
     /// When the block first became dirty in its current dirty episode.
@@ -39,59 +47,126 @@ pub struct BlockEntry {
     pub dirty_app_bytes: u64,
 }
 
+/// Sentinel for "no slab slot".
+const NIL: u32 = u32::MAX;
+
+/// One slab slot: the entry plus its LRU list links.
+#[derive(Debug, Clone)]
+struct Slot {
+    key: BlockKey,
+    entry: BlockEntry,
+    prev: u32,
+    next: u32,
+}
+
 /// An LRU block cache.
 #[derive(Debug, Default)]
 pub struct BlockCache {
-    blocks: HashMap<BlockKey, BlockEntry>,
-    lru: BTreeSet<(SimTime, u64, BlockKey)>,
-    dirty: HashSet<BlockKey>,
-    by_file: HashMap<FileId, HashSet<u64>>,
-    seq: u64,
+    /// Key → slab slot index.
+    map: FastMap<BlockKey, u32>,
+    /// Slot storage; freed slots are chained through `next`.
+    slots: Vec<Slot>,
+    /// Head of the free-slot chain.
+    free: Vec<u32>,
+    /// Least-recently-used slot (list head).
+    head: u32,
+    /// Most-recently-used slot (list tail).
+    tail: u32,
+    /// Dirty blocks ordered by the start of their dirty episode, for the
+    /// daemon's expiry scan.
+    dirty_by_time: BTreeSet<(SimTime, BlockKey)>,
+    by_file: FastMap<FileId, FastSet<u64>>,
 }
 
 impl BlockCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
-        BlockCache::default()
+        BlockCache {
+            map: FastMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            dirty_by_time: BTreeSet::new(),
+            by_file: FastMap::default(),
+        }
     }
 
     /// Number of cached blocks.
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.map.len()
     }
 
     /// Returns `true` when no blocks are cached.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.map.is_empty()
     }
 
     /// Number of dirty blocks.
     pub fn dirty_len(&self) -> usize {
-        self.dirty.len()
+        self.dirty_by_time.len()
     }
 
     /// Returns `true` if `key` is cached.
     pub fn contains(&self, key: BlockKey) -> bool {
-        self.blocks.contains_key(&key)
+        self.map.contains_key(&key)
     }
 
     /// Returns the entry for `key`, if cached.
     pub fn get(&self, key: BlockKey) -> Option<&BlockEntry> {
-        self.blocks.get(&key)
+        self.map.get(&key).map(|&i| &self.slots[i as usize].entry)
+    }
+
+    /// Unlinks slot `i` from the LRU list.
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = &self.slots[i as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links slot `i` at the most-recently-used end.
+    fn push_back(&mut self, i: u32) {
+        let tail = self.tail;
+        {
+            let s = &mut self.slots[i as usize];
+            s.prev = tail;
+            s.next = NIL;
+        }
+        if tail != NIL {
+            self.slots[tail as usize].next = i;
+        } else {
+            self.head = i;
+        }
+        self.tail = i;
     }
 
     /// Marks `key` referenced at `now`, refreshing its LRU position.
     /// Returns `true` if the block was present.
     pub fn touch(&mut self, key: BlockKey, now: SimTime) -> bool {
-        let Some(entry) = self.blocks.get_mut(&key) else {
-            return false;
-        };
-        self.lru.remove(&(entry.last_ref, entry.seq, key));
-        entry.last_ref = now;
-        entry.seq = self.seq;
-        self.lru.insert((now, self.seq, key));
-        self.seq += 1;
-        true
+        self.touch_slot(key, now).is_some()
+    }
+
+    /// Touch that also returns the slot index, so callers needing the
+    /// entry afterwards skip a second hash lookup.
+    fn touch_slot(&mut self, key: BlockKey, now: SimTime) -> Option<u32> {
+        let &i = self.map.get(&key)?;
+        self.slots[i as usize].entry.last_ref = now;
+        if self.tail != i {
+            self.unlink(i);
+            self.push_back(i);
+        }
+        Some(i)
     }
 
     /// Inserts a clean block referenced at `now`. The caller must have
@@ -99,21 +174,48 @@ impl BlockCache {
     ///
     /// Inserting an already-present block just touches it.
     pub fn insert(&mut self, key: BlockKey, now: SimTime) {
-        if self.touch(key, now) {
-            return;
-        }
         let entry = BlockEntry {
             last_ref: now,
-            seq: self.seq,
             dirty: false,
             dirty_since: SimTime::ZERO,
             last_write: SimTime::ZERO,
             dirty_app_bytes: 0,
         };
-        self.lru.insert((now, self.seq, key));
-        self.seq += 1;
-        self.blocks.insert(key, entry);
-        self.by_file.entry(key.file).or_default().insert(key.index);
+        use std::collections::hash_map::Entry;
+        match self.map.entry(key) {
+            Entry::Occupied(occ) => {
+                // Already present: insert degrades to a touch.
+                let i = *occ.get();
+                self.slots[i as usize].entry.last_ref = now;
+                if self.tail != i {
+                    self.unlink(i);
+                    self.push_back(i);
+                }
+            }
+            Entry::Vacant(vac) => {
+                let i = match self.free.pop() {
+                    Some(i) => {
+                        let s = &mut self.slots[i as usize];
+                        s.key = key;
+                        s.entry = entry;
+                        i
+                    }
+                    None => {
+                        let i = self.slots.len() as u32;
+                        self.slots.push(Slot {
+                            key,
+                            entry,
+                            prev: NIL,
+                            next: NIL,
+                        });
+                        i
+                    }
+                };
+                vac.insert(i);
+                self.push_back(i);
+                self.by_file.entry(key.file).or_default().insert(key.index);
+            }
+        }
     }
 
     /// Marks `key` dirty at `now` with `app_bytes` of new application
@@ -123,40 +225,52 @@ impl BlockCache {
     ///
     /// Panics in debug builds if the block is absent.
     pub fn mark_dirty(&mut self, key: BlockKey, now: SimTime, app_bytes: u64) {
-        self.touch(key, now);
-        let Some(entry) = self.blocks.get_mut(&key) else {
-            debug_assert!(false, "mark_dirty on absent block");
-            return;
+        let present = self.mark_dirty_if_present(key, now, app_bytes);
+        debug_assert!(present, "mark_dirty on absent block");
+    }
+
+    /// [`Self::mark_dirty`], but absent blocks are a no-op returning
+    /// `false`. Lets the write path probe and dirty in one hash lookup.
+    pub fn mark_dirty_if_present(&mut self, key: BlockKey, now: SimTime, app_bytes: u64) -> bool {
+        let Some(i) = self.touch_slot(key, now) else {
+            return false;
         };
+        let entry = &mut self.slots[i as usize].entry;
         if !entry.dirty {
             entry.dirty = true;
             entry.dirty_since = now;
             entry.dirty_app_bytes = 0;
-            self.dirty.insert(key);
+            self.dirty_by_time.insert((now, key));
         }
         entry.last_write = now;
         entry.dirty_app_bytes += app_bytes;
+        true
     }
 
     /// Clears the dirty flag (the block was written to the server),
     /// returning the entry state just before cleaning.
     pub fn clean(&mut self, key: BlockKey) -> Option<BlockEntry> {
-        let entry = self.blocks.get_mut(&key)?;
+        let &i = self.map.get(&key)?;
+        let entry = &mut self.slots[i as usize].entry;
         if !entry.dirty {
             return None;
         }
         let snapshot = entry.clone();
         entry.dirty = false;
         entry.dirty_app_bytes = 0;
-        self.dirty.remove(&key);
+        self.dirty_by_time.remove(&(snapshot.dirty_since, key));
         Some(snapshot)
     }
 
     /// Removes `key` outright, returning its final state.
     pub fn remove(&mut self, key: BlockKey) -> Option<BlockEntry> {
-        let entry = self.blocks.remove(&key)?;
-        self.lru.remove(&(entry.last_ref, entry.seq, key));
-        self.dirty.remove(&key);
+        let i = self.map.remove(&key)?;
+        self.unlink(i);
+        self.free.push(i);
+        let entry = self.slots[i as usize].entry.clone();
+        if entry.dirty {
+            self.dirty_by_time.remove(&(entry.dirty_since, key));
+        }
         if let Some(set) = self.by_file.get_mut(&key.file) {
             set.remove(&key.index);
             if set.is_empty() {
@@ -168,46 +282,58 @@ impl BlockCache {
 
     /// Returns (without removing) the least-recently-used block.
     pub fn peek_lru(&self) -> Option<(BlockKey, &BlockEntry)> {
-        let &(_, _, key) = self.lru.iter().next()?;
-        Some((key, &self.blocks[&key]))
+        if self.head == NIL {
+            return None;
+        }
+        let s = &self.slots[self.head as usize];
+        Some((s.key, &s.entry))
     }
 
     /// Removes and returns the least-recently-used block.
     pub fn pop_lru(&mut self) -> Option<(BlockKey, BlockEntry)> {
-        let &(_, _, key) = self.lru.iter().next()?;
+        if self.head == NIL {
+            return None;
+        }
+        let key = self.slots[self.head as usize].key;
         let entry = self.remove(key).expect("LRU entry must exist");
         Some((key, entry))
     }
 
     /// All cached block indices of `file`, sorted.
     pub fn blocks_of(&self, file: FileId) -> Vec<u64> {
-        let mut v: Vec<u64> = self
-            .by_file
-            .get(&file)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        self.blocks_of_into(file, &mut v);
         v
+    }
+
+    /// Fills `out` with the cached block indices of `file`, sorted.
+    /// Clears `out` first, so a caller can reuse one scratch buffer.
+    pub fn blocks_of_into(&self, file: FileId, out: &mut Vec<u64>) {
+        out.clear();
+        if let Some(s) = self.by_file.get(&file) {
+            out.extend(s.iter().copied());
+        }
+        out.sort_unstable();
     }
 
     /// All dirty block indices of `file`, sorted.
     pub fn dirty_blocks_of(&self, file: FileId) -> Vec<u64> {
-        let mut v: Vec<u64> = self
-            .by_file
-            .get(&file)
-            .map(|s| {
-                s.iter()
-                    .copied()
-                    .filter(|&i| {
-                        self.blocks
-                            .get(&BlockKey { file, index: i })
-                            .is_some_and(|e| e.dirty)
-                    })
-                    .collect()
-            })
-            .unwrap_or_default();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        self.dirty_blocks_of_into(file, &mut v);
         v
+    }
+
+    /// Fills `out` with the dirty block indices of `file`, sorted.
+    /// Clears `out` first, so a caller can reuse one scratch buffer.
+    pub fn dirty_blocks_of_into(&self, file: FileId, out: &mut Vec<u64>) {
+        out.clear();
+        if let Some(s) = self.by_file.get(&file) {
+            out.extend(s.iter().copied().filter(|&i| {
+                self.get(BlockKey { file, index: i })
+                    .is_some_and(|e| e.dirty)
+            }));
+        }
+        out.sort_unstable();
     }
 
     /// Files that have at least one block dirty since `cutoff` or
@@ -215,20 +341,31 @@ impl BlockCache {
     /// file are written if any block of the file has been dirty for 30
     /// seconds").
     pub fn files_with_dirty_before(&self, cutoff: SimTime) -> Vec<FileId> {
-        let mut files: Vec<FileId> = self
-            .dirty
-            .iter()
-            .filter(|k| self.blocks[k].dirty_since <= cutoff)
-            .map(|k| k.file)
-            .collect();
-        files.sort_unstable();
-        files.dedup();
+        let mut files = Vec::new();
+        self.files_with_dirty_before_into(cutoff, &mut files);
         files
+    }
+
+    /// Fills `out` with the files having a block dirty since `cutoff` or
+    /// earlier, sorted and deduplicated. Clears `out` first. Visits only
+    /// the expired range of the dirty index, so an idle tick is O(1).
+    pub fn files_with_dirty_before_into(&self, cutoff: SimTime, out: &mut Vec<FileId>) {
+        out.clear();
+        let end = (
+            cutoff,
+            BlockKey {
+                file: FileId(u64::MAX),
+                index: u64::MAX,
+            },
+        );
+        out.extend(self.dirty_by_time.range(..=end).map(|&(_, k)| k.file));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Age since last reference for `key` at `now` (for Table 8).
     pub fn ref_age(&self, key: BlockKey, now: SimTime) -> Option<SimDuration> {
-        self.blocks.get(&key).map(|e| now.since(e.last_ref))
+        self.get(key).map(|e| now.since(e.last_ref))
     }
 }
 
@@ -356,5 +493,37 @@ mod tests {
             Some(SimDuration::from_secs(60))
         );
         assert_eq!(c.ref_age(key(9, 9), t(70)), None);
+    }
+
+    #[test]
+    fn slab_slots_are_reused() {
+        let mut c = BlockCache::new();
+        for round in 0..4u64 {
+            for i in 0..8u64 {
+                c.insert(key(1, i), t(round * 10 + i));
+            }
+            for i in 0..8u64 {
+                c.remove(key(1, i));
+            }
+        }
+        assert!(c.is_empty());
+        assert!(c.slots.len() <= 8, "slots reused, got {}", c.slots.len());
+    }
+
+    #[test]
+    fn interleaved_touch_keeps_list_consistent() {
+        let mut c = BlockCache::new();
+        for i in 0..16u64 {
+            c.insert(key(i % 3, i), t(i));
+        }
+        for i in (0..16u64).rev() {
+            c.touch(key(i % 3, i), t(100 + (16 - i)));
+        }
+        // Pop everything; order must be the reverse-touch order.
+        let mut popped = Vec::new();
+        while let Some((k, _)) = c.pop_lru() {
+            popped.push(k.index);
+        }
+        assert_eq!(popped, (0..16u64).rev().collect::<Vec<_>>());
     }
 }

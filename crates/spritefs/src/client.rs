@@ -97,6 +97,9 @@ pub struct Client {
     /// Last time any application operation ran here (for the Table 4
     /// activity screen).
     pub last_activity: SimTime,
+    /// Scratch buffer reused for per-file block index lists on the
+    /// flush and invalidate paths.
+    pub scratch_blocks: Vec<u64>,
 }
 
 impl Client {
@@ -126,6 +129,7 @@ impl Client {
             shared_text: HashMap::new(),
             metrics: MachineMetrics::new(),
             last_activity: SimTime::ZERO,
+            scratch_blocks: Vec::new(),
         }
     }
 

@@ -153,6 +153,11 @@ pub struct Cluster<S: TraceSink> {
     next_sample: SimTime,
     /// Count of operations applied (for sanity checks and progress).
     ops_applied: u64,
+    /// Scratch buffer reused by the write-back daemon's per-client scan.
+    daemon_files: Vec<FileId>,
+    /// Scratch buffer reused for holder/reader client lists on the
+    /// consistency paths.
+    scratch_clients: Vec<ClientId>,
 }
 
 impl<S: TraceSink> Cluster<S> {
@@ -190,6 +195,8 @@ impl<S: TraceSink> Cluster<S> {
             next_tick,
             next_sample,
             ops_applied: 0,
+            daemon_files: Vec::new(),
+            scratch_clients: Vec::new(),
         }
     }
 
@@ -384,9 +391,12 @@ impl<S: TraceSink> Cluster<S> {
     /// of any file that has had a block dirty for 30 seconds.
     fn daemon_tick(&mut self, now: SimTime) {
         let cutoff = now - self.cfg.writeback_delay;
+        let mut files = std::mem::take(&mut self.daemon_files);
         for ci in 0..self.clients.len() {
-            let files = self.clients[ci].cache.files_with_dirty_before(cutoff);
-            for file in files {
+            self.clients[ci]
+                .cache
+                .files_with_dirty_before_into(cutoff, &mut files);
+            for &file in &files {
                 flush_file(
                     &mut self.clients[ci],
                     &mut self.servers,
@@ -398,6 +408,7 @@ impl<S: TraceSink> Cluster<S> {
                 );
             }
         }
+        self.daemon_files = files;
         // Servers run their own delayed write to disk.
         for server in &mut self.servers {
             server.flush_dirty_before(cutoff, self.cfg.block_size);
@@ -609,12 +620,12 @@ impl<S: TraceSink> Cluster<S> {
     fn token_open_consistency(&mut self, op: &AppOp, file: FileId, mode: OpenMode, si: usize) {
         let ci = op.client.raw() as usize;
         let me = op.client;
-        let (writer, readers): (Option<ClientId>, Vec<ClientId>) = {
+        let mut readers = std::mem::take(&mut self.scratch_clients);
+        readers.clear();
+        let writer = {
             let st = self.servers[si].file_state(file);
-            (
-                st.tokens.writer,
-                st.tokens.readers.iter().copied().collect(),
-            )
+            readers.extend(st.tokens.readers.iter().copied());
+            st.tokens.writer
         };
         if mode.writes() {
             let already = writer == Some(me);
@@ -639,7 +650,7 @@ impl<S: TraceSink> Cluster<S> {
                     );
                     invalidate_file(&mut self.clients[wi], file, false);
                 }
-                for r in readers {
+                for &r in &readers {
                     if r != me {
                         let ri = r.raw() as usize;
                         count_rpc(
@@ -696,6 +707,7 @@ impl<S: TraceSink> Cluster<S> {
                 );
             }
         }
+        self.scratch_clients = readers;
     }
 
     /// Polling-mode revalidation: trust cached data for the interval,
@@ -732,15 +744,16 @@ impl<S: TraceSink> Cluster<S> {
     /// Disables client caching for a write-shared file: every client with
     /// an open flushes dirty data and invalidates its cache.
     fn disable_caching(&mut self, file: FileId, si: usize) {
-        let holders: Vec<ClientId> = {
+        let mut holders = std::mem::take(&mut self.scratch_clients);
+        holders.clear();
+        {
             let st = self.servers[si].file_state(file);
             st.uncacheable = true;
-            let mut v: Vec<ClientId> = st.opens.iter().map(|o| o.client).collect();
-            v.sort_unstable();
-            v.dedup();
-            v
-        };
-        for c in holders {
+            holders.extend(st.opens.iter().map(|o| o.client));
+            holders.sort_unstable();
+            holders.dedup();
+        }
+        for &c in &holders {
             let ci = c.raw() as usize;
             count_rpc(
                 &mut self.clients[ci].metrics.counters,
@@ -758,6 +771,7 @@ impl<S: TraceSink> Cluster<S> {
             );
             invalidate_file(&mut self.clients[ci], file, false);
         }
+        self.scratch_clients = holders;
         self.servers[si].file_state(file).last_writer = None;
     }
 
@@ -1027,6 +1041,15 @@ impl<S: TraceSink> Cluster<S> {
             let wend = (offset + len).min(block_end);
             let app_bytes = wend - wstart;
             let full_block = app_bytes == bs;
+            // Fast path: cached block under delayed write — probe, touch
+            // and dirty in one cache lookup.
+            if !write_through
+                && self.clients[ci]
+                    .cache
+                    .mark_dirty_if_present(key, self.now, app_bytes)
+            {
+                continue;
+            }
             if !self.clients[ci].cache.contains(key) {
                 // Partial write of a block with pre-existing content
                 // requires a write fetch.
@@ -1506,7 +1529,9 @@ fn flush_file(
     now: SimTime,
     reason: CleanReason,
 ) {
-    for index in client.cache.dirty_blocks_of(file) {
+    let mut blocks = std::mem::take(&mut client.scratch_blocks);
+    client.cache.dirty_blocks_of_into(file, &mut blocks);
+    for &index in &blocks {
         writeback_block(
             client,
             servers,
@@ -1517,18 +1542,21 @@ fn flush_file(
             reason,
         );
     }
+    client.scratch_blocks = blocks;
 }
 
 /// Drops every cached block of `file` from `client`, releasing the pages.
 /// Dirty data is cancelled (never written). `stale` selects the
 /// staleness counter (consistency invalidation) over silent dropping.
 fn invalidate_file(client: &mut Client, file: FileId, stale: bool) {
-    let indices = client.cache.blocks_of(file);
+    let mut indices = std::mem::take(&mut client.scratch_blocks);
+    client.cache.blocks_of_into(file, &mut indices);
     let n = indices.len() as u64;
     if n == 0 {
+        client.scratch_blocks = indices;
         return;
     }
-    for index in indices {
+    for &index in &indices {
         let key = BlockKey { file, index };
         if let Some(entry) = client.cache.remove(key) {
             if entry.dirty {
@@ -1539,6 +1567,7 @@ fn invalidate_file(client: &mut Client, file: FileId, stale: bool) {
             }
         }
     }
+    client.scratch_blocks = indices;
     client.mem.fc_release(n);
     if stale {
         client.metrics.counters.add(consist::STALE_BLOCKS, n);

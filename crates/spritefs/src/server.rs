@@ -50,12 +50,17 @@ pub struct SrvFileState {
 }
 
 impl SrvFileState {
-    /// Number of distinct clients with the file open.
+    /// Number of distinct clients with the file open. The opens list is
+    /// tiny (a handful at most), so a quadratic scan beats allocating a
+    /// scratch vector — this runs on every open and close.
     pub fn distinct_clients(&self) -> usize {
-        let mut seen: Vec<ClientId> = self.opens.iter().map(|o| o.client).collect();
-        seen.sort_unstable();
-        seen.dedup();
-        seen.len()
+        let mut n = 0;
+        for (i, o) in self.opens.iter().enumerate() {
+            if !self.opens[..i].iter().any(|p| p.client == o.client) {
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Whether any open is a writing open.
@@ -98,6 +103,10 @@ pub struct Server {
     pub files: HashMap<FileId, SrvFileState>,
     /// Server-side counters (disk traffic, RPCs served).
     pub counters: CounterSet,
+    /// Scratch buffer reused by the write-back daemon's file scan.
+    scratch_files: Vec<FileId>,
+    /// Scratch buffer reused for per-file block index lists.
+    scratch_blocks: Vec<u64>,
 }
 
 impl Server {
@@ -109,6 +118,8 @@ impl Server {
             capacity_blocks: capacity_bytes / block_size,
             files: HashMap::new(),
             counters: CounterSet::new(),
+            scratch_files: Vec::new(),
+            scratch_blocks: Vec::new(),
         }
     }
 
@@ -169,22 +180,30 @@ impl Server {
     /// The server's delayed-write daemon: flush blocks dirty since
     /// `cutoff` to disk.
     pub fn flush_dirty_before(&mut self, cutoff: SimTime, block_size: u64) {
-        let files = self.cache.files_with_dirty_before(cutoff);
-        for file in files {
-            for index in self.cache.dirty_blocks_of(file) {
+        let mut files = std::mem::take(&mut self.scratch_files);
+        let mut blocks = std::mem::take(&mut self.scratch_blocks);
+        self.cache.files_with_dirty_before_into(cutoff, &mut files);
+        for &file in &files {
+            self.cache.dirty_blocks_of_into(file, &mut blocks);
+            for &index in &blocks {
                 let key = BlockKey { file, index };
                 if self.cache.clean(key).is_some() {
                     self.counters.add("server.disk.write.bytes", block_size);
                 }
             }
         }
+        self.scratch_files = files;
+        self.scratch_blocks = blocks;
     }
 
     /// Drops all cached blocks of `file` (deletion or truncation).
     pub fn drop_file_blocks(&mut self, file: FileId) {
-        for index in self.cache.blocks_of(file) {
+        let mut blocks = std::mem::take(&mut self.scratch_blocks);
+        self.cache.blocks_of_into(file, &mut blocks);
+        for &index in &blocks {
             self.cache.remove(BlockKey { file, index });
         }
+        self.scratch_blocks = blocks;
     }
 }
 

@@ -27,7 +27,7 @@ pub mod stats;
 pub use file::{TraceReader, TraceWriter};
 pub use ids::{ClientId, FileId, Handle, Pid, ServerId, UserId};
 pub use record::{OpenMode, Record, RecordKind};
-pub use stats::TraceStats;
+pub use stats::{TraceStats, TraceStatsBuilder};
 
 /// Errors produced while reading or writing trace files.
 #[derive(Debug)]

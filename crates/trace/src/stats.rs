@@ -42,46 +42,72 @@ pub struct TraceStats {
     pub create_events: u64,
 }
 
+/// Streaming builder for [`TraceStats`]: feed records one at a time so a
+/// single pass over the trace can serve several consumers at once.
+#[derive(Debug, Default)]
+pub struct TraceStatsBuilder {
+    stats: TraceStats,
+    users: HashSet<UserId>,
+    migration_users: HashSet<UserId>,
+    first: Option<SimTime>,
+}
+
+impl TraceStatsBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TraceStatsBuilder::default()
+    }
+
+    /// Accumulates one record.
+    pub fn record(&mut self, rec: &Record) {
+        let s = &mut self.stats;
+        if self.first.is_none() {
+            self.first = Some(rec.time);
+        }
+        s.end = s.end.max(rec.time);
+        self.users.insert(rec.user);
+        if rec.migrated {
+            self.migration_users.insert(rec.user);
+        }
+        match &rec.kind {
+            RecordKind::Open { .. } => s.open_events += 1,
+            RecordKind::Close {
+                total_read,
+                total_written,
+                ..
+            } => {
+                s.close_events += 1;
+                s.bytes_read_files += total_read;
+                s.bytes_written_files += total_written;
+            }
+            RecordKind::Reposition { .. } => s.reposition_events += 1,
+            RecordKind::Create { .. } => s.create_events += 1,
+            RecordKind::Delete { .. } => s.delete_events += 1,
+            RecordKind::Truncate { .. } => s.truncate_events += 1,
+            RecordKind::SharedRead { .. } => s.shared_read_events += 1,
+            RecordKind::SharedWrite { .. } => s.shared_write_events += 1,
+            RecordKind::DirRead { bytes, .. } => s.bytes_read_dirs += bytes,
+        }
+    }
+
+    /// Finalizes the statistics.
+    pub fn finish(self) -> TraceStats {
+        let mut s = self.stats;
+        s.start = self.first.unwrap_or(SimTime::ZERO);
+        s.different_users = self.users.len();
+        s.users_of_migration = self.migration_users.len();
+        s
+    }
+}
+
 impl TraceStats {
     /// Computes the statistics over an iterator of records.
     pub fn compute<'a, I: IntoIterator<Item = &'a Record>>(records: I) -> Self {
-        let mut s = TraceStats::default();
-        let mut users: HashSet<UserId> = HashSet::new();
-        let mut migration_users: HashSet<UserId> = HashSet::new();
-        let mut first: Option<SimTime> = None;
+        let mut b = TraceStatsBuilder::new();
         for rec in records {
-            if first.is_none() {
-                first = Some(rec.time);
-            }
-            s.end = s.end.max(rec.time);
-            users.insert(rec.user);
-            if rec.migrated {
-                migration_users.insert(rec.user);
-            }
-            match &rec.kind {
-                RecordKind::Open { .. } => s.open_events += 1,
-                RecordKind::Close {
-                    total_read,
-                    total_written,
-                    ..
-                } => {
-                    s.close_events += 1;
-                    s.bytes_read_files += total_read;
-                    s.bytes_written_files += total_written;
-                }
-                RecordKind::Reposition { .. } => s.reposition_events += 1,
-                RecordKind::Create { .. } => s.create_events += 1,
-                RecordKind::Delete { .. } => s.delete_events += 1,
-                RecordKind::Truncate { .. } => s.truncate_events += 1,
-                RecordKind::SharedRead { .. } => s.shared_read_events += 1,
-                RecordKind::SharedWrite { .. } => s.shared_write_events += 1,
-                RecordKind::DirRead { bytes, .. } => s.bytes_read_dirs += bytes,
-            }
+            b.record(rec);
         }
-        s.start = first.unwrap_or(SimTime::ZERO);
-        s.different_users = users.len();
-        s.users_of_migration = migration_users.len();
-        s
+        b.finish()
     }
 
     /// Trace duration in hours.

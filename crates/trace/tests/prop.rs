@@ -1,203 +1,179 @@
-//! Property-based tests for the trace format: arbitrary records must
-//! survive both encodings, and merging must preserve order and content.
+//! Randomized tests for the trace format: arbitrary records must survive
+//! both encodings, and merging must preserve order and content.
+//!
+//! The cases are generated with the workspace's own seeded `SimRng`
+//! rather than an external property-testing crate so the suite runs
+//! hermetically offline; every failure reproduces from the fixed seed.
 
-use proptest::prelude::*;
-use sdfs_simkit::{SimDuration, SimTime};
+use sdfs_simkit::{SimDuration, SimRng, SimTime};
 use sdfs_trace::codec::{from_text_line, to_text_line};
 use sdfs_trace::file::{from_bytes, to_bytes};
 use sdfs_trace::merge::merge_vecs;
 use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, Record, RecordKind, UserId};
 
-fn mode_strategy() -> impl Strategy<Value = OpenMode> {
-    prop_oneof![
-        Just(OpenMode::Read),
-        Just(OpenMode::Write),
-        Just(OpenMode::ReadWrite),
-    ]
+const CASES: usize = 256;
+
+fn random_mode(rng: &mut SimRng) -> OpenMode {
+    match rng.below(3) {
+        0 => OpenMode::Read,
+        1 => OpenMode::Write,
+        _ => OpenMode::ReadWrite,
+    }
 }
 
-fn kind_strategy() -> impl Strategy<Value = RecordKind> {
-    prop_oneof![
-        (
-            any::<u64>(),
-            any::<u64>(),
-            mode_strategy(),
-            any::<u64>(),
-            any::<bool>()
-        )
-            .prop_map(|(fd, file, mode, size, is_dir)| RecordKind::Open {
-                fd: Handle(fd),
-                file: FileId(file),
-                mode,
-                size,
-                is_dir,
-            }),
-        (
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>()
-        )
-            .prop_map(|(fd, file, from, to, r, w)| RecordKind::Reposition {
-                fd: Handle(fd),
-                file: FileId(file),
-                from,
-                to,
-                run_read: r,
-                run_written: w,
-            }),
-        (
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>()
-        )
-            .prop_map(
-                |(fd, file, offset, rr, rw, tr, tw, size, at)| RecordKind::Close {
-                    fd: Handle(fd),
-                    file: FileId(file),
-                    offset,
-                    run_read: rr,
-                    run_written: rw,
-                    total_read: tr,
-                    total_written: tw,
-                    size,
-                    opened_at: SimTime::from_micros(at),
-                }
-            ),
-        (any::<u64>(), any::<bool>()).prop_map(|(file, is_dir)| RecordKind::Create {
-            file: FileId(file),
-            is_dir,
-        }),
-        (
-            any::<u64>(),
-            any::<u64>(),
-            any::<bool>(),
-            any::<u64>(),
-            any::<u64>()
-        )
-            .prop_map(|(file, size, is_dir, oa, na)| RecordKind::Delete {
-                file: FileId(file),
-                size,
-                is_dir,
-                oldest_age: SimDuration::from_micros(oa),
-                newest_age: SimDuration::from_micros(na),
-            }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-            |(file, old_size, oa, na)| RecordKind::Truncate {
-                file: FileId(file),
-                old_size,
-                oldest_age: SimDuration::from_micros(oa),
-                newest_age: SimDuration::from_micros(na),
-            }
-        ),
-        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(file, offset, len)| {
-            RecordKind::SharedRead {
-                file: FileId(file),
-                offset,
-                len,
-            }
-        }),
-        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(file, offset, len)| {
-            RecordKind::SharedWrite {
-                file: FileId(file),
-                offset,
-                len,
-            }
-        }),
-        (any::<u64>(), any::<u64>()).prop_map(|(file, bytes)| RecordKind::DirRead {
-            file: FileId(file),
-            bytes,
-        }),
-    ]
+fn random_kind(rng: &mut SimRng) -> RecordKind {
+    match rng.below(10) {
+        0 => RecordKind::Open {
+            fd: Handle(rng.next_u64()),
+            file: FileId(rng.next_u64()),
+            mode: random_mode(rng),
+            size: rng.next_u64(),
+            is_dir: rng.chance(0.5),
+        },
+        1 => RecordKind::Reposition {
+            fd: Handle(rng.next_u64()),
+            file: FileId(rng.next_u64()),
+            from: rng.next_u64(),
+            to: rng.next_u64(),
+            run_read: rng.next_u64(),
+            run_written: rng.next_u64(),
+        },
+        2 => RecordKind::Close {
+            fd: Handle(rng.next_u64()),
+            file: FileId(rng.next_u64()),
+            offset: rng.next_u64(),
+            run_read: rng.next_u64(),
+            run_written: rng.next_u64(),
+            total_read: rng.next_u64(),
+            total_written: rng.next_u64(),
+            size: rng.next_u64(),
+            opened_at: SimTime::from_micros(rng.next_u64()),
+        },
+        3 => RecordKind::Create {
+            file: FileId(rng.next_u64()),
+            is_dir: rng.chance(0.5),
+        },
+        4 => RecordKind::Delete {
+            file: FileId(rng.next_u64()),
+            size: rng.next_u64(),
+            is_dir: rng.chance(0.5),
+            oldest_age: SimDuration::from_micros(rng.next_u64()),
+            newest_age: SimDuration::from_micros(rng.next_u64()),
+        },
+        5 => RecordKind::Truncate {
+            file: FileId(rng.next_u64()),
+            old_size: rng.next_u64(),
+            oldest_age: SimDuration::from_micros(rng.next_u64()),
+            newest_age: SimDuration::from_micros(rng.next_u64()),
+        },
+        6 => RecordKind::SharedRead {
+            file: FileId(rng.next_u64()),
+            offset: rng.next_u64(),
+            len: rng.next_u64(),
+        },
+        7 => RecordKind::SharedWrite {
+            file: FileId(rng.next_u64()),
+            offset: rng.next_u64(),
+            len: rng.next_u64(),
+        },
+        8 => RecordKind::DirRead {
+            file: FileId(rng.next_u64()),
+            bytes: rng.next_u64(),
+        },
+        _ => RecordKind::Open {
+            fd: Handle(rng.below(8)),
+            file: FileId(rng.below(8)),
+            mode: random_mode(rng),
+            size: rng.below(1 << 20),
+            is_dir: false,
+        },
+    }
 }
 
-prop_compose! {
-    fn record_strategy()(
-        time in any::<u64>(),
-        client in any::<u16>(),
-        user in any::<u32>(),
-        pid in any::<u32>(),
-        migrated in any::<bool>(),
-        kind in kind_strategy(),
-    ) -> Record {
-        Record {
-            time: SimTime::from_micros(time),
-            client: ClientId(client),
-            user: UserId(user),
-            pid: Pid(pid),
-            migrated,
-            kind,
-        }
+fn random_record(rng: &mut SimRng) -> Record {
+    Record {
+        time: SimTime::from_micros(rng.next_u64()),
+        client: ClientId(rng.below(1 << 16) as u16),
+        user: UserId(rng.below(1 << 32) as u32),
+        pid: Pid(rng.below(1 << 32) as u32),
+        migrated: rng.chance(0.5),
+        kind: random_kind(rng),
     }
 }
 
 /// Records sorted by time (trace writers require monotone time).
-fn sorted_records(max: usize) -> impl Strategy<Value = Vec<Record>> {
-    proptest::collection::vec(record_strategy(), 0..max).prop_map(|mut v| {
-        v.sort_by_key(|r| r.time);
-        v
-    })
+fn sorted_records(rng: &mut SimRng, max: u64) -> Vec<Record> {
+    let n = rng.below(max + 1) as usize;
+    let mut v: Vec<Record> = (0..n).map(|_| random_record(rng)).collect();
+    v.sort_by_key(|r| r.time);
+    v
 }
 
-proptest! {
-    #[test]
-    fn binary_round_trip(records in sorted_records(50)) {
+#[test]
+fn binary_round_trip() {
+    let mut rng = SimRng::seed_from_u64(0x7261_6365_0001);
+    for _ in 0..CASES {
+        let records = sorted_records(&mut rng, 50);
         let bytes = to_bytes(&records).expect("encode");
         let back = from_bytes(&bytes).expect("decode");
-        prop_assert_eq!(back, records);
+        assert_eq!(back, records);
     }
+}
 
-    #[test]
-    fn text_round_trip(rec in record_strategy()) {
+#[test]
+fn text_round_trip() {
+    let mut rng = SimRng::seed_from_u64(0x7261_6365_0002);
+    for _ in 0..CASES * 4 {
+        let rec = random_record(&mut rng);
         let line = to_text_line(&rec);
         let back = from_text_line(&line).expect("parse");
-        prop_assert_eq!(back, rec);
+        assert_eq!(back, rec);
     }
+}
 
-    #[test]
-    fn truncated_binary_never_panics(records in sorted_records(10), cut in any::<prop::sample::Index>()) {
+#[test]
+fn truncated_binary_never_panics() {
+    let mut rng = SimRng::seed_from_u64(0x7261_6365_0003);
+    for _ in 0..CASES {
+        let records = sorted_records(&mut rng, 10);
         let bytes = to_bytes(&records).expect("encode");
         if bytes.is_empty() {
-            return Ok(());
+            continue;
         }
-        let cut = cut.index(bytes.len());
+        let cut = rng.below(bytes.len() as u64) as usize;
         // Decoding a truncated stream must error or return a prefix, not
         // panic.
         let _ = from_bytes(&bytes[..cut]);
     }
+}
 
-    #[test]
-    fn corrupted_binary_never_panics(records in sorted_records(5),
-                                     pos in any::<prop::sample::Index>(),
-                                     val: u8) {
+#[test]
+fn corrupted_binary_never_panics() {
+    let mut rng = SimRng::seed_from_u64(0x7261_6365_0004);
+    for _ in 0..CASES {
+        let records = sorted_records(&mut rng, 5);
         let mut bytes = to_bytes(&records).expect("encode");
         if bytes.is_empty() {
-            return Ok(());
+            continue;
         }
-        let i = pos.index(bytes.len());
-        bytes[i] = val;
+        let i = rng.below(bytes.len() as u64) as usize;
+        bytes[i] = rng.below(256) as u8;
         let _ = from_bytes(&bytes);
     }
+}
 
-    #[test]
-    fn merge_is_sorted_and_complete(
-        a in sorted_records(30),
-        b in sorted_records(30),
-        c in sorted_records(30),
-    ) {
+#[test]
+fn merge_is_sorted_and_complete() {
+    let mut rng = SimRng::seed_from_u64(0x7261_6365_0005);
+    for _ in 0..CASES {
+        let a = sorted_records(&mut rng, 30);
+        let b = sorted_records(&mut rng, 30);
+        let c = sorted_records(&mut rng, 30);
         let total = a.len() + b.len() + c.len();
         let merged = merge_vecs(vec![a, b, c]);
-        prop_assert_eq!(merged.len(), total);
+        assert_eq!(merged.len(), total);
         for w in merged.windows(2) {
-            prop_assert!(w[0].time <= w[1].time);
+            assert!(w[0].time <= w[1].time);
         }
     }
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Offline verification gate: tier-1 tests plus an end-to-end report run
+# and a bench smoke test. No network access required — the workspace has
+# no external dependencies.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "==> end-to-end: repro --quick all"
+start_ms=$(date +%s%3N)
+./target/release/repro --quick all > /tmp/verify_report.txt
+end_ms=$(date +%s%3N)
+echo "    report: $(wc -c < /tmp/verify_report.txt) bytes in $((end_ms - start_ms)) ms"
+
+echo "==> bench smoke: repro bench"
+tmpdir=$(mktemp -d)
+(cd "$tmpdir" && "$OLDPWD"/target/release/repro bench > /dev/null)
+test -s "$tmpdir/BENCH_0001.json"
+grep -q '"end_to_end"' "$tmpdir/BENCH_0001.json"
+rm -rf "$tmpdir"
+
+echo "verify: OK"

@@ -1,0 +1,87 @@
+//! Equivalence regression: the fused single-pass analysis must produce
+//! output byte-identical to the original one-scan-per-table path.
+//!
+//! The whole point of the fused pass is speed with *zero* drift in
+//! reported numbers, so this test renders the full report through both
+//! paths and compares the strings outright — any float formatting
+//! difference, reordering, or off-by-one shows up as a diff.
+
+use sdfs_core::cache_tables::{table4, table5, table6, table7, table8, table9};
+use sdfs_core::report;
+use sdfs_core::study::StudyResults;
+use sdfs_core::{Study, StudyConfig};
+
+fn small_study() -> Study {
+    let mut cfg = StudyConfig::quick();
+    cfg.workload.activity_scale = 0.3;
+    Study::new(cfg)
+}
+
+/// Assembles `StudyResults` from per-trace analyses produced by the
+/// given analysis function, running the counter campaign fresh (the
+/// campaign itself is deterministic, so both assemblies see identical
+/// counter data).
+fn results_via(study: &Study, fused: bool) -> StudyResults {
+    let traces = study
+        .config()
+        .traces
+        .iter()
+        .map(|&spec| {
+            let records = study.run_trace_records(spec);
+            if fused {
+                study.analyze_trace(spec, &records)
+            } else {
+                study.analyze_trace_separate(spec, &records)
+            }
+        })
+        .collect();
+    let counters = study.run_counters();
+    let table4 = table4(&counters.clients);
+    let table5 = table5(&counters.total, &counters.per_day);
+    let table6 = table6(&counters.total, &counters.per_day);
+    let table7 = table7(&counters.total, &counters.per_day);
+    let table8 = table8(&counters.total);
+    let table9 = table9(&counters.total);
+    StudyResults {
+        traces,
+        counters,
+        table4,
+        table5,
+        table6,
+        table7,
+        table8,
+        table9,
+    }
+}
+
+#[test]
+fn fused_and_separate_paths_render_identically() {
+    let study = small_study();
+    let mut via_fused = results_via(&study, true);
+    let mut via_separate = results_via(&study, false);
+    let rendered_fused = report::render_all(&mut via_fused);
+    let rendered_separate = report::render_all(&mut via_separate);
+    assert!(
+        !rendered_fused.is_empty(),
+        "report must render something"
+    );
+    assert_eq!(
+        rendered_fused, rendered_separate,
+        "fused single-pass analysis must be byte-identical to the \
+         separate-pass reference"
+    );
+}
+
+#[test]
+fn run_all_uses_the_fused_path_faithfully() {
+    // `run_all` (work-stealing scheduler + fused analysis) must agree
+    // with a by-hand serial assembly of the same study.
+    let study = small_study();
+    let mut from_run_all = study.run_all();
+    let mut by_hand = results_via(&study, true);
+    assert_eq!(
+        report::render_all(&mut from_run_all),
+        report::render_all(&mut by_hand),
+        "run_all must render identically to a serial fused assembly"
+    );
+}
