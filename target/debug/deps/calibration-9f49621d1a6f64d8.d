@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-9f49621d1a6f64d8.d: crates/bench/../../tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-9f49621d1a6f64d8: crates/bench/../../tests/calibration.rs
+
+crates/bench/../../tests/calibration.rs:

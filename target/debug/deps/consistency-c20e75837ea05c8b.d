@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-c20e75837ea05c8b.d: crates/bench/../../tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-c20e75837ea05c8b: crates/bench/../../tests/consistency.rs
+
+crates/bench/../../tests/consistency.rs:

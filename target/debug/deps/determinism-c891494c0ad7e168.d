@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c891494c0ad7e168.d: crates/bench/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c891494c0ad7e168: crates/bench/../../tests/determinism.rs
+
+crates/bench/../../tests/determinism.rs:

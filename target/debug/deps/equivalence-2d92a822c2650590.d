@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-2d92a822c2650590.d: crates/bench/../../tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-2d92a822c2650590: crates/bench/../../tests/equivalence.rs
+
+crates/bench/../../tests/equivalence.rs:

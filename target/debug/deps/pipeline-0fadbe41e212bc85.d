@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-0fadbe41e212bc85.d: crates/bench/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-0fadbe41e212bc85: crates/bench/../../tests/pipeline.rs
+
+crates/bench/../../tests/pipeline.rs:

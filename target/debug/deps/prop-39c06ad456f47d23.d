@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-39c06ad456f47d23.d: crates/trace/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-39c06ad456f47d23: crates/trace/tests/prop.rs
+
+crates/trace/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-9cd2d7d088e1bffa.d: crates/simkit/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-9cd2d7d088e1bffa: crates/simkit/tests/prop.rs
+
+crates/simkit/tests/prop.rs:

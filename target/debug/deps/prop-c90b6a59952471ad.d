@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-c90b6a59952471ad.d: crates/spritefs/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-c90b6a59952471ad: crates/spritefs/tests/prop.rs
+
+crates/spritefs/tests/prop.rs:

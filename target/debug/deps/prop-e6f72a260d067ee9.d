@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-e6f72a260d067ee9.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-e6f72a260d067ee9: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-48ae05061ed22606.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-48ae05061ed22606: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-65f796f9b4cfd78c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-65f796f9b4cfd78c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdfs_bench-702dd0b43309594d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sdfs_bench-702dd0b43309594d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdfs_bench-f49f547c4af9920f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdfs_bench-f49f547c4af9920f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdfs_bench-f49f547c4af9920f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/sdfs_core-b8f6eb5a1f8c440a.d: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/activity.rs crates/core/src/bsd.rs crates/core/src/cache_tables.rs crates/core/src/check.rs crates/core/src/consistency.rs crates/core/src/extensions.rs crates/core/src/figures.rs crates/core/src/fused.rs crates/core/src/latency.rs crates/core/src/overhead.rs crates/core/src/patterns.rs crates/core/src/report.rs crates/core/src/staleness.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/sdfs_core-b8f6eb5a1f8c440a: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/activity.rs crates/core/src/bsd.rs crates/core/src/cache_tables.rs crates/core/src/check.rs crates/core/src/consistency.rs crates/core/src/extensions.rs crates/core/src/figures.rs crates/core/src/fused.rs crates/core/src/latency.rs crates/core/src/overhead.rs crates/core/src/patterns.rs crates/core/src/report.rs crates/core/src/staleness.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/access.rs:
+crates/core/src/activity.rs:
+crates/core/src/bsd.rs:
+crates/core/src/cache_tables.rs:
+crates/core/src/check.rs:
+crates/core/src/consistency.rs:
+crates/core/src/extensions.rs:
+crates/core/src/figures.rs:
+crates/core/src/fused.rs:
+crates/core/src/latency.rs:
+crates/core/src/overhead.rs:
+crates/core/src/patterns.rs:
+crates/core/src/report.rs:
+crates/core/src/staleness.rs:
+crates/core/src/study.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sdfs_simkit-99347836aa1c78c9.d: crates/simkit/src/lib.rs crates/simkit/src/counters.rs crates/simkit/src/dist.rs crates/simkit/src/hash.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/sdfs_simkit-99347836aa1c78c9: crates/simkit/src/lib.rs crates/simkit/src/counters.rs crates/simkit/src/dist.rs crates/simkit/src/hash.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/counters.rs:
+crates/simkit/src/dist.rs:
+crates/simkit/src/hash.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sdfs_simkit-dfca7204277764cc.d: crates/simkit/src/lib.rs crates/simkit/src/counters.rs crates/simkit/src/dist.rs crates/simkit/src/hash.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/libsdfs_simkit-dfca7204277764cc.rlib: crates/simkit/src/lib.rs crates/simkit/src/counters.rs crates/simkit/src/dist.rs crates/simkit/src/hash.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/libsdfs_simkit-dfca7204277764cc.rmeta: crates/simkit/src/lib.rs crates/simkit/src/counters.rs crates/simkit/src/dist.rs crates/simkit/src/hash.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/counters.rs:
+crates/simkit/src/dist.rs:
+crates/simkit/src/hash.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sdfs_spritefs-2c723d476c996dff.d: crates/spritefs/src/lib.rs crates/spritefs/src/cache.rs crates/spritefs/src/client.rs crates/spritefs/src/cluster.rs crates/spritefs/src/config.rs crates/spritefs/src/fs.rs crates/spritefs/src/metrics.rs crates/spritefs/src/ops.rs crates/spritefs/src/rpc.rs crates/spritefs/src/server.rs crates/spritefs/src/vm.rs
+
+/root/repo/target/debug/deps/sdfs_spritefs-2c723d476c996dff: crates/spritefs/src/lib.rs crates/spritefs/src/cache.rs crates/spritefs/src/client.rs crates/spritefs/src/cluster.rs crates/spritefs/src/config.rs crates/spritefs/src/fs.rs crates/spritefs/src/metrics.rs crates/spritefs/src/ops.rs crates/spritefs/src/rpc.rs crates/spritefs/src/server.rs crates/spritefs/src/vm.rs
+
+crates/spritefs/src/lib.rs:
+crates/spritefs/src/cache.rs:
+crates/spritefs/src/client.rs:
+crates/spritefs/src/cluster.rs:
+crates/spritefs/src/config.rs:
+crates/spritefs/src/fs.rs:
+crates/spritefs/src/metrics.rs:
+crates/spritefs/src/ops.rs:
+crates/spritefs/src/rpc.rs:
+crates/spritefs/src/server.rs:
+crates/spritefs/src/vm.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sdfs_spritefs-84bedc16dc6bc6c7.d: crates/spritefs/src/lib.rs crates/spritefs/src/cache.rs crates/spritefs/src/client.rs crates/spritefs/src/cluster.rs crates/spritefs/src/config.rs crates/spritefs/src/fs.rs crates/spritefs/src/metrics.rs crates/spritefs/src/ops.rs crates/spritefs/src/rpc.rs crates/spritefs/src/server.rs crates/spritefs/src/vm.rs
+
+/root/repo/target/debug/deps/libsdfs_spritefs-84bedc16dc6bc6c7.rlib: crates/spritefs/src/lib.rs crates/spritefs/src/cache.rs crates/spritefs/src/client.rs crates/spritefs/src/cluster.rs crates/spritefs/src/config.rs crates/spritefs/src/fs.rs crates/spritefs/src/metrics.rs crates/spritefs/src/ops.rs crates/spritefs/src/rpc.rs crates/spritefs/src/server.rs crates/spritefs/src/vm.rs
+
+/root/repo/target/debug/deps/libsdfs_spritefs-84bedc16dc6bc6c7.rmeta: crates/spritefs/src/lib.rs crates/spritefs/src/cache.rs crates/spritefs/src/client.rs crates/spritefs/src/cluster.rs crates/spritefs/src/config.rs crates/spritefs/src/fs.rs crates/spritefs/src/metrics.rs crates/spritefs/src/ops.rs crates/spritefs/src/rpc.rs crates/spritefs/src/server.rs crates/spritefs/src/vm.rs
+
+crates/spritefs/src/lib.rs:
+crates/spritefs/src/cache.rs:
+crates/spritefs/src/client.rs:
+crates/spritefs/src/cluster.rs:
+crates/spritefs/src/config.rs:
+crates/spritefs/src/fs.rs:
+crates/spritefs/src/metrics.rs:
+crates/spritefs/src/ops.rs:
+crates/spritefs/src/rpc.rs:
+crates/spritefs/src/server.rs:
+crates/spritefs/src/vm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sdfs_trace-118125aff2c74c63.d: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/file.rs crates/trace/src/ids.rs crates/trace/src/merge.rs crates/trace/src/record.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/libsdfs_trace-118125aff2c74c63.rlib: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/file.rs crates/trace/src/ids.rs crates/trace/src/merge.rs crates/trace/src/record.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/libsdfs_trace-118125aff2c74c63.rmeta: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/file.rs crates/trace/src/ids.rs crates/trace/src/merge.rs crates/trace/src/record.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/file.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/merge.rs:
+crates/trace/src/record.rs:
+crates/trace/src/stats.rs:

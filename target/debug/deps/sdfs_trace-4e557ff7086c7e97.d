@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sdfs_trace-4e557ff7086c7e97.d: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/file.rs crates/trace/src/ids.rs crates/trace/src/merge.rs crates/trace/src/record.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/sdfs_trace-4e557ff7086c7e97: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/file.rs crates/trace/src/ids.rs crates/trace/src/merge.rs crates/trace/src/record.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/file.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/merge.rs:
+crates/trace/src/record.rs:
+crates/trace/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sdfs_workload-59331e3cfdad2af2.d: crates/workload/src/lib.rs crates/workload/src/apps.rs crates/workload/src/config.rs crates/workload/src/gen.rs crates/workload/src/namespace.rs crates/workload/src/summary.rs crates/workload/src/user.rs
+
+/root/repo/target/debug/deps/sdfs_workload-59331e3cfdad2af2: crates/workload/src/lib.rs crates/workload/src/apps.rs crates/workload/src/config.rs crates/workload/src/gen.rs crates/workload/src/namespace.rs crates/workload/src/summary.rs crates/workload/src/user.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/apps.rs:
+crates/workload/src/config.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/namespace.rs:
+crates/workload/src/summary.rs:
+crates/workload/src/user.rs:

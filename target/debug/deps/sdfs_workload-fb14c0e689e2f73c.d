@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sdfs_workload-fb14c0e689e2f73c.d: crates/workload/src/lib.rs crates/workload/src/apps.rs crates/workload/src/config.rs crates/workload/src/gen.rs crates/workload/src/namespace.rs crates/workload/src/summary.rs crates/workload/src/user.rs
+
+/root/repo/target/debug/deps/libsdfs_workload-fb14c0e689e2f73c.rlib: crates/workload/src/lib.rs crates/workload/src/apps.rs crates/workload/src/config.rs crates/workload/src/gen.rs crates/workload/src/namespace.rs crates/workload/src/summary.rs crates/workload/src/user.rs
+
+/root/repo/target/debug/deps/libsdfs_workload-fb14c0e689e2f73c.rmeta: crates/workload/src/lib.rs crates/workload/src/apps.rs crates/workload/src/config.rs crates/workload/src/gen.rs crates/workload/src/namespace.rs crates/workload/src/summary.rs crates/workload/src/user.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/apps.rs:
+crates/workload/src/config.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/namespace.rs:
+crates/workload/src/summary.rs:
+crates/workload/src/user.rs:

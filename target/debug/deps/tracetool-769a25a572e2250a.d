@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracetool-769a25a572e2250a.d: crates/trace/src/bin/tracetool.rs
+
+/root/repo/target/debug/deps/tracetool-769a25a572e2250a: crates/trace/src/bin/tracetool.rs
+
+crates/trace/src/bin/tracetool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracetool-bbd75fed8ce9b60e.d: crates/trace/src/bin/tracetool.rs
+
+/root/repo/target/debug/deps/tracetool-bbd75fed8ce9b60e: crates/trace/src/bin/tracetool.rs
+
+crates/trace/src/bin/tracetool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_sizing-5dc7ddd14382ab14.d: crates/bench/../../examples/cache_sizing.rs
+
+/root/repo/target/debug/examples/cache_sizing-5dc7ddd14382ab14: crates/bench/../../examples/cache_sizing.rs
+
+crates/bench/../../examples/cache_sizing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/consistency_comparison-213f15ea5642b86b.d: crates/bench/../../examples/consistency_comparison.rs
+
+/root/repo/target/debug/examples/consistency_comparison-213f15ea5642b86b: crates/bench/../../examples/consistency_comparison.rs
+
+crates/bench/../../examples/consistency_comparison.rs:

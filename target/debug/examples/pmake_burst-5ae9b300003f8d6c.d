@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pmake_burst-5ae9b300003f8d6c.d: crates/bench/../../examples/pmake_burst.rs
+
+/root/repo/target/debug/examples/pmake_burst-5ae9b300003f8d6c: crates/bench/../../examples/pmake_burst.rs
+
+crates/bench/../../examples/pmake_burst.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-83492e2d34ce27fb.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-83492e2d34ce27fb: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-5585b742c447fcfc.d: crates/bench/../../tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-5585b742c447fcfc: crates/bench/../../tests/determinism.rs
+
+crates/bench/../../tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-4162c9448e597b51.d: crates/bench/../../tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-4162c9448e597b51: crates/bench/../../tests/equivalence.rs
+
+crates/bench/../../tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-4da3d5420af13506.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-4da3d5420af13506: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e0aa83045c4d4c42.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e0aa83045c4d4c42: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdfs_bench-235b546c4ed630ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsdfs_bench-235b546c4ed630ea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsdfs_bench-235b546c4ed630ea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

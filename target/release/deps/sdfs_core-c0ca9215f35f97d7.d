@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/sdfs_core-c0ca9215f35f97d7.d: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/activity.rs crates/core/src/bsd.rs crates/core/src/cache_tables.rs crates/core/src/check.rs crates/core/src/consistency.rs crates/core/src/extensions.rs crates/core/src/figures.rs crates/core/src/fused.rs crates/core/src/latency.rs crates/core/src/overhead.rs crates/core/src/patterns.rs crates/core/src/report.rs crates/core/src/staleness.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libsdfs_core-c0ca9215f35f97d7.rlib: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/activity.rs crates/core/src/bsd.rs crates/core/src/cache_tables.rs crates/core/src/check.rs crates/core/src/consistency.rs crates/core/src/extensions.rs crates/core/src/figures.rs crates/core/src/fused.rs crates/core/src/latency.rs crates/core/src/overhead.rs crates/core/src/patterns.rs crates/core/src/report.rs crates/core/src/staleness.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libsdfs_core-c0ca9215f35f97d7.rmeta: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/activity.rs crates/core/src/bsd.rs crates/core/src/cache_tables.rs crates/core/src/check.rs crates/core/src/consistency.rs crates/core/src/extensions.rs crates/core/src/figures.rs crates/core/src/fused.rs crates/core/src/latency.rs crates/core/src/overhead.rs crates/core/src/patterns.rs crates/core/src/report.rs crates/core/src/staleness.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/access.rs:
+crates/core/src/activity.rs:
+crates/core/src/bsd.rs:
+crates/core/src/cache_tables.rs:
+crates/core/src/check.rs:
+crates/core/src/consistency.rs:
+crates/core/src/extensions.rs:
+crates/core/src/figures.rs:
+crates/core/src/fused.rs:
+crates/core/src/latency.rs:
+crates/core/src/overhead.rs:
+crates/core/src/patterns.rs:
+crates/core/src/report.rs:
+crates/core/src/staleness.rs:
+crates/core/src/study.rs:

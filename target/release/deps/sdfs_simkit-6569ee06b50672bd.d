@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sdfs_simkit-6569ee06b50672bd.d: crates/simkit/src/lib.rs crates/simkit/src/counters.rs crates/simkit/src/dist.rs crates/simkit/src/hash.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/libsdfs_simkit-6569ee06b50672bd.rlib: crates/simkit/src/lib.rs crates/simkit/src/counters.rs crates/simkit/src/dist.rs crates/simkit/src/hash.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+/root/repo/target/release/deps/libsdfs_simkit-6569ee06b50672bd.rmeta: crates/simkit/src/lib.rs crates/simkit/src/counters.rs crates/simkit/src/dist.rs crates/simkit/src/hash.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/counters.rs:
+crates/simkit/src/dist.rs:
+crates/simkit/src/hash.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/time.rs:

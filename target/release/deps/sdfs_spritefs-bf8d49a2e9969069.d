@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sdfs_spritefs-bf8d49a2e9969069.d: crates/spritefs/src/lib.rs crates/spritefs/src/cache.rs crates/spritefs/src/client.rs crates/spritefs/src/cluster.rs crates/spritefs/src/config.rs crates/spritefs/src/fs.rs crates/spritefs/src/metrics.rs crates/spritefs/src/ops.rs crates/spritefs/src/rpc.rs crates/spritefs/src/server.rs crates/spritefs/src/vm.rs
+
+/root/repo/target/release/deps/libsdfs_spritefs-bf8d49a2e9969069.rlib: crates/spritefs/src/lib.rs crates/spritefs/src/cache.rs crates/spritefs/src/client.rs crates/spritefs/src/cluster.rs crates/spritefs/src/config.rs crates/spritefs/src/fs.rs crates/spritefs/src/metrics.rs crates/spritefs/src/ops.rs crates/spritefs/src/rpc.rs crates/spritefs/src/server.rs crates/spritefs/src/vm.rs
+
+/root/repo/target/release/deps/libsdfs_spritefs-bf8d49a2e9969069.rmeta: crates/spritefs/src/lib.rs crates/spritefs/src/cache.rs crates/spritefs/src/client.rs crates/spritefs/src/cluster.rs crates/spritefs/src/config.rs crates/spritefs/src/fs.rs crates/spritefs/src/metrics.rs crates/spritefs/src/ops.rs crates/spritefs/src/rpc.rs crates/spritefs/src/server.rs crates/spritefs/src/vm.rs
+
+crates/spritefs/src/lib.rs:
+crates/spritefs/src/cache.rs:
+crates/spritefs/src/client.rs:
+crates/spritefs/src/cluster.rs:
+crates/spritefs/src/config.rs:
+crates/spritefs/src/fs.rs:
+crates/spritefs/src/metrics.rs:
+crates/spritefs/src/ops.rs:
+crates/spritefs/src/rpc.rs:
+crates/spritefs/src/server.rs:
+crates/spritefs/src/vm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sdfs_trace-b7f82a2a0f54c98c.d: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/file.rs crates/trace/src/ids.rs crates/trace/src/merge.rs crates/trace/src/record.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libsdfs_trace-b7f82a2a0f54c98c.rlib: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/file.rs crates/trace/src/ids.rs crates/trace/src/merge.rs crates/trace/src/record.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libsdfs_trace-b7f82a2a0f54c98c.rmeta: crates/trace/src/lib.rs crates/trace/src/codec.rs crates/trace/src/file.rs crates/trace/src/ids.rs crates/trace/src/merge.rs crates/trace/src/record.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/file.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/merge.rs:
+crates/trace/src/record.rs:
+crates/trace/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sdfs_workload-32fdda88882555ac.d: crates/workload/src/lib.rs crates/workload/src/apps.rs crates/workload/src/config.rs crates/workload/src/gen.rs crates/workload/src/namespace.rs crates/workload/src/summary.rs crates/workload/src/user.rs
+
+/root/repo/target/release/deps/libsdfs_workload-32fdda88882555ac.rlib: crates/workload/src/lib.rs crates/workload/src/apps.rs crates/workload/src/config.rs crates/workload/src/gen.rs crates/workload/src/namespace.rs crates/workload/src/summary.rs crates/workload/src/user.rs
+
+/root/repo/target/release/deps/libsdfs_workload-32fdda88882555ac.rmeta: crates/workload/src/lib.rs crates/workload/src/apps.rs crates/workload/src/config.rs crates/workload/src/gen.rs crates/workload/src/namespace.rs crates/workload/src/summary.rs crates/workload/src/user.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/apps.rs:
+crates/workload/src/config.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/namespace.rs:
+crates/workload/src/summary.rs:
+crates/workload/src/user.rs:

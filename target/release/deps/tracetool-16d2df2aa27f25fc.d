@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tracetool-16d2df2aa27f25fc.d: crates/trace/src/bin/tracetool.rs
+
+/root/repo/target/release/deps/tracetool-16d2df2aa27f25fc: crates/trace/src/bin/tracetool.rs
+
+crates/trace/src/bin/tracetool.rs:
