@@ -3,9 +3,10 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--traces N] [--days N]
+//! repro [--quick] [--traces N] [--days N] [--sanitize]
 //!       [all|table1|table2|table3|table10|table11|table12|cache|
-//!        figures [--csv DIR]|bsd|check|ablations|extensions|latency|gen-trace OUT]
+//!        figures [--csv DIR]|bsd|check|lint [--root DIR]|
+//!        ablations|extensions|latency|gen-trace OUT]
 //! ```
 //!
 //! With no arguments the full study runs at paper scale (eight 24-hour
@@ -28,7 +29,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     // The first positional argument is the subcommand; skip flags and
     // the values of flags that take one.
-    let value_flags = ["--traces", "--days", "--csv"];
+    let value_flags = ["--traces", "--days", "--csv", "--root"];
     let mut what = String::from("all");
     let mut skip_next = false;
     for a in args.iter() {
@@ -46,6 +47,36 @@ fn main() {
         what = a.clone();
         // `gen-trace OUT` keeps OUT as its own argument.
         break;
+    }
+
+    if what == "lint" {
+        // `repro lint [--root DIR]`: run the determinism lints over the
+        // workspace sources. Exits 1 if any rule fires.
+        let root = args
+            .iter()
+            .position(|a| a == "--root")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+            });
+        match sdfs_lint::lint_workspace(&root) {
+            Ok(violations) if violations.is_empty() => {
+                eprintln!("repro lint: clean");
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("repro lint: {} violation(s)", violations.len());
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("repro lint: cannot walk {}: {e}", root.display());
+                std::process::exit(2);
+            }
+        }
+        return;
     }
 
     let mut cfg = if quick {
@@ -66,6 +97,10 @@ fn main() {
     if let Some(n) = flag_val("--days") {
         cfg.counter_days = n;
     }
+    // `--sanitize` runs SpriteSan alongside the simulation. The verdict
+    // goes to stderr so stdout stays byte-identical to a plain run.
+    let sanitize = args.iter().any(|a| a == "--sanitize");
+    cfg.cluster.sanitize = sanitize;
     let study = Study::new(cfg);
 
     if what == "bench" {
@@ -184,6 +219,17 @@ fn main() {
         _ => report::render_all(&mut results),
     };
     println!("{out}");
+    if sanitize {
+        match results.sanitizer_summary() {
+            Some(san) => {
+                eprintln!("{}", san.render());
+                if !san.is_clean() {
+                    std::process::exit(1);
+                }
+            }
+            None => eprintln!("sanitizer: no verdict collected"),
+        }
+    }
 }
 
 /// Pre-optimization wall clock of `repro --quick all` on the reference

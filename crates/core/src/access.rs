@@ -5,7 +5,7 @@
 //! paper's unit of analysis — the *access* (open … close) with its
 //! sequential *runs* — which Tables 2–3 and Figures 1–3 all consume.
 
-use std::collections::HashMap;
+use sdfs_simkit::FastMap;
 
 use sdfs_simkit::SimTime;
 use sdfs_trace::{ClientId, FileId, Handle, Record, RecordKind, UserId};
@@ -146,7 +146,7 @@ struct Pending {
 /// so every consumer sees accesses in the same (close-completion) order.
 #[derive(Debug, Default)]
 pub struct AccessScanner {
-    pending: HashMap<Handle, Pending>,
+    pending: FastMap<Handle, Pending>,
 }
 
 impl AccessScanner {

@@ -6,7 +6,7 @@
 //! reposition boundaries, and individual shared reads/writes) — the same
 //! timing resolution the original traces had.
 
-use std::collections::HashMap;
+use sdfs_simkit::FastMap;
 
 use sdfs_simkit::{SimDuration, SimTime, Summary};
 use sdfs_trace::{Record, RecordKind, UserId};
@@ -74,8 +74,8 @@ fn record_bytes(rec: &Record) -> u64 {
 pub struct ActivityAccumulator {
     width: SimDuration,
     migrated_only: bool,
-    per_interval_users: HashMap<u64, Vec<UserId>>,
-    user_interval_bytes: HashMap<(u64, UserId), u64>,
+    per_interval_users: FastMap<u64, Vec<UserId>>,
+    user_interval_bytes: FastMap<(u64, UserId), u64>,
     end: SimTime,
 }
 
@@ -87,8 +87,8 @@ impl ActivityAccumulator {
         ActivityAccumulator {
             width,
             migrated_only,
-            per_interval_users: HashMap::new(),
-            user_interval_bytes: HashMap::new(),
+            per_interval_users: FastMap::default(),
+            user_interval_bytes: FastMap::default(),
             end: SimTime::ZERO,
         }
     }
@@ -142,7 +142,7 @@ impl ActivityAccumulator {
         entries.sort_unstable_by_key(|&(k, _)| k);
         let mut throughput = Summary::new();
         let mut peak_user = 0.0f64;
-        let mut interval_totals: HashMap<u64, u64> = HashMap::new();
+        let mut interval_totals: FastMap<u64, u64> = FastMap::default();
         for &((idx, _user), bytes) in &entries {
             let rate = bytes as f64 / secs;
             throughput.add(rate);

@@ -22,8 +22,8 @@ pub struct Table4 {
 }
 
 fn window_changes(metrics: &MachineMetrics, width: SimDuration, out: &mut Summary) {
-    use std::collections::HashMap;
-    let mut windows: HashMap<u64, (u64, u64, bool)> = HashMap::new();
+    use sdfs_simkit::FastMap;
+    let mut windows: FastMap<u64, (u64, u64, bool)> = FastMap::default();
     for s in &metrics.samples {
         let w = s.time.interval_index(width);
         let e = windows.entry(w).or_insert((u64::MAX, 0, false));

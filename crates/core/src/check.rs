@@ -255,6 +255,17 @@ pub fn scorecard(results: &mut StudyResults) -> Scorecard {
         0.999,
         1.001,
     );
+
+    // --- SpriteSan (present only when the study ran sanitized) ---
+    if let Some(san) = results.sanitizer_summary() {
+        add(
+            "SpriteSan violations",
+            "consistency oracle: none",
+            san.violations() as f64,
+            0.0,
+            0.0,
+        );
+    }
     sc
 }
 
@@ -296,5 +307,32 @@ mod tests {
             ..c
         };
         assert!(!c2.passed());
+    }
+
+    #[test]
+    fn check_band_edges_are_inclusive() {
+        let base = Check {
+            name: "x",
+            paper: "y",
+            measured: 0.0,
+            band: (1.0, 10.0),
+        };
+        // Both endpoints are inside the band.
+        assert!(Check { measured: 1.0, ..base.clone() }.passed());
+        assert!(Check { measured: 10.0, ..base.clone() }.passed());
+        // Values just outside either endpoint are not.
+        assert!(!Check { measured: 1.0 - 1e-12, ..base.clone() }.passed());
+        assert!(!Check { measured: 10.0 + 1e-12, ..base.clone() }.passed());
+        // A degenerate band accepts exactly one value.
+        let exact = Check {
+            measured: 0.0,
+            band: (0.0, 0.0),
+            ..base.clone()
+        };
+        assert!(exact.passed());
+        assert!(!Check { measured: f64::EPSILON, ..exact.clone() }.passed());
+        assert!(!Check { measured: -f64::EPSILON, ..exact.clone() }.passed());
+        // NaN never passes: comparisons with NaN are false.
+        assert!(!Check { measured: f64::NAN, ..base }.passed());
     }
 }

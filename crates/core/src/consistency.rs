@@ -7,7 +7,7 @@
 //! know whether the last writer already flushed its dirty data, so every
 //! open whose last writer is a different client counts.
 
-use std::collections::HashMap;
+use sdfs_simkit::FastMap;
 
 use sdfs_trace::{ClientId, FileId, Handle, Record, RecordKind};
 
@@ -66,7 +66,7 @@ impl FileState {
 #[derive(Debug, Default)]
 pub struct Table10Builder {
     t: Table10,
-    files: HashMap<FileId, FileState>,
+    files: FastMap<FileId, FileState>,
 }
 
 impl Table10Builder {

@@ -51,7 +51,7 @@ pub fn crash_exposure_ablation(base: &StudyConfig, delays_secs: &[u64]) -> Vec<C
                         .sum();
                     exposure.add(total as f64);
                     while next_sample <= op.time {
-                        next_sample = next_sample + SimDuration::from_secs(60);
+                        next_sample += SimDuration::from_secs(60);
                     }
                 }
                 cluster.apply(&op);

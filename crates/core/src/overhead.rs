@@ -18,7 +18,7 @@
 //! actions; a 30-second delayed-write policy is modelled, all per the
 //! paper's simulator description.
 
-use std::collections::{HashMap, HashSet};
+use sdfs_simkit::{FastMap, FastSet};
 
 use sdfs_simkit::{SimDuration, SimTime};
 use sdfs_trace::{ClientId, FileId, Handle, Record, RecordKind};
@@ -73,12 +73,12 @@ struct SimFile {
     /// Open handles: (handle, client, writes).
     opens: Vec<(Handle, ClientId, bool)>,
     /// Cached blocks per client.
-    cached: HashMap<ClientId, HashSet<u64>>,
+    cached: FastMap<ClientId, FastSet<u64>>,
     /// Dirty blocks of the current writer: block → dirty since.
-    dirty: HashMap<(ClientId, u64), SimTime>,
+    dirty: FastMap<(ClientId, u64), SimTime>,
     /// Token state (token mode only).
     writer_token: Option<ClientId>,
-    reader_tokens: HashSet<ClientId>,
+    reader_tokens: FastSet<ClientId>,
 }
 
 impl SimFile {
@@ -99,7 +99,7 @@ struct Sim {
     alg: Algorithm,
     block: u64,
     delay: SimDuration,
-    files: HashMap<FileId, SimFile>,
+    files: FastMap<FileId, SimFile>,
     result: OverheadResult,
 }
 
@@ -109,7 +109,7 @@ impl Sim {
             alg,
             block,
             delay,
-            files: HashMap::new(),
+            files: FastMap::default(),
             result: OverheadResult::default(),
         }
     }
@@ -363,7 +363,7 @@ pub fn simulate(
     delay: SimDuration,
 ) -> OverheadResult {
     // First pass: which files undergo write sharing at all?
-    let mut shared_files: HashSet<FileId> = HashSet::new();
+    let mut shared_files: FastSet<FileId> = FastSet::default();
     for rec in records {
         match rec.kind {
             RecordKind::SharedRead { file, .. } | RecordKind::SharedWrite { file, .. } => {

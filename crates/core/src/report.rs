@@ -76,12 +76,15 @@ pub fn render_table1(traces: &[TraceAnalysis]) -> String {
     s
 }
 
+/// Selects one interval-class activity summary out of a trace analysis.
+type StatPick = fn(&TraceAnalysis) -> &crate::activity::ActivityStats;
+
 /// Table 2: user activity, aggregated across traces.
 pub fn render_table2(traces: &[TraceAnalysis]) -> String {
     use sdfs_simkit::Summary;
     let mut s = String::new();
     let _ = writeln!(s, "Table 2. User activity (measured vs paper)");
-    let agg = |pick: &dyn Fn(&TraceAnalysis) -> &crate::activity::ActivityStats| {
+    let agg = |pick: StatPick| {
         let mut active = Summary::new();
         let mut tput = Summary::new();
         let mut max_active = 0u64;
@@ -97,24 +100,20 @@ pub fn render_table2(traces: &[TraceAnalysis]) -> String {
         }
         (active, tput, max_active, peak_user, peak_total)
     };
-    let rows: [(
-        &str,
-        &dyn Fn(&TraceAnalysis) -> &crate::activity::ActivityStats,
-        [&str; 5],
-    ); 4] = [
+    let rows: [(&str, StatPick, [&str; 5]); 4] = [
         (
             "10-minute intervals, all users",
-            &|t| &t.activity.ten_min_all,
+            |t| &t.activity.ten_min_all,
             ["9.1 (5.1)", "27", "8.0 (36) KB/s", "458 KB/s", "681 KB/s"],
         ),
         (
             "10-minute intervals, migrated",
-            &|t| &t.activity.ten_min_migrated,
+            |t| &t.activity.ten_min_migrated,
             ["0.91 (0.98)", "5", "50.7 (96) KB/s", "458 KB/s", "616 KB/s"],
         ),
         (
             "10-second intervals, all users",
-            &|t| &t.activity.ten_sec_all,
+            |t| &t.activity.ten_sec_all,
             [
                 "1.6 (1.5)",
                 "12",
@@ -125,7 +124,7 @@ pub fn render_table2(traces: &[TraceAnalysis]) -> String {
         ),
         (
             "10-second intervals, migrated",
-            &|t| &t.activity.ten_sec_migrated,
+            |t| &t.activity.ten_sec_migrated,
             [
                 "0.14 (0.4)",
                 "4",

@@ -8,7 +8,7 @@
 //! (closes with written bytes and pass-through shared writes); reads
 //! occur at read-mode opens and at shared-read events.
 
-use std::collections::{HashMap, HashSet};
+use sdfs_simkit::{FastMap, FastSet};
 
 use sdfs_simkit::{SimDuration, SimTime};
 use sdfs_trace::{ClientId, FileId, Record, RecordKind, UserId};
@@ -27,11 +27,11 @@ pub struct PollingOutcome {
     /// Errors per hour of trace time.
     pub errors_per_hour: f64,
     /// Users who suffered at least one error.
-    pub users_affected: HashSet<UserId>,
+    pub users_affected: FastSet<UserId>,
     /// All users seen in the trace.
     pub total_users: usize,
     /// The identities of every user seen (for cross-trace unions).
-    pub users_seen: HashSet<UserId>,
+    pub users_seen: FastSet<UserId>,
     /// File opens examined.
     pub file_opens: u64,
     /// Opens during which an error occurred.
@@ -87,17 +87,17 @@ struct ClientView {
 #[derive(Debug)]
 pub struct PollingSim {
     interval: SimDuration,
-    versions: HashMap<FileId, u64>,
-    views: HashMap<(ClientId, FileId), ClientView>,
-    users: HashSet<UserId>,
-    affected: HashSet<UserId>,
+    versions: FastMap<FileId, u64>,
+    views: FastMap<(ClientId, FileId), ClientView>,
+    users: FastSet<UserId>,
+    affected: FastSet<UserId>,
     // Open currently erroneous, keyed by (client, file): counts opens
     // during which any stale use happened.
-    open_error: HashMap<(ClientId, FileId), bool>,
+    open_error: FastMap<(ClientId, FileId), bool>,
     stale_events: u64,
     // A client that wrote through shared events must not double-bump the
     // version at close.
-    shared_writer: HashSet<(ClientId, FileId)>,
+    shared_writer: FastSet<(ClientId, FileId)>,
     file_opens: u64,
     opens_with_error: u64,
     migrated_opens: u64,
@@ -111,13 +111,13 @@ impl PollingSim {
     pub fn new(interval: SimDuration) -> Self {
         PollingSim {
             interval,
-            versions: HashMap::new(),
-            views: HashMap::new(),
-            users: HashSet::new(),
-            affected: HashSet::new(),
-            open_error: HashMap::new(),
+            versions: FastMap::default(),
+            views: FastMap::default(),
+            users: FastSet::default(),
+            affected: FastSet::default(),
+            open_error: FastMap::default(),
             stale_events: 0,
-            shared_writer: HashSet::new(),
+            shared_writer: FastSet::default(),
             file_opens: 0,
             opens_with_error: 0,
             migrated_opens: 0,

@@ -13,7 +13,7 @@
 use sdfs_simkit::{CounterSet, SimDuration, SimTime};
 use sdfs_spritefs::cluster::NullSink;
 use sdfs_spritefs::metrics::MachineMetrics;
-use sdfs_spritefs::{Cluster, Config, VecSink};
+use sdfs_spritefs::{Cluster, Config, SanitizerStats, VecSink};
 use sdfs_trace::merge::merge_vecs;
 use sdfs_trace::{Record, TraceStats};
 use sdfs_workload::{Generator, TraceSpec, WorkloadConfig};
@@ -59,13 +59,17 @@ impl StudyConfig {
     /// A reduced study for tests: a small cluster, light activity, two
     /// traces (one heavy), two counter days.
     pub fn quick() -> Self {
-        let mut wl = WorkloadConfig::default();
-        wl.num_clients = 8;
-        wl.num_users = 16;
-        wl.activity_scale = 0.5;
-        let mut cluster = Config::default();
-        cluster.num_clients = 8;
-        cluster.num_servers = 2;
+        let wl = WorkloadConfig {
+            num_clients: 8,
+            num_users: 16,
+            activity_scale: 0.5,
+            ..WorkloadConfig::default()
+        };
+        let cluster = Config {
+            num_clients: 8,
+            num_servers: 2,
+            ..Config::default()
+        };
         StudyConfig {
             cluster,
             workload: wl,
@@ -104,6 +108,9 @@ pub struct TraceAnalysis {
     pub table11: Table11,
     /// Table 12 simulation results.
     pub table12: Table12,
+    /// SpriteSan verdict for the cluster run that produced this trace
+    /// (`None` unless the study ran with `sanitize` set).
+    pub sanitizer: Option<SanitizerStats>,
 }
 
 /// Results of the counter campaign.
@@ -117,6 +124,9 @@ pub struct CounterData {
     pub total: CounterSet,
     /// Per-server counters.
     pub servers: Vec<CounterSet>,
+    /// SpriteSan verdict for the counter campaign (`None` unless the
+    /// study ran with `sanitize` set).
+    pub sanitizer: Option<SanitizerStats>,
 }
 
 /// All study outputs.
@@ -172,6 +182,15 @@ impl Study {
     /// Synthesizes and executes one trace, returning the merged,
     /// time-ordered record stream.
     pub fn run_trace_records(&self, spec: TraceSpec) -> Vec<Record> {
+        self.run_trace_records_sanitized(spec).0
+    }
+
+    /// Like [`Study::run_trace_records`], but also returns SpriteSan's
+    /// verdict for the run (`None` unless `cluster.sanitize` is set).
+    pub fn run_trace_records_sanitized(
+        &self,
+        spec: TraceSpec,
+    ) -> (Vec<Record>, Option<SanitizerStats>) {
         let wl = self.cfg.workload.for_trace(spec);
         let mut gen = Generator::new(wl);
         let mut cluster = Cluster::new(
@@ -182,8 +201,9 @@ impl Study {
         let ops = gen.generate_day(0);
         // Let trailing delayed writes happen before the trace ends.
         cluster.run(ops, SimTime::from_secs(86_400));
+        let san = cluster.take_sanitizer_stats();
         let sink = cluster.into_sink();
-        merge_vecs(sink.per_server)
+        (merge_vecs(sink.per_server), san)
     }
 
     /// Runs every analysis over one merged trace in a single fused pass.
@@ -202,6 +222,7 @@ impl Study {
             table10: fused.table10,
             table11: fused.table11,
             table12: fused.table12,
+            sanitizer: None,
         }
     }
 
@@ -218,6 +239,7 @@ impl Study {
             table10: table10(records),
             table11: table11(records),
             table12: table12(records),
+            sanitizer: None,
         }
     }
 
@@ -247,8 +269,9 @@ impl Study {
                         break;
                     }
                     let spec = specs[i];
-                    let records = self.run_trace_records(spec);
-                    let analysis = self.analyze_trace(spec, &records);
+                    let (records, san) = self.run_trace_records_sanitized(spec);
+                    let mut analysis = self.analyze_trace(spec, &records);
+                    analysis.sanitizer = san;
                     *slots[i].lock().expect("slot lock poisoned") = Some(analysis);
                 });
             }
@@ -288,6 +311,7 @@ impl Study {
             }
             per_day.push(day_rows);
         }
+        let sanitizer = cluster.take_sanitizer_stats();
         let (_sink, clients, servers) = cluster.into_parts();
         let metrics: Vec<MachineMetrics> = clients.into_iter().map(|c| c.metrics).collect();
         let mut total = CounterSet::new();
@@ -299,6 +323,7 @@ impl Study {
             per_day,
             total,
             servers: servers.into_iter().map(|s| s.counters).collect(),
+            sanitizer,
         }
     }
 
@@ -346,15 +371,33 @@ impl StudyResults {
         agg
     }
 
+    /// Merged SpriteSan verdict across the trace and counter campaigns
+    /// (`None` unless the study ran with `sanitize` set).
+    pub fn sanitizer_summary(&self) -> Option<SanitizerStats> {
+        let mut acc: Option<SanitizerStats> = None;
+        for s in self
+            .traces
+            .iter()
+            .filter_map(|t| t.sanitizer.as_ref())
+            .chain(self.counters.sanitizer.as_ref())
+        {
+            match &mut acc {
+                Some(a) => a.merge(s),
+                None => acc = Some(s.clone()),
+            }
+        }
+        acc
+    }
+
     /// Percent of all users affected by stale data in *any* trace, per
     /// interval (the paper's "over all traces" row). The population is
     /// the union of users seen across traces (user identities are stable
     /// across traces, as on the real cluster).
     pub fn staleness_union_pct(&self) -> (f64, f64) {
-        use std::collections::HashSet;
-        let mut sixty: HashSet<sdfs_trace::UserId> = HashSet::new();
-        let mut three: HashSet<sdfs_trace::UserId> = HashSet::new();
-        let mut population: HashSet<sdfs_trace::UserId> = HashSet::new();
+        use sdfs_simkit::FastSet;
+        let mut sixty: FastSet<sdfs_trace::UserId> = FastSet::default();
+        let mut three: FastSet<sdfs_trace::UserId> = FastSet::default();
+        let mut population: FastSet<sdfs_trace::UserId> = FastSet::default();
         for t in &self.traces {
             sixty.extend(t.table11.sixty.users_affected.iter().copied());
             three.extend(t.table11.three.users_affected.iter().copied());

@@ -1,0 +1,371 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The lint pass does not need a full parser — only a token stream that
+//! is *correct about what is code and what is not*. Getting that right
+//! means handling every way Rust can embed text that looks like code but
+//! isn't (line and nested block comments, string and raw-string
+//! literals, char literals vs. lifetimes) and preserving the pieces the
+//! rule engine does care about: identifiers, punctuation, doc-comment
+//! lines (doctests compile!), and ordinary comments (they carry
+//! `lint:allow` directives).
+
+/// One lexical event, tagged with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An identifier or keyword.
+    Ident {
+        /// Source line.
+        line: u32,
+        /// The identifier text.
+        text: String,
+    },
+    /// A single punctuation character (operators are not glued).
+    Punct {
+        /// Source line.
+        line: u32,
+        /// The character.
+        ch: char,
+    },
+    /// One line of doc comment (`///` or `//!`), text after the marker.
+    Doc {
+        /// Source line.
+        line: u32,
+        /// Text after the `///` / `//!` marker.
+        text: String,
+    },
+    /// An ordinary comment (`//` line or `/* */` block), full text.
+    Comment {
+        /// Source line where the comment starts.
+        line: u32,
+        /// The comment body.
+        text: String,
+    },
+}
+
+impl Event {
+    /// The source line of the event.
+    pub fn line(&self) -> u32 {
+        match self {
+            Event::Ident { line, .. }
+            | Event::Punct { line, .. }
+            | Event::Doc { line, .. }
+            | Event::Comment { line, .. } => *line,
+        }
+    }
+}
+
+/// Lexes `source` into a stream of [`Event`]s.
+///
+/// String and char literal *contents* are discarded (nothing inside a
+/// string is code), numeric literals are discarded except that a
+/// `f32`/`f64` suffix is surfaced as an [`Event::Ident`] so the float
+/// rule can see `1.0f32`.
+pub fn lex(source: &str) -> Vec<Event> {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Line comments: plain, doc (///), and inner doc (//!).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start_line = line;
+            let mut j = i + 2;
+            let doc = (j < n && b[j] == '/' && !(j + 1 < n && b[j + 1] == '/'))
+                || (j < n && b[j] == '!');
+            if doc {
+                j += 1;
+            } else if j < n && b[j] == '/' {
+                // `////...` — treated as a plain comment, like rustdoc.
+                while j < n && b[j] == '/' {
+                    j += 1;
+                }
+            }
+            let mut text = String::new();
+            while j < n && b[j] != '\n' {
+                text.push(b[j]);
+                j += 1;
+            }
+            if doc {
+                out.push(Event::Doc {
+                    line: start_line,
+                    text,
+                });
+            } else {
+                out.push(Event::Comment {
+                    line: start_line,
+                    text,
+                });
+            }
+            i = j;
+            continue;
+        }
+        // Block comments, which nest in Rust.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && depth > 0 {
+                if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    bump_line!(b[j]);
+                    text.push(b[j]);
+                    j += 1;
+                }
+            }
+            out.push(Event::Comment {
+                line: start_line,
+                text,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings: r"..."  r#"..."#  br#"..."# etc.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let mut j = i;
+            while b[j] != 'r' {
+                j += 1; // skip the b prefix
+            }
+            j += 1;
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            debug_assert!(j < n && b[j] == '"', "raw string must open with a quote");
+            j += 1;
+            // Scan for `"` followed by `hashes` hash marks.
+            'scan: while j < n {
+                if b[j] == '"' {
+                    let mut k = 0usize;
+                    while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        j += 1 + hashes;
+                        break 'scan;
+                    }
+                }
+                bump_line!(b[j]);
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        // Ordinary (and byte) string literals.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let mut j = if c == '"' { i + 1 } else { i + 2 };
+            while j < n {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                bump_line!(b[j]);
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        // Char literal vs. lifetime. A lifetime is `'ident` with no
+        // closing quote; a char literal always closes.
+        if c == '\'' {
+            if i + 2 < n && (b[i + 1].is_alphanumeric() || b[i + 1] == '_') && b[i + 2] != '\'' {
+                // Lifetime (or `'static`): skip the quote, lex the ident
+                // normally on the next iteration.
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            if j < n && b[j] == '\\' {
+                j += 2;
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                // 'x'
+                j += 2;
+            }
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            let mut text = String::new();
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                text.push(b[j]);
+                j += 1;
+            }
+            out.push(Event::Ident { line, text });
+            i = j;
+            continue;
+        }
+        // Numbers; surface float-width suffixes as idents.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut text = String::new();
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
+                // `1.0.sqrt()` — stop a trailing method call from being
+                // swallowed: a second dot ends the number.
+                if b[j] == '.' && text.contains('.') {
+                    break;
+                }
+                // `0.max(..)`: dot followed by an alphabetic char is a
+                // method call, not a fraction.
+                if b[j] == '.' && j + 1 < n && (b[j + 1].is_alphabetic() || b[j + 1] == '_') {
+                    break;
+                }
+                text.push(b[j]);
+                j += 1;
+            }
+            for suffix in ["f32", "f64"] {
+                if text.ends_with(suffix) {
+                    out.push(Event::Ident {
+                        line,
+                        text: suffix.to_string(),
+                    });
+                }
+            }
+            i = j;
+            continue;
+        }
+        bump_line!(c);
+        if !c.is_whitespace() {
+            out.push(Event::Punct { line, ch: c });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Is position `i` the start of a raw (byte) string literal?
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= b.len() || b[j] != 'r' {
+            return false;
+        }
+    }
+    if b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Ident { text, .. } => Some(text),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let src = "// SystemTime::now()\nlet x = 1; /* Instant */";
+        assert_eq!(idents(src), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn main() {}";
+        assert_eq!(idents(src), vec!["fn", "main"]);
+    }
+
+    #[test]
+    fn strings_are_not_code() {
+        let src = r#"let s = "HashMap::new() \" quoted"; let t = 2;"#;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn raw_strings_are_not_code() {
+        let src = r##"let s = r#"Instant "quoted" inside"#; let t = b"x";"##;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        assert_eq!(
+            idents(src),
+            vec!["fn", "f", "a", "x", "a", "str", "char"]
+        );
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let src = r"let c = '\n'; let d = '\''; SystemTime";
+        assert_eq!(idents(src), vec!["let", "c", "let", "d", "SystemTime"]);
+    }
+
+    #[test]
+    fn doc_lines_are_separate_events() {
+        let src = "/// example\n//! inner\n// plain\nfn f() {}";
+        let evs = lex(src);
+        assert!(matches!(&evs[0], Event::Doc { text, .. } if text == " example"));
+        assert!(matches!(&evs[1], Event::Doc { text, .. } if text == " inner"));
+        assert!(matches!(&evs[2], Event::Comment { text, .. } if text == " plain"));
+    }
+
+    #[test]
+    fn float_suffixes_surface() {
+        let src = "let x = 1.0f32; let y = 2f64; let z = 3.5;";
+        assert_eq!(
+            idents(src),
+            vec!["let", "x", "f32", "let", "y", "f64", "let", "z"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "fn a() {}\n\nfn b() {}\n";
+        let evs = lex(src);
+        let b_line = evs
+            .iter()
+            .find_map(|e| match e {
+                Event::Ident { line, text } if text == "b" => Some(*line),
+                _ => None,
+            })
+            .expect("ident b lexed");
+        assert_eq!(b_line, 3);
+    }
+
+    #[test]
+    fn method_call_on_literal() {
+        let src = "let x = 0.max(1); let y = 1.0.sqrt();";
+        assert_eq!(idents(src), vec!["let", "x", "max", "let", "y", "sqrt"]);
+    }
+}

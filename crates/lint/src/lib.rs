@@ -1,0 +1,116 @@
+//! `sdfs-lint`: project-specific determinism lints.
+//!
+//! The scorecard (`core::check`) validates the simulator's *outputs*
+//! against the paper; this crate guards the *sources* against the ways
+//! nondeterminism sneaks back in. A hand-rolled lexer ([`lexer`])
+//! tokenizes each workspace source file, and a rule engine ([`rules`])
+//! flags wall-clock reads, OS entropy, default-hasher maps, library
+//! `.unwrap()`s, and `f32` statistics — each scoped to the crates where
+//! it matters. Run it as `repro lint`; `scripts/verify.sh` gates on it.
+//!
+//! Zero dependencies by design: the linter must never be the thing that
+//! drags a nondeterministic dependency into the workspace.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Rule, Violation};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints a single source string as if it lived in crate `crate_name` at
+/// `rel_path`. This is the unit-testable core; [`lint_workspace`] is the
+/// filesystem walker over it.
+pub fn lint_str(crate_name: &str, rel_path: &str, source: &str) -> Vec<Violation> {
+    rules::scan(&lexer::lex(source), crate_name, rel_path)
+}
+
+/// Walks `<root>/crates/*/src/**/*.rs` (sorted, so report order is
+/// stable) and lints every file against the rules scoped to its crate.
+/// Integration-test and bench directories outside `src/` are not
+/// scanned: the rules only bind library code.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut out = Vec::new();
+    for dir in crate_dirs {
+        let crate_name = match dir.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let source = fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.extend(lint_str(&crate_name, &rel, &source));
+        }
+    }
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_violation_in_fake_tree_is_caught() {
+        // Build a fake workspace in a temp dir and seed one violation,
+        // mirroring the acceptance criterion for `repro lint`.
+        let base = std::env::temp_dir().join(format!("sdfs_lint_test_{}", std::process::id()));
+        let src = base.join("crates/simkit/src");
+        fs::create_dir_all(&src).expect("create temp tree");
+        fs::write(
+            src.join("lib.rs"),
+            "pub fn now() -> std::time::SystemTime { std::time::SystemTime::now() }\n",
+        )
+        .expect("write seed file");
+        let v = lint_workspace(&base).expect("walk temp tree");
+        fs::remove_dir_all(&base).ok();
+        assert_eq!(v.len(), 2, "both SystemTime mentions flagged: {v:?}");
+        assert!(v.iter().all(|x| x.rule == Rule::WallClock));
+        assert_eq!(v[0].file, "crates/simkit/src/lib.rs");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn clean_fake_tree_passes() {
+        let base = std::env::temp_dir().join(format!("sdfs_lint_clean_{}", std::process::id()));
+        let src = base.join("crates/core/src");
+        fs::create_dir_all(&src).expect("create temp tree");
+        fs::write(src.join("lib.rs"), "pub fn f() -> u64 { 42 }\n").expect("write file");
+        let v = lint_workspace(&base).expect("walk temp tree");
+        fs::remove_dir_all(&base).ok();
+        assert!(v.is_empty(), "clean tree must produce no violations: {v:?}");
+    }
+}

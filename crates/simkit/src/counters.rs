@@ -42,7 +42,7 @@ impl PartialEq for CounterSet {
 
 #[inline]
 fn memo_slot(ptr: usize) -> usize {
-    (ptr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize & (MEMO_SLOTS - 1)
+    (ptr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) & (MEMO_SLOTS - 1)
 }
 
 impl CounterSet {

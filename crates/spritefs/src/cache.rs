@@ -367,6 +367,93 @@ impl BlockCache {
     pub fn ref_age(&self, key: BlockKey, now: SimTime) -> Option<SimDuration> {
         self.get(key).map(|e| now.since(e.last_ref))
     }
+
+    /// The block that has been dirty longest, with the start of its
+    /// dirty episode. O(log n); used by the sanitizer's write-back
+    /// window check after each daemon tick.
+    pub fn oldest_dirty(&self) -> Option<(SimTime, BlockKey)> {
+        self.dirty_by_time.iter().next().copied()
+    }
+
+    /// Cross-checks every internal index against the map: the LRU list
+    /// must thread exactly the live slots in non-decreasing `last_ref`
+    /// order, the dirty index must list exactly the dirty entries, and
+    /// the per-file index must partition the keys. Returns the first
+    /// inconsistency found. O(n); used by the sanitizer's deep audit.
+    pub fn audit(&self) -> Result<(), String> {
+        // Walk the LRU list.
+        let mut walked = 0usize;
+        let mut prev = NIL;
+        let mut prev_ref: Option<SimTime> = None;
+        let mut i = self.head;
+        while i != NIL {
+            let slot = &self.slots[i as usize];
+            if slot.prev != prev {
+                return Err(format!("LRU back-link broken at slot {i}"));
+            }
+            if self.map.get(&slot.key) != Some(&i) {
+                return Err(format!("LRU slot {i} holds {:?} not mapped to it", slot.key));
+            }
+            if let Some(p) = prev_ref {
+                if slot.entry.last_ref < p {
+                    return Err(format!("LRU order violated at slot {i}"));
+                }
+            }
+            prev_ref = Some(slot.entry.last_ref);
+            prev = i;
+            i = slot.next;
+            walked += 1;
+            if walked > self.slots.len() {
+                return Err("LRU list cycles".to_string());
+            }
+        }
+        if self.tail != prev {
+            return Err("LRU tail does not end the list".to_string());
+        }
+        if walked != self.map.len() {
+            return Err(format!(
+                "LRU list threads {walked} slots, map holds {}",
+                self.map.len()
+            ));
+        }
+        // Dirty index ⇔ dirty entries.
+        let dirty_entries = self
+            .map
+            .iter()
+            .filter(|(_, &i)| self.slots[i as usize].entry.dirty)
+            .count();
+        if dirty_entries != self.dirty_by_time.len() {
+            return Err(format!(
+                "dirty index holds {} blocks, {} entries are dirty",
+                self.dirty_by_time.len(),
+                dirty_entries
+            ));
+        }
+        for &(since, key) in &self.dirty_by_time {
+            match self.get(key) {
+                Some(e) if e.dirty && e.dirty_since == since => {}
+                _ => return Err(format!("dirty index entry {key:?}@{since} is wrong")),
+            }
+        }
+        // Per-file index ⇔ keys.
+        let indexed: usize = self.by_file.values().map(|s| s.len()).sum();
+        if indexed != self.map.len() {
+            return Err(format!(
+                "per-file index holds {indexed} blocks, map holds {}",
+                self.map.len()
+            ));
+        }
+        for key in self.map.keys() {
+            if !self
+                .by_file
+                .get(&key.file)
+                .is_some_and(|s| s.contains(&key.index))
+            {
+                return Err(format!("{key:?} missing from per-file index"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! accounting (file cache vs. virtual memory), the file versions it has
 //! seen (for open-time staleness checks), and its kernel counters.
 
-use std::collections::HashMap;
+use sdfs_simkit::FastMap;
 
 use sdfs_simkit::{SimDuration, SimTime};
 use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid};
@@ -80,18 +80,18 @@ pub struct Client {
     /// Physical-memory accounting (file cache ↔ VM trade).
     pub mem: MemoryManager,
     /// Open file table.
-    pub fds: HashMap<Handle, FdState>,
+    pub fds: FastMap<Handle, FdState>,
     /// Last file version this client observed, per file; used for the
     /// open-time staleness check.
-    pub seen_version: HashMap<FileId, u64>,
+    pub seen_version: FastMap<FileId, u64>,
     /// Last revalidation time per file (polling consistency mode).
-    pub last_validate: HashMap<FileId, SimTime>,
+    pub last_validate: FastMap<FileId, SimTime>,
     /// Running processes (for the VM model).
-    pub procs: HashMap<Pid, ProcState>,
+    pub procs: FastMap<Pid, ProcState>,
     /// Shared program text: executable → (running instances, resident
     /// code pages). Concurrent processes of the same program share one
     /// copy of the code, as real Sprite did.
-    pub shared_text: HashMap<FileId, (u32, u64)>,
+    pub shared_text: FastMap<FileId, (u32, u64)>,
     /// Kernel counters and cache-size samples.
     pub metrics: MachineMetrics,
     /// Last time any application operation ran here (for the Table 4
@@ -122,11 +122,11 @@ impl Client {
                 preference,
                 code_retention,
             ),
-            fds: HashMap::new(),
-            seen_version: HashMap::new(),
-            last_validate: HashMap::new(),
-            procs: HashMap::new(),
-            shared_text: HashMap::new(),
+            fds: FastMap::default(),
+            seen_version: FastMap::default(),
+            last_validate: FastMap::default(),
+            procs: FastMap::default(),
+            shared_text: FastMap::default(),
             metrics: MachineMetrics::new(),
             last_activity: SimTime::ZERO,
             scratch_blocks: Vec::new(),

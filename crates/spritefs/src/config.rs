@@ -110,6 +110,14 @@ pub struct Config {
     pub net: NetModel,
     /// Server disk latency model.
     pub disk: DiskModel,
+    /// Run the SpriteSan shadow-state sanitizer alongside the
+    /// simulation. Adds a ground-truth oracle checked on every operation;
+    /// results are unchanged (violations are reported out of band).
+    pub sanitize: bool,
+    /// Fault injection for sanitizer tests: skip the cache invalidation
+    /// that Sprite consistency performs when an open detects a stale
+    /// cached version. Never enable outside tests.
+    pub fault_skip_invalidate: bool,
 }
 
 impl Default for Config {
@@ -140,6 +148,8 @@ impl Default for Config {
                 access_us: 20_000,
                 per_byte_ns: 650,
             },
+            sanitize: false,
+            fault_skip_invalidate: false,
         }
     }
 }
@@ -244,20 +254,28 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = Config::default();
-        c.block_size = 1000;
+        let c = Config {
+            block_size: 1000,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = Config::default();
-        c.num_clients = 0;
+        let c = Config {
+            num_clients: 0,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = Config::default();
-        c.reserved_bytes = c.client_mem_bytes;
+        let c = Config {
+            reserved_bytes: Config::default().client_mem_bytes,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = Config::default();
-        c.daemon_period = SimDuration::from_secs(60);
+        let c = Config {
+            daemon_period: SimDuration::from_secs(60),
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
     }
 

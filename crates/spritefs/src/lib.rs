@@ -40,9 +40,11 @@ pub mod fs;
 pub mod metrics;
 pub mod ops;
 pub mod rpc;
+pub mod sanitizer;
 pub mod server;
 pub mod vm;
 
 pub use cluster::{Cluster, TraceSink, VecSink};
 pub use config::{Config, ConsistencyPolicy};
+pub use metrics::SanitizerStats;
 pub use ops::{AppOp, OpKind, PageClass};

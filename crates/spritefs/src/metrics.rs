@@ -156,6 +156,74 @@ pub mod consist {
     pub const STALE_READ_BYTES: &str = "consist.stale.read.bytes";
 }
 
+/// The sanitizer section: SpriteSan's verdict for one cluster run.
+///
+/// Kept out of [`sdfs_simkit::CounterSet`] on purpose — sanitizer
+/// bookkeeping must never perturb the counters behind the published
+/// tables, so a sanitized run stays byte-identical to a plain one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizerStats {
+    /// Checks performed (hooks fired), for "did it actually run".
+    pub ops_checked: u64,
+    /// Reads that observed stale data under a strong policy.
+    pub stale_reads: u64,
+    /// Blocks found dirty on two clients at once.
+    pub multi_dirty: u64,
+    /// Blocks still dirty past the delay-plus-scan write-back window.
+    pub writeback_window: u64,
+    /// LRU / dirty-index / page-grant conservation failures.
+    pub accounting: u64,
+    /// Human-readable description of the first violation seen.
+    pub first_violation: Option<String>,
+}
+
+impl SanitizerStats {
+    /// Total violations across all invariants.
+    pub fn violations(&self) -> u64 {
+        self.stale_reads + self.multi_dirty + self.writeback_window + self.accounting
+    }
+
+    /// `true` when every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations() == 0
+    }
+
+    /// Folds another run's verdict into this one (campaigns run many
+    /// clusters).
+    pub fn merge(&mut self, other: &SanitizerStats) {
+        self.ops_checked += other.ops_checked;
+        self.stale_reads += other.stale_reads;
+        self.multi_dirty += other.multi_dirty;
+        self.writeback_window += other.writeback_window;
+        self.accounting += other.accounting;
+        if self.first_violation.is_none() {
+            self.first_violation = other.first_violation.clone();
+        }
+    }
+
+    /// One-line summary for reports.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            format!("sanitizer: clean ({} checks)", self.ops_checked)
+        } else {
+            format!(
+                "sanitizer: {} violation(s) in {} checks \
+                 (stale reads {}, multi-dirty {}, write-back window {}, accounting {}){}",
+                self.violations(),
+                self.ops_checked,
+                self.stale_reads,
+                self.multi_dirty,
+                self.writeback_window,
+                self.accounting,
+                self.first_violation
+                    .as_deref()
+                    .map(|d| format!("\n  first: {d}"))
+                    .unwrap_or_default(),
+            )
+        }
+    }
+}
+
 /// One periodic observation of a client's cache size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeSample {

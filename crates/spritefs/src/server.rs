@@ -8,7 +8,7 @@
 //! whether client caching is disabled, and (in token mode) who holds
 //! which tokens.
 
-use std::collections::{HashMap, HashSet};
+use sdfs_simkit::{FastMap, FastSet};
 
 use sdfs_simkit::{CounterSet, SimTime};
 use sdfs_trace::{ClientId, FileId, Handle, OpenMode, ServerId};
@@ -30,7 +30,7 @@ pub struct OpenEntry {
 #[derive(Debug, Clone, Default)]
 pub struct TokenState {
     /// Clients holding read tokens.
-    pub readers: HashSet<ClientId>,
+    pub readers: FastSet<ClientId>,
     /// The client holding the write token, if any.
     pub writer: Option<ClientId>,
 }
@@ -100,7 +100,7 @@ pub struct Server {
     /// Cache capacity in blocks.
     pub capacity_blocks: u64,
     /// Per-file consistency state (only for files with activity).
-    pub files: HashMap<FileId, SrvFileState>,
+    pub files: FastMap<FileId, SrvFileState>,
     /// Server-side counters (disk traffic, RPCs served).
     pub counters: CounterSet,
     /// Scratch buffer reused by the write-back daemon's file scan.
@@ -116,7 +116,7 @@ impl Server {
             id,
             cache: BlockCache::new(),
             capacity_blocks: capacity_bytes / block_size,
-            files: HashMap::new(),
+            files: FastMap::default(),
             counters: CounterSet::new(),
             scratch_files: Vec::new(),
             scratch_blocks: Vec::new(),

@@ -17,7 +17,9 @@
 //!   and re-used by new invocations of the same program, until the pages
 //!   are reclaimed or the retention window passes.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use sdfs_simkit::FastMap;
 
 use sdfs_simkit::{SimDuration, SimTime};
 use sdfs_trace::FileId;
@@ -46,7 +48,7 @@ pub struct MemoryManager {
     idle: VecDeque<(SimTime, u64)>,
     idle_total: u64,
     /// Retained code pages by executable: (pages, last_exit).
-    retained: HashMap<FileId, (u64, SimTime)>,
+    retained: FastMap<FileId, (u64, SimTime)>,
     retained_total: u64,
     /// VM preference window (20 minutes in Sprite).
     preference: SimDuration,
@@ -73,7 +75,7 @@ impl MemoryManager {
             fc_pages: 0,
             idle: VecDeque::new(),
             idle_total: 0,
-            retained: HashMap::new(),
+            retained: FastMap::default(),
             retained_total: 0,
             preference,
             code_retention,

@@ -20,8 +20,8 @@
 //!     migrated: false,
 //!     kind: RecordKind::Create { file: FileId(0), is_dir: false },
 //! }];
-//! let bytes = to_bytes(&records).unwrap();
-//! assert_eq!(from_bytes(&bytes).unwrap(), records);
+//! let bytes = to_bytes(&records).expect("in-memory encode cannot fail");
+//! assert_eq!(from_bytes(&bytes).expect("round-trip decode"), records);
 //! ```
 
 use std::fs::File;

@@ -7,7 +7,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
+use sdfs_simkit::FastSet;
 
 use crate::ids::UserId;
 use crate::record::Record;
@@ -112,7 +112,7 @@ pub fn merge_vecs(sources: Vec<Vec<Record>>) -> Vec<Record> {
 /// backup, exactly as the paper's merge step did.
 #[derive(Debug, Clone, Default)]
 pub struct Scrub {
-    excluded_users: HashSet<UserId>,
+    excluded_users: FastSet<UserId>,
 }
 
 impl Scrub {

@@ -1,6 +1,6 @@
 //! Overall per-trace statistics (Table 1 of the paper).
 
-use std::collections::HashSet;
+use sdfs_simkit::FastSet;
 
 use sdfs_simkit::SimTime;
 
@@ -47,8 +47,8 @@ pub struct TraceStats {
 #[derive(Debug, Default)]
 pub struct TraceStatsBuilder {
     stats: TraceStats,
-    users: HashSet<UserId>,
-    migration_users: HashSet<UserId>,
+    users: FastSet<UserId>,
+    migration_users: FastSet<UserId>,
     first: Option<SimTime>,
 }
 

@@ -179,14 +179,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = WorkloadConfig::default();
-        c.daily_presence = 1.5;
+        let c = WorkloadConfig {
+            daily_presence: 1.5,
+            ..WorkloadConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = WorkloadConfig::default();
-        c.num_users = 0;
+        let c = WorkloadConfig {
+            num_users: 0,
+            ..WorkloadConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = WorkloadConfig::default();
-        c.activity_scale = 0.0;
+        let c = WorkloadConfig {
+            activity_scale: 0.0,
+            ..WorkloadConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

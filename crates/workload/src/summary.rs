@@ -6,7 +6,7 @@
 //! calibration work and for tests that want to assert on the stream
 //! without running the full cluster.
 
-use std::collections::HashSet;
+use sdfs_simkit::FastSet;
 
 use sdfs_spritefs::ops::{AppOp, OpKind};
 use sdfs_trace::{ClientId, UserId};
@@ -62,8 +62,8 @@ impl OpSummary {
     /// Computes the summary over a stream.
     pub fn compute<'a, I: IntoIterator<Item = &'a AppOp>>(ops: I) -> Self {
         let mut s = OpSummary::default();
-        let mut users: HashSet<UserId> = HashSet::new();
-        let mut clients: HashSet<ClientId> = HashSet::new();
+        let mut users: FastSet<UserId> = FastSet::default();
+        let mut clients: FastSet<ClientId> = FastSet::default();
         for op in ops {
             users.insert(op.user);
             clients.insert(op.client);

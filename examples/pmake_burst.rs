@@ -15,18 +15,22 @@ use sdfs_trace::merge::merge_vecs;
 use sdfs_workload::{Generator, TraceSpec, WorkloadConfig};
 
 fn main() {
-    let mut wl = WorkloadConfig::default();
-    wl.num_clients = 16;
-    wl.num_users = 24;
-    // Lots of pmake: every compile-capable user fans out.
-    wl.migration_fraction = 0.5;
+    let wl = WorkloadConfig {
+        num_clients: 16,
+        num_users: 24,
+        // Lots of pmake: every compile-capable user fans out.
+        migration_fraction: 0.5,
+        ..WorkloadConfig::default()
+    };
     let wl = wl.for_trace(TraceSpec {
         seed: 42,
         heavy_sim: false,
     });
 
-    let mut cluster_cfg = Config::default();
-    cluster_cfg.num_clients = 16;
+    let cluster_cfg = Config {
+        num_clients: 16,
+        ..Config::default()
+    };
     let mut gen = Generator::new(wl);
     let mut cluster = Cluster::new(cluster_cfg.clone(), VecSink::new(cluster_cfg.num_servers));
     cluster.preload(&gen.preload_list());

@@ -14,11 +14,21 @@ cargo build --release --offline
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline
 
+echo "==> static: repro lint"
+./target/release/repro lint
+
+echo "==> static: cargo clippy -D warnings"
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
 echo "==> end-to-end: repro --quick all"
 start_ms=$(date +%s%3N)
 ./target/release/repro --quick all > /tmp/verify_report.txt
 end_ms=$(date +%s%3N)
 echo "    report: $(wc -c < /tmp/verify_report.txt) bytes in $((end_ms - start_ms)) ms"
+
+echo "==> sanitizer: repro --quick --sanitize all (must be clean and byte-identical)"
+./target/release/repro --quick --sanitize all > /tmp/verify_report_san.txt
+cmp /tmp/verify_report.txt /tmp/verify_report_san.txt
 
 echo "==> bench smoke: repro bench"
 tmpdir=$(mktemp -d)
