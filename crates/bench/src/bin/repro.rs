@@ -6,7 +6,7 @@
 //! repro [--quick] [--traces N] [--days N] [--sanitize]
 //!       [all|table1|table2|table3|table10|table11|table12|cache|
 //!        figures [--csv DIR]|bsd|check|lint [--root DIR]|
-//!        ablations|extensions|latency|gen-trace OUT]
+//!        ablations|extensions|faults|latency|gen-trace OUT]
 //! ```
 //!
 //! With no arguments the full study runs at paper scale (eight 24-hour
@@ -133,6 +133,35 @@ fn main() {
             render_crash_exposure(&crash_exposure_ablation(&cfg, &[5, 30, 120, 600]))
         );
         println!("{}", render_policy_matrix(&policy_matrix(&cfg)));
+        return;
+    }
+
+    if what == "faults" {
+        // `repro faults [--sanitize]`: the availability study — one day
+        // under a deterministic fault plan, plus the loss-vs-delay and
+        // storm-vs-cluster-size sweeps.
+        use sdfs_core::recovery;
+        let mut cfg = study.config().clone();
+        cfg.workload.activity_scale = cfg.workload.activity_scale.min(0.5);
+        let plan = recovery::default_plan();
+        let outcome = recovery::run_outage_day(&cfg, &plan, sanitize);
+        let loss = recovery::loss_vs_writeback_delay(&cfg, &plan, &[5, 30, 120, 600]);
+        let storm = recovery::storm_vs_cluster_size(&cfg, &plan, &[4, 8, 16, 32]);
+        println!(
+            "{}",
+            recovery::render_availability(&plan, &outcome, &loss, &storm)
+        );
+        if sanitize {
+            match &outcome.sanitizer {
+                Some(san) => {
+                    eprintln!("{}", san.render());
+                    if !san.is_clean() {
+                        std::process::exit(1);
+                    }
+                }
+                None => eprintln!("sanitizer: no verdict collected"),
+            }
+        }
         return;
     }
 

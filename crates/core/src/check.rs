@@ -266,6 +266,34 @@ pub fn scorecard(results: &mut StudyResults) -> Scorecard {
             0.0,
         );
     }
+
+    // --- Crash/recovery subsystem ---
+    // A deterministic availability probe at a fixed quick scale (so it is
+    // identical whether the surrounding study ran quick or full size):
+    // the crash must destroy volatile server data, the reboot must draw a
+    // recovery storm, and the oracle must stay clean across the failure.
+    let probe = crate::recovery::availability_probe();
+    add(
+        "recovery storm RPCs after crash",
+        "clients re-register and reopen",
+        probe.storm_rpcs as f64,
+        1.0,
+        1e9,
+    );
+    add(
+        "server crash loses dirty cache, bytes",
+        "volatile state is lost; disk survives",
+        probe.lost_bytes as f64,
+        1.0,
+        1e12,
+    );
+    add(
+        "SpriteSan violations across crash",
+        "recovery restores consistency",
+        probe.violations as f64,
+        0.0,
+        0.0,
+    );
     sc
 }
 

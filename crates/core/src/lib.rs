@@ -34,6 +34,7 @@ pub mod fused;
 pub mod latency;
 pub mod overhead;
 pub mod patterns;
+pub mod recovery;
 pub mod report;
 pub mod staleness;
 pub mod study;

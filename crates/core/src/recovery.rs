@@ -1,0 +1,366 @@
+//! Availability under server failure: the crash/recovery study.
+//!
+//! The paper's Sprite cluster ran diskless clients against a handful of
+//! file servers; when a server crashed, its volatile state (cache and
+//! per-client consistency records) was gone but its disk survived, and
+//! the Sprite recovery protocol had every client re-register its open
+//! files with the reborn server — a burst of traffic proportional to
+//! the amount of distributed state ("recovery storm"). This module
+//! measures that behaviour on the simulated cluster with a
+//! deterministic [`FaultPlan`]: unavailability seconds, data destroyed
+//! at the crash, degraded-mode stalls and queued write-backs, and the
+//! size of the storm versus cluster size and write-back delay.
+
+use sdfs_simkit::{SimDuration, SimTime};
+use sdfs_spritefs::cluster::NullSink;
+use sdfs_spritefs::metrics::fault;
+use sdfs_spritefs::{Cluster, FaultPlan, SanitizerStats, ServerOutage};
+use sdfs_workload::Generator;
+
+use crate::study::StudyConfig;
+
+/// The canned mid-day outage used by `repro faults` and the scorecard:
+/// server 0 (the hot server, holding ~70% of files) crashes at 1 PM —
+/// the heart of the diurnal activity peak, when open files and dirty
+/// write-back traffic are at their daily maximum — and stays down five
+/// minutes, with 1% message loss on every RPC for the whole day.
+pub fn default_plan() -> FaultPlan {
+    FaultPlan {
+        outages: vec![ServerOutage {
+            server: 0,
+            at: SimTime::from_secs(46_800),
+            down_for: SimDuration::from_secs(300),
+        }],
+        drop_prob: 0.01,
+        ..FaultPlan::default()
+    }
+}
+
+/// Everything measured from one faulted day.
+#[derive(Debug, Clone)]
+pub struct OutageOutcome {
+    /// Scheduled downtime across all outages, seconds.
+    pub scheduled_down_secs: u64,
+    /// Measured server unavailability, seconds (from the recovery
+    /// counters; equals the schedule when every reboot fires).
+    pub unavail_secs: f64,
+    /// Dirty server-cache bytes destroyed by the crash(es).
+    pub lost_bytes: u64,
+    /// RPCs that stalled against a down server.
+    pub stalled_rpcs: u64,
+    /// Total client time lost to stalls (timeouts, backoff, waiting out
+    /// the outage), seconds.
+    pub stall_secs: f64,
+    /// Delayed write-backs the daemon queued because the server was down.
+    pub queued_writebacks: u64,
+    /// Messages retransmitted due to (seeded) drops.
+    pub retrans_msgs: u64,
+    /// RPCs that exhausted their retry budget.
+    pub failed_rpcs: u64,
+    /// Total recovery-storm RPCs at reboot.
+    pub storm_rpcs: u64,
+    /// Reopen RPCs within the storm.
+    pub storm_reopens: u64,
+    /// Re-register RPCs within the storm.
+    pub storm_reregisters: u64,
+    /// SpriteSan's verdict, when the day ran sanitized.
+    pub sanitizer: Option<SanitizerStats>,
+}
+
+/// Runs one generated day under `plan` and harvests the availability
+/// counters.
+pub fn run_outage_day(base: &StudyConfig, plan: &FaultPlan, sanitize: bool) -> OutageOutcome {
+    let mut cfg = base.clone();
+    cfg.cluster.faults = Some(plan.clone());
+    cfg.cluster.sanitize = sanitize;
+    let mut gen = Generator::new(cfg.workload.clone());
+    let mut cluster = Cluster::new(cfg.cluster.clone(), NullSink);
+    cluster.preload(&gen.preload_list());
+    let ops = gen.generate_day(0);
+    cluster.run(ops, SimTime::from_secs(86_400));
+
+    let mut o = OutageOutcome {
+        scheduled_down_secs: plan.outages.iter().map(|x| x.down_for.as_secs()).sum(),
+        unavail_secs: 0.0,
+        lost_bytes: 0,
+        stalled_rpcs: 0,
+        stall_secs: 0.0,
+        queued_writebacks: 0,
+        retrans_msgs: 0,
+        failed_rpcs: 0,
+        storm_rpcs: 0,
+        storm_reopens: 0,
+        storm_reregisters: 0,
+        sanitizer: None,
+    };
+    for client in cluster.clients() {
+        let c = &client.metrics.counters;
+        o.stalled_rpcs += c.get(fault::STALLED_RPCS);
+        o.stall_secs += c.get(fault::STALL_US) as f64 / 1e6;
+        o.queued_writebacks += c.get(fault::QUEUED_WRITEBACKS);
+        o.retrans_msgs += c.get(fault::RETRANS_MSGS);
+        o.failed_rpcs += c.get(fault::FAILED_RPCS);
+    }
+    for server in cluster.servers() {
+        let c = &server.counters;
+        o.lost_bytes += c.get(fault::SRV_LOST_BYTES);
+        o.unavail_secs += c.get(fault::SRV_UNAVAIL_US) as f64 / 1e6;
+        o.storm_rpcs += c.get(fault::STORM_RPCS);
+        o.storm_reopens += c.get(fault::STORM_REOPENS);
+        o.storm_reregisters += c.get(fault::STORM_REREGISTERS);
+    }
+    o.sanitizer = cluster.take_sanitizer_stats();
+    o
+}
+
+/// One row of the loss-vs-delay sweep.
+#[derive(Debug, Clone)]
+pub struct LossVsDelay {
+    /// Write-back delay simulated, seconds (clients and servers both).
+    pub delay_secs: u64,
+    /// Dirty server-cache bytes the crash destroyed.
+    pub lost_bytes: u64,
+    /// Storm size at recovery (roughly constant: it tracks open state,
+    /// not dirty data).
+    pub storm_rpcs: u64,
+}
+
+/// Sweeps the write-back delay and measures what the *server* crash
+/// destroys — the server-side mirror of the client crash-exposure
+/// ablation: a longer delay keeps more dirty blocks in the server's
+/// volatile cache, so the same outage costs more data.
+pub fn loss_vs_writeback_delay(
+    base: &StudyConfig,
+    plan: &FaultPlan,
+    delays_secs: &[u64],
+) -> Vec<LossVsDelay> {
+    delays_secs
+        .iter()
+        .map(|&delay| {
+            let mut cfg = base.clone();
+            cfg.cluster.writeback_delay = SimDuration::from_secs(delay);
+            cfg.cluster.daemon_period =
+                SimDuration::from_secs(cfg.cluster.daemon_period.as_secs().clamp(1, delay.max(1)));
+            let o = run_outage_day(&cfg, plan, false);
+            LossVsDelay {
+                delay_secs: delay,
+                lost_bytes: o.lost_bytes,
+                storm_rpcs: o.storm_rpcs,
+            }
+        })
+        .collect()
+}
+
+/// One row of the storm-vs-cluster-size sweep.
+#[derive(Debug, Clone)]
+pub struct StormVsCluster {
+    /// Number of client workstations.
+    pub clients: u16,
+    /// Recovery-storm RPCs at reboot.
+    pub storm_rpcs: u64,
+    /// Re-register RPCs within the storm.
+    pub reregisters: u64,
+    /// Reopen RPCs within the storm.
+    pub reopens: u64,
+}
+
+/// Measures how the recovery storm grows with the cluster: more clients
+/// hold more open handles and cached files on the crashed server, so
+/// the reboot burst scales with cluster size — the paper's scalability
+/// concern (Section 7) applied to recovery traffic.
+pub fn storm_vs_cluster_size(
+    base: &StudyConfig,
+    plan: &FaultPlan,
+    sizes: &[u16],
+) -> Vec<StormVsCluster> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut cfg = base.clone();
+            cfg.cluster.num_clients = n;
+            cfg.workload.num_clients = n;
+            let o = run_outage_day(&cfg, plan, false);
+            StormVsCluster {
+                clients: n,
+                storm_rpcs: o.storm_rpcs,
+                reregisters: o.storm_reregisters,
+                reopens: o.storm_reopens,
+            }
+        })
+        .collect()
+}
+
+/// Renders the availability report as text.
+pub fn render_availability(
+    plan: &FaultPlan,
+    outcome: &OutageOutcome,
+    loss: &[LossVsDelay],
+    storm: &[StormVsCluster],
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "Availability under server failure (deterministic fault plan):");
+    for o in &plan.outages {
+        let _ = writeln!(
+            s,
+            "  scheduled outage: server {} down {} s at t={} s",
+            o.server,
+            o.down_for.as_secs(),
+            o.at.as_secs(),
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  message drop probability: {:.2}% per RPC",
+        100.0 * plan.drop_prob
+    );
+    let _ = writeln!(s, "server unavailability seconds: {:.1}", outcome.unavail_secs);
+    let _ = writeln!(
+        s,
+        "data lost at server crash: {} bytes ({})",
+        outcome.lost_bytes,
+        crate::report::fmt_bytes(outcome.lost_bytes as f64)
+    );
+    let _ = writeln!(
+        s,
+        "recovery storm RPCs: {} ({} reregisters + {} reopens)",
+        outcome.storm_rpcs, outcome.storm_reregisters, outcome.storm_reopens
+    );
+    let _ = writeln!(
+        s,
+        "stalled RPCs: {} (stall seconds: {:.1})",
+        outcome.stalled_rpcs, outcome.stall_secs
+    );
+    let _ = writeln!(s, "queued write-backs: {}", outcome.queued_writebacks);
+    let _ = writeln!(
+        s,
+        "retransmitted messages: {} (failed RPCs: {})",
+        outcome.retrans_msgs, outcome.failed_rpcs
+    );
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "Bytes lost vs write-back delay (same outage, server granularity):"
+    );
+    let _ = writeln!(s, "{:>8} {:>16} {:>12}", "delay", "lost bytes", "storm RPCs");
+    for r in loss {
+        let _ = writeln!(
+            s,
+            "{:>7}s {:>16} {:>12}",
+            r.delay_secs,
+            crate::report::fmt_bytes(r.lost_bytes as f64),
+            r.storm_rpcs,
+        );
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(s, "Recovery storm vs cluster size:");
+    let _ = writeln!(
+        s,
+        "{:>8} {:>12} {:>12} {:>12}",
+        "clients", "storm RPCs", "reregisters", "reopens"
+    );
+    for r in storm {
+        let _ = writeln!(
+            s,
+            "{:>8} {:>12} {:>12} {:>12}",
+            r.clients, r.storm_rpcs, r.reregisters, r.reopens
+        );
+    }
+    let _ = writeln!(
+        s,
+        "(disk contents survive every crash; what is lost is the volatile\n\
+         server cache — the server-side face of the Section 5.4 trade-off)"
+    );
+    s
+}
+
+/// A fixed-scale availability probe for the scorecard: one quick-config
+/// day under [`default_plan`], sanitized. Deliberately independent of
+/// the study's own scale so `repro check` gets the same deterministic
+/// numbers at paper scale and quick scale.
+#[derive(Debug, Clone)]
+pub struct RecoveryProbe {
+    /// Recovery-storm RPCs at the reboot.
+    pub storm_rpcs: u64,
+    /// Dirty server-cache bytes the crash destroyed.
+    pub lost_bytes: u64,
+    /// SpriteSan violations observed across the crash/recovery cycle.
+    pub violations: u64,
+}
+
+/// Runs the scorecard probe (see [`RecoveryProbe`]).
+pub fn availability_probe() -> RecoveryProbe {
+    let mut cfg = StudyConfig::quick();
+    cfg.workload.activity_scale = 0.2;
+    let o = run_outage_day(&cfg, &default_plan(), true);
+    RecoveryProbe {
+        storm_rpcs: o.storm_rpcs,
+        lost_bytes: o.lost_bytes,
+        violations: o.sanitizer.as_ref().map(|s| s.violations()).unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StudyConfig {
+        let mut cfg = StudyConfig::quick();
+        cfg.workload.activity_scale = 0.2;
+        cfg
+    }
+
+    #[test]
+    fn outage_day_measures_crash_and_storm() {
+        let o = run_outage_day(&tiny(), &default_plan(), true);
+        assert!(o.unavail_secs >= 299.0, "outage measured: {}", o.unavail_secs);
+        assert!(o.lost_bytes > 0, "the crash destroyed dirty server data");
+        assert!(o.storm_rpcs > 0, "clients re-registered at reboot");
+        assert_eq!(
+            o.storm_rpcs,
+            o.storm_reopens + o.storm_reregisters,
+            "storm decomposes exactly"
+        );
+        assert!(o.retrans_msgs > 0, "1% drops over a day retransmit");
+        let san = o.sanitizer.expect("sanitized run");
+        assert!(san.ops_checked > 0);
+        assert!(
+            san.is_clean(),
+            "oracle must stay clean across the failure: {}",
+            san.render()
+        );
+    }
+
+    #[test]
+    fn longer_server_delay_loses_more_at_the_crash() {
+        let rows = loss_vs_writeback_delay(&tiny(), &default_plan(), &[5, 600]);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].lost_bytes >= rows[0].lost_bytes,
+            "600 s delay ({}) must lose at least as much as 5 s ({})",
+            rows[1].lost_bytes,
+            rows[0].lost_bytes
+        );
+        assert!(rows[1].lost_bytes > 0);
+    }
+
+    #[test]
+    fn storm_grows_with_cluster_size() {
+        let rows = storm_vs_cluster_size(&tiny(), &default_plan(), &[2, 8]);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].storm_rpcs >= rows[0].storm_rpcs,
+            "8 clients ({}) must storm at least as hard as 2 ({})",
+            rows[1].storm_rpcs,
+            rows[0].storm_rpcs
+        );
+        let render = render_availability(
+            &default_plan(),
+            &run_outage_day(&tiny(), &default_plan(), false),
+            &[],
+            &rows,
+        );
+        assert!(render.contains("recovery storm RPCs:"));
+        assert!(render.contains("cluster size"));
+    }
+}

@@ -13,14 +13,16 @@
 //! cache-disable scheme, the modified variant, a token scheme, or
 //! NFS-style polling.
 
-use sdfs_simkit::SimTime;
+use sdfs_simkit::{CounterSet, SimDuration, SimRng, SimTime};
 use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Record, RecordKind, ServerId};
 
 use crate::cache::BlockKey;
 use crate::client::{Client, FdState, ProcState};
-use crate::config::{Config, ConsistencyPolicy};
+use crate::config::{Config, ConsistencyPolicy, FaultPlan};
 use crate::fs::{assign_server, FileTable};
-use crate::metrics::{cache as mc, clean, consist, mig, raw, replace, srv, SanitizerStats};
+use crate::metrics::{
+    cache as mc, clean, consist, fault, mig, raw, replace, restart, srv, SanitizerStats,
+};
 use crate::ops::{AppOp, OpKind};
 use crate::rpc::{count_rpc, RpcKind};
 use crate::sanitizer::{Sanitizer, WriteKind};
@@ -110,6 +112,79 @@ impl CleanReason {
     }
 }
 
+/// What a scheduled fault transition does. `Reboot` sorts before
+/// `Crash` so back-to-back outages of one server (reboot at `t`, next
+/// crash also at `t`) stay well-formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FaultEventKind {
+    Reboot,
+    Crash {
+        /// Scheduled reboot time of this outage.
+        until: SimTime,
+    },
+}
+
+/// One crash or reboot transition, precomputed from the
+/// [`FaultPlan`] outage schedule and consumed in time order by the
+/// event loop.
+#[derive(Debug, Clone, Copy)]
+struct FaultEvent {
+    at: SimTime,
+    kind: FaultEventKind,
+    server: u16,
+}
+
+/// Runtime state of the fault-injection subsystem; present only when
+/// [`Config::faults`] is set, so fault-free runs carry no RNG and take
+/// none of these branches.
+#[derive(Debug)]
+struct FaultState {
+    /// The plan in force.
+    plan: FaultPlan,
+    /// Seeded RNG driving per-RPC message drops (never OS entropy).
+    rng: SimRng,
+    /// Crash/reboot transitions, sorted by (time, kind, server).
+    events: Vec<FaultEvent>,
+    /// Index of the next unfired event.
+    next_event: usize,
+    /// Cached [`FaultPlan::retry_budget`]: the longest a client stalls
+    /// on an unresponsive server before giving up.
+    retry_budget: SimDuration,
+}
+
+impl FaultState {
+    fn new(plan: &FaultPlan) -> Self {
+        let mut events: Vec<FaultEvent> = plan
+            .outages
+            .iter()
+            .flat_map(|o| {
+                [
+                    FaultEvent {
+                        at: o.at,
+                        kind: FaultEventKind::Crash {
+                            until: o.reboot_at(),
+                        },
+                        server: o.server,
+                    },
+                    FaultEvent {
+                        at: o.reboot_at(),
+                        kind: FaultEventKind::Reboot,
+                        server: o.server,
+                    },
+                ]
+            })
+            .collect();
+        events.sort_by_key(|e| (e.at, e.kind, e.server));
+        FaultState {
+            plan: plan.clone(),
+            rng: SimRng::seed_from_u64(plan.drop_seed),
+            events,
+            next_event: 0,
+            retry_budget: plan.retry_budget(),
+        }
+    }
+}
+
 /// The simulated cluster.
 ///
 /// # Examples
@@ -162,6 +237,18 @@ pub struct Cluster<S: TraceSink> {
     /// SpriteSan shadow-state oracle ([`Config::sanitize`]). Boxed so
     /// the disabled (default) case costs one pointer.
     san: Option<Box<Sanitizer>>,
+    /// Per-server "currently crashed" flags (all false in fault-free
+    /// runs; also settable manually via [`Cluster::crash_server`]).
+    server_down: Vec<bool>,
+    /// Per-server scheduled reboot time, meaningful while down
+    /// ([`SimTime::MAX`] for a manual crash with no scheduled reboot).
+    down_until: Vec<SimTime>,
+    /// Per-server time of the most recent crash, meaningful while down.
+    crashed_at: Vec<SimTime>,
+    /// Fault-injection runtime ([`Config::faults`]).
+    fault: Option<FaultState>,
+    /// Scratch buffer for draining server disk-flush logs to SpriteSan.
+    scratch_keys: Vec<BlockKey>,
 }
 
 impl<S: TraceSink> Cluster<S> {
@@ -184,12 +271,21 @@ impl<S: TraceSink> Cluster<S> {
                 )
             })
             .collect();
-        let servers = (0..cfg.num_servers)
+        let mut servers: Vec<Server> = (0..cfg.num_servers)
             .map(|i| Server::new(ServerId(i), cfg.server_cache_bytes, cfg.block_size))
             .collect();
+        if cfg.sanitize {
+            // SpriteSan needs to know which block versions reached disk
+            // (and so survive a crash); plain runs skip the bookkeeping.
+            for server in &mut servers {
+                server.set_disk_flush_logging(true);
+            }
+        }
         let next_tick = SimTime::ZERO + cfg.daemon_period;
         let next_sample = SimTime::ZERO + cfg.sample_period;
         let san = cfg.sanitize.then(|| Box::new(Sanitizer::new(&cfg)));
+        let fault = cfg.faults.as_ref().map(FaultState::new);
+        let n = cfg.num_servers as usize;
         Cluster {
             cfg,
             files: FileTable::new(),
@@ -203,6 +299,11 @@ impl<S: TraceSink> Cluster<S> {
             daemon_files: Vec::new(),
             scratch_clients: Vec::new(),
             san,
+            server_down: vec![false; n],
+            down_until: vec![SimTime::MAX; n],
+            crashed_at: vec![SimTime::ZERO; n],
+            fault,
+            scratch_keys: Vec::new(),
         }
     }
 
@@ -287,6 +388,46 @@ impl<S: TraceSink> Cluster<S> {
     /// Table 4 methodology screens such reboots out of the size-change
     /// statistics, so the sampler marks the next interval inactive.
     pub fn crash_client(&mut self, client: ClientId) -> u64 {
+        self.restart_client(client, true)
+    }
+
+    /// Reboots a client workstation in an orderly fashion: all dirty
+    /// data is flushed to the server first, then the machine restarts
+    /// with cold caches and empty fd/process tables. Nothing is lost
+    /// (the return value is the lost-byte count, always zero here) and
+    /// the crash counters do not move — only `reboot.count` does.
+    pub fn reboot_client(&mut self, client: ClientId) -> u64 {
+        let ci = client.raw() as usize;
+        assert!(ci < self.clients.len(), "unknown client {client}");
+        let mut files = std::mem::take(&mut self.daemon_files);
+        self.clients[ci]
+            .cache
+            .files_with_dirty_before_into(SimTime::MAX, &mut files);
+        for &file in &files {
+            flush_file(
+                &mut self.clients[ci],
+                &mut self.servers,
+                &self.files,
+                &self.cfg,
+                file,
+                self.now,
+                CleanReason::Fsync,
+                self.san.as_deref_mut(),
+                self.fault.as_mut(),
+                &self.server_down,
+                &self.down_until,
+            );
+        }
+        files.clear();
+        self.daemon_files = files;
+        self.clients[ci].metrics.counters.bump(restart::REBOOT_COUNT);
+        self.restart_client(client, false)
+    }
+
+    /// Shared crash/reboot tail: cached blocks vanish (dirty ones are
+    /// *lost* if `crash`), server-side state for the machine is torn
+    /// down, and the client restarts cold. Returns lost dirty bytes.
+    fn restart_client(&mut self, client: ClientId, crash: bool) -> u64 {
         let ci = client.raw() as usize;
         assert!(ci < self.clients.len(), "unknown client {client}");
         let mut lost = 0u64;
@@ -313,11 +454,15 @@ impl<S: TraceSink> Cluster<S> {
             }
             invalidate_file(&mut self.clients[ci], file, false, self.san.as_deref_mut());
         }
-        self.clients[ci]
-            .metrics
-            .counters
-            .add("crash.lost.bytes", lost);
-        self.clients[ci].metrics.counters.bump("crash.count");
+        if crash {
+            self.clients[ci]
+                .metrics
+                .counters
+                .add(restart::CRASH_LOST_BYTES, lost);
+            self.clients[ci].metrics.counters.bump(restart::CRASH_COUNT);
+        } else {
+            debug_assert_eq!(lost, 0, "orderly reboot flushed everything first");
+        }
         // Server-side cleanup: the crashed client's opens disappear and
         // its consistency state is forgotten.
         for server in &mut self.servers {
@@ -387,21 +532,301 @@ impl<S: TraceSink> Cluster<S> {
     }
 
     // ------------------------------------------------------------------
+    // Server crash and recovery.
+    // ------------------------------------------------------------------
+
+    /// Crashes a file server with no scheduled reboot (call
+    /// [`Cluster::recover_server`] to bring it back). The server's
+    /// volatile state vanishes: dirty server-cache blocks that had not
+    /// reached disk are destroyed, and the per-file consistency state
+    /// (opens, last writer, tokens) is forgotten. Data on disk
+    /// survives. Returns the dirty server-cache bytes destroyed — the
+    /// quantity the availability study trades against shorter
+    /// server-side write-back delays.
+    pub fn crash_server(&mut self, server: ServerId) -> u64 {
+        self.crash_server_until(server, SimTime::MAX)
+    }
+
+    fn crash_server_until(&mut self, server: ServerId, until: SimTime) -> u64 {
+        let si = server.raw() as usize;
+        assert!(si < self.servers.len(), "unknown server {server}");
+        if self.server_down[si] {
+            return 0;
+        }
+        // Stamp what reached disk before the volatile state vanishes.
+        self.drain_disk_flush_logs();
+        let mut lost_blocks = Vec::new();
+        let lost = self.servers[si].crash(&mut lost_blocks);
+        if let Some(san) = self.san.as_deref_mut() {
+            for &(key, _) in &lost_blocks {
+                san.on_server_crash_lost(key);
+            }
+        }
+        let c = &mut self.servers[si].counters;
+        c.bump(fault::SRV_CRASHES);
+        c.add(fault::SRV_LOST_BYTES, lost);
+        self.server_down[si] = true;
+        self.down_until[si] = until;
+        self.crashed_at[si] = self.now;
+        self.rebuild_server_state(si);
+        lost
+    }
+
+    /// Rebuilds the volatile per-file consistency state a crashed
+    /// server lost, from surviving client state — the information
+    /// content of the Sprite recovery protocol (each client re-registers
+    /// its opens, cached files, and dirty data with the reborn server).
+    /// The rebuild runs eagerly at crash time so that operations issued
+    /// during the outage (which the clients queue and the simulator
+    /// delivers with stall accounting) compose with correct server
+    /// state; the RPC *cost* of the recovery storm is charged at reboot
+    /// by [`Cluster::recover_server`].
+    fn rebuild_server_state(&mut self, si: usize) {
+        let sid = self.servers[si].id;
+        let token_mode = matches!(self.cfg.consistency, ConsistencyPolicy::Token);
+        let sprite_family = matches!(
+            self.cfg.consistency,
+            ConsistencyPolicy::Sprite | ConsistencyPolicy::SpriteModified
+        );
+        let mut opens: Vec<(Handle, FileId, OpenMode)> = Vec::new();
+        let mut dirty = std::mem::take(&mut self.daemon_files);
+        for ci in 0..self.clients.len() {
+            let client = self.clients[ci].id;
+            // Live opens come back in (client, handle) order so the
+            // rebuilt open lists are deterministic.
+            opens.clear();
+            opens.extend(self.clients[ci].fds.iter().filter_map(|(&h, f)| {
+                self.files
+                    .get(f.file)
+                    .filter(|m| m.server == sid)
+                    .map(|_| (h, f.file, f.mode))
+            }));
+            opens.sort_unstable_by_key(|&(h, ..)| h);
+            for &(handle, file, mode) in &opens {
+                self.servers[si].file_state(file).opens.push(OpenEntry {
+                    client,
+                    handle,
+                    mode,
+                });
+            }
+            // A client holding dirty blocks becomes the file's writer of
+            // record again, so the next open by another client still
+            // triggers a recall. At most one client can hold dirty
+            // blocks of a file under the recall policies, so "first
+            // client scanned wins" never races a real conflict.
+            self.clients[ci]
+                .cache
+                .files_with_dirty_before_into(SimTime::MAX, &mut dirty);
+            for &file in &dirty {
+                if !self.files.get(file).is_some_and(|m| m.server == sid) {
+                    continue;
+                }
+                let st = self.servers[si].file_state(file);
+                if token_mode {
+                    if st.tokens.writer.is_none() {
+                        st.tokens.writer = Some(client);
+                    }
+                } else if st.last_writer.is_none() {
+                    st.last_writer = Some(client);
+                }
+            }
+        }
+        dirty.clear();
+        self.daemon_files = dirty;
+        if token_mode {
+            // Read tokens: every client still caching blocks of a file
+            // re-registers as a reader (unless it is the writer).
+            let mut indices: Vec<u64> = Vec::new();
+            for (file, meta) in self.files.iter() {
+                if meta.server != sid {
+                    continue;
+                }
+                for ci in 0..self.clients.len() {
+                    self.clients[ci].cache.blocks_of_into(file, &mut indices);
+                    if indices.is_empty() {
+                        continue;
+                    }
+                    let client = self.clients[ci].id;
+                    let st = self.servers[si].file_state(file);
+                    if st.tokens.writer != Some(client) {
+                        st.tokens.readers.insert(client);
+                    }
+                }
+            }
+        }
+        if sprite_family {
+            // Files that came back write-shared resume uncacheable mode.
+            for st in self.servers[si].files.values_mut() {
+                if st.write_shared() {
+                    st.uncacheable = true;
+                }
+            }
+        }
+    }
+
+    /// Reboots a crashed server and runs the Sprite recovery protocol:
+    /// every client with state on the server (open handles, cached
+    /// blocks, or dirty data) re-registers itself and reopens its live
+    /// file handles — the "recovery storm". Returns the number of storm
+    /// RPCs; a no-op returning 0 if the server is not down.
+    pub fn recover_server(&mut self, server: ServerId) -> u64 {
+        let si = server.raw() as usize;
+        assert!(si < self.servers.len(), "unknown server {server}");
+        if !self.server_down[si] {
+            return 0;
+        }
+        self.server_down[si] = false;
+        self.down_until[si] = SimTime::MAX;
+        let downtime = self.now.since(self.crashed_at[si]);
+        let mut storm = 0u64;
+        let mut reopens_total = 0u64;
+        let mut reregisters = 0u64;
+        let mut indices: Vec<u64> = Vec::new();
+        for ci in 0..self.clients.len() {
+            let mut reopens = 0u64;
+            for f in self.clients[ci].fds.values() {
+                if self.files.get(f.file).is_some_and(|m| m.server == server) {
+                    reopens += 1;
+                }
+            }
+            let mut involved = reopens > 0;
+            if !involved {
+                // Cached blocks alone also force re-registration: the
+                // reborn server must learn who caches its files.
+                for (file, meta) in self.files.iter() {
+                    if meta.server != server {
+                        continue;
+                    }
+                    self.clients[ci].cache.blocks_of_into(file, &mut indices);
+                    if !indices.is_empty() {
+                        involved = true;
+                        break;
+                    }
+                }
+            }
+            if !involved {
+                continue;
+            }
+            let c = &mut self.clients[ci].metrics.counters;
+            count_rpc(c, RpcKind::Reregister, 0);
+            for _ in 0..reopens {
+                count_rpc(c, RpcKind::Reopen, 0);
+            }
+            let sc = &mut self.servers[si].counters;
+            count_rpc(sc, RpcKind::Reregister, 0);
+            for _ in 0..reopens {
+                count_rpc(sc, RpcKind::Reopen, 0);
+            }
+            reregisters += 1;
+            reopens_total += reopens;
+            storm += 1 + reopens;
+        }
+        let c = &mut self.servers[si].counters;
+        c.bump(fault::SRV_RECOVERIES);
+        c.add(fault::SRV_UNAVAIL_US, downtime.as_micros());
+        c.add(fault::STORM_RPCS, storm);
+        c.add(fault::STORM_REOPENS, reopens_total);
+        c.add(fault::STORM_REREGISTERS, reregisters);
+        storm
+    }
+
+    /// Whether `server` is currently crashed.
+    pub fn server_is_down(&self, server: ServerId) -> bool {
+        self.server_down
+            .get(server.raw() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Feeds the servers' disk-flush logs to SpriteSan so it knows which
+    /// block versions a crash cannot destroy. No-op when the oracle is
+    /// off (the logs are only enabled under [`Config::sanitize`]).
+    fn drain_disk_flush_logs(&mut self) {
+        let Some(san) = self.san.as_deref_mut() else {
+            return;
+        };
+        let mut keys = std::mem::take(&mut self.scratch_keys);
+        for server in &mut self.servers {
+            server.take_disk_flush_log(&mut keys);
+        }
+        for &key in &keys {
+            san.on_server_disk_flush(key);
+        }
+        keys.clear();
+        self.scratch_keys = keys;
+    }
+
+    /// Applies fault accounting to one client→server RPC: stalls against
+    /// a down server (bounded by the retry budget; the op itself is
+    /// queued and delivered at recovery) and seeded message drops with
+    /// retransmission/backoff cost. No-op without a [`FaultPlan`].
+    fn fault_rpc(&mut self, ci: usize, si: usize) {
+        let Some(fstate) = self.fault.as_mut() else {
+            return;
+        };
+        fault_rpc_account(
+            fstate,
+            &self.server_down,
+            &self.down_until,
+            &mut self.clients[ci].metrics.counters,
+            si,
+            self.now,
+        );
+    }
+
+    /// Fires the next scheduled fault transition (already known due and
+    /// timestamped; `self.now` has been advanced to it).
+    fn fire_fault_event(&mut self) {
+        let ev = {
+            let fstate = self.fault.as_mut().expect("fault event without plan");
+            let ev = fstate.events[fstate.next_event];
+            fstate.next_event += 1;
+            ev
+        };
+        match ev.kind {
+            FaultEventKind::Crash { until } => {
+                self.crash_server_until(ServerId(ev.server), until);
+            }
+            FaultEventKind::Reboot => {
+                self.recover_server(ServerId(ev.server));
+            }
+        }
+    }
+
+    /// Time of the next scheduled crash/reboot, if any remain.
+    fn next_fault_time(&self) -> Option<SimTime> {
+        self.fault
+            .as_ref()
+            .and_then(|f| f.events.get(f.next_event))
+            .map(|e| e.at)
+    }
+
+    // ------------------------------------------------------------------
     // Internal time advance: daemon ticks and samples.
     // ------------------------------------------------------------------
 
     fn advance_to(&mut self, t: SimTime) {
-        while self.next_tick <= t || self.next_sample <= t {
-            if self.next_tick <= self.next_sample {
-                let tick = self.next_tick;
-                self.now = tick;
-                self.daemon_tick(tick);
-                self.next_tick = tick + self.cfg.daemon_period;
+        loop {
+            let next_fault = self.next_fault_time();
+            let next_daemon = self.next_tick.min(self.next_sample);
+            let next = match next_fault {
+                Some(f) => f.min(next_daemon),
+                None => next_daemon,
+            };
+            if next > t {
+                break;
+            }
+            self.now = next;
+            if next_fault == Some(next) {
+                // Fault transitions fire before same-instant daemon work:
+                // a reboot must precede the tick that flushes to it.
+                self.fire_fault_event();
+            } else if self.next_tick <= self.next_sample {
+                self.daemon_tick(next);
+                self.next_tick = next + self.cfg.daemon_period;
             } else {
-                let at = self.next_sample;
-                self.now = at;
-                self.take_samples(at);
-                self.next_sample = at + self.cfg.sample_period;
+                self.take_samples(next);
+                self.next_sample = next + self.cfg.sample_period;
             }
         }
         self.now = self.now.max(t);
@@ -411,12 +836,29 @@ impl<S: TraceSink> Cluster<S> {
     /// of any file that has had a block dirty for 30 seconds.
     fn daemon_tick(&mut self, now: SimTime) {
         let cutoff = now - self.cfg.writeback_delay;
+        let any_down = self.server_down.iter().any(|&d| d);
         let mut files = std::mem::take(&mut self.daemon_files);
         for ci in 0..self.clients.len() {
             self.clients[ci]
                 .cache
                 .files_with_dirty_before_into(cutoff, &mut files);
             for &file in &files {
+                // A down server takes no write-backs; the daemon queues
+                // the file and retries next tick (degraded mode). The
+                // blocks stay dirty, extending the loss window — exactly
+                // the availability cost the study measures.
+                if any_down
+                    && self
+                        .files
+                        .get(file)
+                        .is_some_and(|m| self.server_down[m.server.raw() as usize])
+                {
+                    self.clients[ci]
+                        .metrics
+                        .counters
+                        .bump(fault::QUEUED_WRITEBACKS);
+                    continue;
+                }
                 flush_file(
                     &mut self.clients[ci],
                     &mut self.servers,
@@ -426,16 +868,29 @@ impl<S: TraceSink> Cluster<S> {
                     now,
                     CleanReason::Delay,
                     self.san.as_deref_mut(),
+                    self.fault.as_mut(),
+                    &self.server_down,
+                    &self.down_until,
                 );
             }
         }
         self.daemon_files = files;
-        // Servers run their own delayed write to disk.
-        for server in &mut self.servers {
-            server.flush_dirty_before(cutoff, self.cfg.block_size);
+        // Servers run their own delayed write to disk (a crashed server
+        // has no cache to flush).
+        for si in 0..self.servers.len() {
+            if !self.server_down[si] {
+                self.servers[si].flush_dirty_before(cutoff, self.cfg.block_size);
+            }
         }
+        self.drain_disk_flush_logs();
         if let Some(san) = self.san.as_deref_mut() {
-            san.check_writeback_window(&self.clients, &self.cfg, now);
+            san.check_writeback_window(
+                &self.clients,
+                &self.files,
+                &self.server_down,
+                &self.cfg,
+                now,
+            );
         }
     }
 
@@ -539,6 +994,7 @@ impl<S: TraceSink> Cluster<S> {
         let version = meta.version;
         let si = server_id.raw() as usize;
 
+        self.fault_rpc(ci, si);
         count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Open, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Open, 0);
         if !is_dir {
@@ -642,6 +1098,9 @@ impl<S: TraceSink> Cluster<S> {
                     self.now,
                     CleanReason::Recall,
                     self.san.as_deref_mut(),
+                    self.fault.as_mut(),
+                    &self.server_down,
+                    &self.down_until,
                 );
                 self.servers[si].file_state(file).last_writer = None;
             }
@@ -682,6 +1141,9 @@ impl<S: TraceSink> Cluster<S> {
                         self.now,
                         CleanReason::Recall,
                         self.san.as_deref_mut(),
+                        self.fault.as_mut(),
+                        &self.server_down,
+                        &self.down_until,
                     );
                     invalidate_file(&mut self.clients[wi], file, false, self.san.as_deref_mut());
                 }
@@ -729,6 +1191,9 @@ impl<S: TraceSink> Cluster<S> {
                         self.now,
                         CleanReason::Recall,
                         self.san.as_deref_mut(),
+                        self.fault.as_mut(),
+                        &self.server_down,
+                        &self.down_until,
                     );
                     let st = self.servers[si].file_state(file);
                     st.tokens.writer = None;
@@ -763,6 +1228,7 @@ impl<S: TraceSink> Cluster<S> {
             None => true,
         };
         if due {
+            self.fault_rpc(ci, si);
             count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::GetAttr, 0);
             count_rpc(&mut self.servers[si].counters, RpcKind::GetAttr, 0);
             let stale = self.clients[ci]
@@ -805,6 +1271,9 @@ impl<S: TraceSink> Cluster<S> {
                 self.now,
                 CleanReason::Recall,
                 self.san.as_deref_mut(),
+                self.fault.as_mut(),
+                &self.server_down,
+                &self.down_until,
             );
             invalidate_file(&mut self.clients[ci], file, false, self.san.as_deref_mut());
         }
@@ -825,6 +1294,7 @@ impl<S: TraceSink> Cluster<S> {
         let server_id = meta.server;
         let size = meta.size;
         let si = server_id.raw() as usize;
+        self.fault_rpc(ci, si);
         count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Close, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Close, 0);
 
@@ -894,6 +1364,7 @@ impl<S: TraceSink> Cluster<S> {
 
         if uncacheable {
             // Pass-through read on a write-shared file.
+            self.fault_rpc(ci, si);
             let c = &mut self.clients[ci].metrics.counters;
             c.add(raw::SHARED_READ, eff);
             c.add(srv::SHARED_READ, eff);
@@ -974,6 +1445,7 @@ impl<S: TraceSink> Cluster<S> {
             }
             // Miss: fetch the whole block from the server.
             let block_bytes = bs;
+            self.fault_rpc(ci, si);
             {
                 let c = &mut self.clients[ci].metrics.counters;
                 if paging {
@@ -1037,6 +1509,7 @@ impl<S: TraceSink> Cluster<S> {
         meta.note_write(self.now, was_empty);
 
         if uncacheable {
+            self.fault_rpc(ci, si);
             let c = &mut self.clients[ci].metrics.counters;
             c.add(raw::SHARED_WRITE, len);
             c.add(srv::SHARED_WRITE, len);
@@ -1112,6 +1585,7 @@ impl<S: TraceSink> Cluster<S> {
                 // requires a write fetch.
                 let has_existing = block_start < old_size && !full_block;
                 if has_existing {
+                    self.fault_rpc(ci, si);
                     {
                         let c = &mut self.clients[ci].metrics.counters;
                         c.bump(mc::WRITE_FETCH_OPS);
@@ -1130,6 +1604,7 @@ impl<S: TraceSink> Cluster<S> {
             if !self.clients[ci].cache.contains(key) {
                 // The VM system holds every physical page and nothing
                 // could be evicted: this write goes straight through.
+                self.fault_rpc(ci, si);
                 let c = &mut self.clients[ci].metrics.counters;
                 c.add(mc::WRITEBACK_BYTES, app_bytes);
                 c.add(srv::FILE_WRITE, app_bytes);
@@ -1143,6 +1618,7 @@ impl<S: TraceSink> Cluster<S> {
             if write_through {
                 // NFS-style: data goes straight through; the cached copy
                 // stays clean.
+                self.fault_rpc(ci, si);
                 let c = &mut self.clients[ci].metrics.counters;
                 c.add(mc::WRITEBACK_BYTES, app_bytes);
                 c.add(srv::FILE_WRITE, app_bytes);
@@ -1206,6 +1682,9 @@ impl<S: TraceSink> Cluster<S> {
                 self.now,
                 reason,
                 self.san.as_deref_mut(),
+                self.fault.as_mut(),
+                &self.server_down,
+                &self.down_until,
             );
         }
         let age = self.now.since(entry.last_ref);
@@ -1258,6 +1737,10 @@ impl<S: TraceSink> Cluster<S> {
         };
         let file = fdst.file;
         count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Fsync, 0);
+        if let Some(meta) = self.files.get(file) {
+            let si = meta.server.raw() as usize;
+            self.fault_rpc(ci, si);
+        }
         flush_file(
             &mut self.clients[ci],
             &mut self.servers,
@@ -1267,6 +1750,9 @@ impl<S: TraceSink> Cluster<S> {
             self.now,
             CleanReason::Fsync,
             self.san.as_deref_mut(),
+            self.fault.as_mut(),
+            &self.server_down,
+            &self.down_until,
         );
     }
 
@@ -1278,6 +1764,7 @@ impl<S: TraceSink> Cluster<S> {
         let ci = op.client.raw() as usize;
         let server = assign_server(file, self.cfg.num_servers);
         self.files.create(file, server, is_dir, self.now);
+        self.fault_rpc(ci, server.raw() as usize);
         count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Create, 0);
         count_rpc(
             &mut self.servers[server.raw() as usize].counters,
@@ -1294,6 +1781,7 @@ impl<S: TraceSink> Cluster<S> {
             return;
         };
         let si = meta.server.raw() as usize;
+        self.fault_rpc(ci, si);
         count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Delete, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Delete, 0);
         // Drop the file's blocks everywhere; dirty data is cancelled and
@@ -1335,6 +1823,7 @@ impl<S: TraceSink> Cluster<S> {
         meta.newest_write = self.now;
         let server_id = meta.server;
         let si = server_id.raw() as usize;
+        self.fault_rpc(ci, si);
         count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Truncate, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Truncate, 0);
         for client in &mut self.clients {
@@ -1366,6 +1855,7 @@ impl<S: TraceSink> Cluster<S> {
         meta.size = meta.size.max(bytes);
         let server_id = meta.server;
         let si = server_id.raw() as usize;
+        self.fault_rpc(ci, si);
         let c = &mut self.clients[ci].metrics.counters;
         c.add(raw::DIR_READ, bytes);
         c.add(srv::DIR_READ, bytes);
@@ -1455,6 +1945,7 @@ impl<S: TraceSink> Cluster<S> {
                         san.on_read_hit(op.client, key, true, self.now);
                     }
                 } else {
+                    self.fault_rpc(ci, si);
                     let c = &mut self.clients[ci].metrics.counters;
                     c.bump(mc::PAGING_READ_MISS_OPS);
                     c.add(srv::PAGING_READ, ps);
@@ -1531,6 +2022,7 @@ impl<S: TraceSink> Cluster<S> {
         let si = meta.server.raw() as usize;
         let bs = self.cfg.block_size;
         if read {
+            self.fault_rpc(ci, si);
             let c = &mut self.clients[ci].metrics.counters;
             c.add(raw::PAGING_BACKING_READ, bytes);
             c.add(srv::PAGING_READ, bytes);
@@ -1545,6 +2037,7 @@ impl<S: TraceSink> Cluster<S> {
                 meta.size = offset + bytes;
             }
             meta.note_write(self.now, was_empty);
+            self.fault_rpc(ci, si);
             let c = &mut self.clients[ci].metrics.counters;
             c.add(raw::PAGING_BACKING_WRITE, bytes);
             c.add(srv::PAGING_WRITE, bytes);
@@ -1561,6 +2054,46 @@ impl<S: TraceSink> Cluster<S> {
 // Free helpers (split borrows across clients / servers / files).
 // ----------------------------------------------------------------------
 
+/// Client-side fault accounting for one RPC to server `si`: a down
+/// server stalls the caller for up to the retry budget (the operation
+/// itself is queued and delivered — data is not lost, time is); an up
+/// server may still drop messages, costing seeded retransmissions with
+/// exponential backoff. A free function so the write-back path (which
+/// has `self` split into field borrows) can share it with
+/// [`Cluster::fault_rpc`].
+fn fault_rpc_account(
+    fstate: &mut FaultState,
+    server_down: &[bool],
+    down_until: &[SimTime],
+    counters: &mut CounterSet,
+    si: usize,
+    now: SimTime,
+) {
+    if server_down[si] {
+        let remaining = down_until[si].since(now);
+        let stall = remaining.min(fstate.retry_budget);
+        counters.bump(fault::STALLED_RPCS);
+        counters.add(fault::STALL_US, stall.as_micros());
+        if remaining > fstate.retry_budget {
+            counters.bump(fault::FAILED_RPCS);
+        }
+        return;
+    }
+    if fstate.plan.drop_prob > 0.0 {
+        let mut tries = 0u32;
+        while tries < fstate.plan.max_retries && fstate.rng.chance(fstate.plan.drop_prob) {
+            tries += 1;
+        }
+        if tries > 0 {
+            counters.add(fault::RETRANS_MSGS, u64::from(tries));
+            counters.add(fault::STALL_US, fstate.plan.retry_stall(tries).as_micros());
+            if tries == fstate.plan.max_retries {
+                counters.bump(fault::FAILED_RPCS);
+            }
+        }
+    }
+}
+
 /// Writes one dirty block of `client` back to its server, recording the
 /// cleaning reason and age.
 #[allow(clippy::too_many_arguments)]
@@ -1573,6 +2106,9 @@ fn writeback_block(
     now: SimTime,
     reason: CleanReason,
     san: Option<&mut Sanitizer>,
+    fstate: Option<&mut FaultState>,
+    server_down: &[bool],
+    down_until: &[SimTime],
 ) {
     let Some(before) = client.cache.clean(key) else {
         return;
@@ -1608,6 +2144,16 @@ fn writeback_block(
     c.bump(reason.blocks_key());
     c.add(reason.age_key(), now.since(before.last_write).as_micros());
     let si = meta.server.raw() as usize;
+    if let Some(fstate) = fstate {
+        fault_rpc_account(
+            fstate,
+            server_down,
+            down_until,
+            &mut client.metrics.counters,
+            si,
+            now,
+        );
+    }
     servers[si].accept_write(key, bytes, now);
     if let Some(san) = san {
         san.on_writeback(client.id, key, true);
@@ -1625,6 +2171,9 @@ fn flush_file(
     now: SimTime,
     reason: CleanReason,
     mut san: Option<&mut Sanitizer>,
+    mut fstate: Option<&mut FaultState>,
+    server_down: &[bool],
+    down_until: &[SimTime],
 ) {
     let mut blocks = std::mem::take(&mut client.scratch_blocks);
     client.cache.dirty_blocks_of_into(file, &mut blocks);
@@ -1638,6 +2187,9 @@ fn flush_file(
             now,
             reason,
             san.as_deref_mut(),
+            fstate.as_deref_mut(),
+            server_down,
+            down_until,
         );
     }
     client.scratch_blocks = blocks;
@@ -2953,5 +3505,240 @@ mod tests {
         sharing_sequence(&mut cl);
         assert!(cl.sanitizer_stats().is_none());
         assert!(cl.take_sanitizer_stats().is_none());
+    }
+
+    /// Writes `len` bytes to a fresh file and fsyncs, so the data sits
+    /// dirty in the *server* cache (clean on the client).
+    fn write_and_fsync(cl: &mut Cluster<VecSink>, len: u64) {
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(2, 0, OpKind::Write { fd: Handle(1), len }));
+        cl.apply(&op(2, 0, OpKind::Fsync { fd: Handle(1) }));
+    }
+
+    #[test]
+    fn server_crash_destroys_unflushed_data_and_recovery_storms() {
+        let mut cl = cluster();
+        write_and_fsync(&mut cl, 10_000);
+        cl.run(std::iter::empty(), SimTime::from_secs(5));
+        // The fsynced bytes reached the server cache but not its disk.
+        let lost = cl.crash_server(ServerId(0));
+        assert_eq!(lost, 10_000, "dirty server-cache bytes are destroyed");
+        assert!(cl.server_is_down(ServerId(0)));
+        let sc = &cl.servers()[0].counters;
+        assert_eq!(sc.get(fault::SRV_CRASHES), 1);
+        assert_eq!(sc.get(fault::SRV_LOST_BYTES), 10_000);
+        // A second crash without recovery is a no-op.
+        assert_eq!(cl.crash_server(ServerId(0)), 0);
+
+        cl.run(std::iter::empty(), SimTime::from_secs(40));
+        let storm = cl.recover_server(ServerId(0));
+        // Client 0 still holds one open fd: one re-register + one reopen.
+        assert_eq!(storm, 2, "reregister + reopen");
+        assert!(!cl.server_is_down(ServerId(0)));
+        let sc = &cl.servers()[0].counters;
+        assert_eq!(sc.get(fault::SRV_RECOVERIES), 1);
+        assert_eq!(sc.get(fault::STORM_RPCS), 2);
+        assert_eq!(sc.get(fault::STORM_REOPENS), 1);
+        assert_eq!(sc.get(fault::STORM_REREGISTERS), 1);
+        assert_eq!(
+            sc.get(fault::SRV_UNAVAIL_US),
+            SimDuration::from_secs(35).as_micros()
+        );
+        assert_eq!(counters(&cl, 0).get("rpc.reopen.msgs"), 1);
+        assert_eq!(counters(&cl, 0).get("rpc.reregister.msgs"), 1);
+        // Recovering an up server is a no-op.
+        assert_eq!(cl.recover_server(ServerId(0)), 0);
+    }
+
+    #[test]
+    fn mid_write_server_crash_and_recovery_is_sanitizer_clean() {
+        let mut cfg = Config::small();
+        cfg.sanitize = true;
+        let sink = VecSink::new(cfg.num_servers);
+        let mut cl = Cluster::new(cfg, sink);
+        // Server-cache dirty data (fsynced) plus client-cache dirty data
+        // (the second write), then a crash in the middle of it all.
+        write_and_fsync(&mut cl, 8192);
+        cl.apply(&op(
+            4,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 4096,
+            },
+        ));
+        cl.run(std::iter::empty(), SimTime::from_secs(5));
+        let lost = cl.crash_server(ServerId(0));
+        assert!(lost > 0, "the fsynced bytes had not reached disk");
+        cl.run(std::iter::empty(), SimTime::from_secs(10));
+        cl.recover_server(ServerId(0));
+        // Another client reads the file after recovery: the dirty-holder
+        // recall must still fire off the rebuilt server state.
+        cl.apply(&op(
+            12,
+            1,
+            OpKind::Open {
+                fd: Handle(2),
+                file: FileId(0),
+                mode: OpenMode::Read,
+            },
+        ));
+        cl.apply(&op(
+            12,
+            1,
+            OpKind::Read {
+                fd: Handle(2),
+                len: 12_288,
+            },
+        ));
+        cl.apply(&op(13, 1, OpKind::Close { fd: Handle(2) }));
+        cl.run(std::iter::empty(), SimTime::from_secs(120));
+        let san = cl.take_sanitizer_stats().expect("sanitizer enabled");
+        assert!(san.ops_checked > 0, "oracle never ran");
+        assert!(san.is_clean(), "unexpected violations: {}", san.render());
+    }
+
+    #[test]
+    fn outage_queues_writebacks_until_recovery() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 4096,
+            },
+        ));
+        cl.apply(&op(3, 0, OpKind::Close { fd: Handle(1) }));
+        cl.run(std::iter::empty(), SimTime::from_secs(3));
+        cl.crash_server(ServerId(0));
+        // Daemon ticks past the 30s window cannot reach the dead server:
+        // the write-back is queued, the block stays dirty (and exposed).
+        cl.run(std::iter::empty(), SimTime::from_secs(45));
+        assert!(counters(&cl, 0).get(fault::QUEUED_WRITEBACKS) > 0);
+        assert_eq!(counters(&cl, 0).get(mc::WRITEBACK_BYTES), 0);
+        assert_eq!(cl.dirty_exposure(ClientId(0)), 4096);
+        cl.recover_server(ServerId(0));
+        cl.run(std::iter::empty(), SimTime::from_secs(80));
+        assert_eq!(counters(&cl, 0).get(mc::WRITEBACK_BYTES), 4096);
+        assert_eq!(cl.dirty_exposure(ClientId(0)), 0);
+    }
+
+    /// Runs a small faulted day (scheduled outage + message drops) and
+    /// returns every counter of every machine, canonically ordered.
+    fn faulted_run() -> Vec<(&'static str, u64)> {
+        let mut cfg = Config::small();
+        cfg.faults = Some(FaultPlan {
+            outages: vec![crate::config::ServerOutage {
+                server: 0,
+                at: SimTime::from_secs(30),
+                down_for: SimDuration::from_secs(20),
+            }],
+            drop_prob: 0.05,
+            ..FaultPlan::default()
+        });
+        let sink = VecSink::new(cfg.num_servers);
+        let mut cl = Cluster::new(cfg, sink);
+        sharing_sequence(&mut cl);
+        let mut all: Vec<(&'static str, u64)> = Vec::new();
+        for c in cl.clients() {
+            all.extend(c.metrics.counters.iter());
+        }
+        for s in cl.servers() {
+            all.extend(s.counters.iter());
+        }
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn faulted_day_is_deterministic_and_accounts_faults() {
+        let a = faulted_run();
+        let b = faulted_run();
+        assert_eq!(a, b, "same seed, same plan: identical counters");
+        let total = |key: &str| -> u64 {
+            a.iter()
+                .filter(|&&(k, _)| k == key)
+                .map(|&(_, v)| v)
+                .sum()
+        };
+        assert!(total(fault::SRV_CRASHES) == 1, "the outage fired");
+        assert!(total(fault::SRV_RECOVERIES) == 1, "the reboot fired");
+        assert!(total(fault::RETRANS_MSGS) > 0, "message drops happened");
+        assert!(total(fault::STALL_US) > 0, "retries cost time");
+    }
+
+    #[test]
+    fn reboot_client_flushes_then_restarts_cold() {
+        let mut cl = cluster();
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Create {
+                file: FileId(0),
+                is_dir: false,
+            },
+        ));
+        cl.apply(&op(
+            1,
+            0,
+            OpKind::Open {
+                fd: Handle(1),
+                file: FileId(0),
+                mode: OpenMode::Write,
+            },
+        ));
+        cl.apply(&op(
+            2,
+            0,
+            OpKind::Write {
+                fd: Handle(1),
+                len: 10_000,
+            },
+        ));
+        assert_eq!(cl.dirty_exposure(ClientId(0)), 10_000);
+        let lost = cl.reboot_client(ClientId(0));
+        assert_eq!(lost, 0, "an orderly reboot loses nothing");
+        let c = counters(&cl, 0);
+        assert_eq!(c.get(mc::WRITEBACK_BYTES), 10_000, "flushed on the way down");
+        assert_eq!(c.get(restart::REBOOT_COUNT), 1);
+        assert_eq!(c.get(restart::CRASH_COUNT), 0);
+        assert_eq!(c.get(restart::CRASH_LOST_BYTES), 0);
+        assert_eq!(cl.clients()[0].cache.len(), 0, "cold cache");
+        assert!(cl.clients()[0].fds.is_empty(), "fd table gone");
+        assert_eq!(cl.dirty_exposure(ClientId(0)), 0);
     }
 }

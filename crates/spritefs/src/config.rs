@@ -6,7 +6,7 @@
 //! delayed-write policy scanned every 5 seconds, and a 20-minute virtual
 //! memory preference window.
 
-use sdfs_simkit::SimDuration;
+use sdfs_simkit::{SimDuration, SimTime};
 
 /// Which cache-consistency mechanism the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +72,91 @@ impl DiskModel {
     }
 }
 
+/// One scheduled server outage: the server crashes at `at` and reboots
+/// `down_for` later. The crash destroys the server's volatile state
+/// (block cache, per-client consistency and open bookkeeping); disk
+/// contents survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOutage {
+    /// Index of the server that fails (`< num_servers`).
+    pub server: u16,
+    /// When the crash happens.
+    pub at: SimTime,
+    /// How long the server stays down before rebooting.
+    pub down_for: SimDuration,
+}
+
+impl ServerOutage {
+    /// When the server reboots and recovery begins.
+    pub fn reboot_at(&self) -> SimTime {
+        self.at + self.down_for
+    }
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Everything here is driven by the simulation clock and a seeded
+/// [`sdfs_simkit::SimRng`] — never wall-clock time or OS entropy — so a
+/// faulted run is exactly as reproducible as a fault-free one. With
+/// [`Config::faults`] set to `None` (the default) no fault code runs and
+/// the simulation output is byte-identical to a build without this
+/// subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled server crashes and reboots. Outages of the same server
+    /// must not overlap.
+    pub outages: Vec<ServerOutage>,
+    /// Probability that any single client→server RPC transmission is
+    /// dropped and must be retransmitted after a timeout. `0.0` disables
+    /// the drop machinery (and its RNG draws) entirely.
+    pub drop_prob: f64,
+    /// Seed for the per-RPC drop RNG.
+    pub drop_seed: u64,
+    /// How long a client waits for a reply before retransmitting.
+    pub rpc_timeout: SimDuration,
+    /// Base of the exponential backoff added before retry `k`
+    /// (`retry_backoff * 2^k`).
+    pub retry_backoff: SimDuration,
+    /// Retransmissions attempted before the client declares the server
+    /// unreachable and queues the operation for recovery.
+    pub max_retries: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            outages: Vec::new(),
+            drop_prob: 0.0,
+            drop_seed: 0x5350_5249_5445_4653, // "SPRITEFS"
+            rpc_timeout: SimDuration::from_secs(1),
+            retry_backoff: SimDuration::from_secs(1),
+            max_retries: 5,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Total time a client spends before giving up on an unreachable
+    /// server: every timeout plus the exponential backoff between tries.
+    /// This bounds the stall charged to any one RPC during an outage.
+    pub fn retry_budget(&self) -> SimDuration {
+        let mut budget = SimDuration::ZERO;
+        for k in 0..self.max_retries {
+            budget += self.rpc_timeout + self.retry_backoff * (1u64 << k.min(16));
+        }
+        budget
+    }
+
+    /// Stall incurred by `retries` retransmissions of one RPC.
+    pub fn retry_stall(&self, retries: u32) -> SimDuration {
+        let mut stall = SimDuration::ZERO;
+        for k in 0..retries.min(self.max_retries) {
+            stall += self.rpc_timeout + self.retry_backoff * (1u64 << k.min(16));
+        }
+        stall
+    }
+}
+
 /// Full cluster configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -118,6 +203,11 @@ pub struct Config {
     /// that Sprite consistency performs when an open detects a stale
     /// cached version. Never enable outside tests.
     pub fault_skip_invalidate: bool,
+    /// Deterministic fault-injection plan (server crash/reboot schedule
+    /// and per-RPC message drops). `None` — the default — runs the
+    /// cluster fault-free with byte-identical output to builds that
+    /// predate the fault subsystem.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for Config {
@@ -150,6 +240,7 @@ impl Default for Config {
             },
             sanitize: false,
             fault_skip_invalidate: false,
+            faults: None,
         }
     }
 }
@@ -209,6 +300,33 @@ impl Config {
         }
         if self.daemon_period > self.writeback_delay {
             return Err("daemon_period should not exceed writeback_delay".into());
+        }
+        if let Some(plan) = &self.faults {
+            if !(0.0..1.0).contains(&plan.drop_prob) {
+                return Err(format!("drop_prob {} must be in [0, 1)", plan.drop_prob));
+            }
+            if plan.drop_prob > 0.0 && plan.max_retries == 0 {
+                return Err("drop_prob > 0 requires max_retries >= 1".into());
+            }
+            let mut spans: Vec<(u16, SimTime, SimTime)> = Vec::new();
+            for o in &plan.outages {
+                if o.server >= self.num_servers {
+                    return Err(format!(
+                        "outage targets server {} of {}",
+                        o.server, self.num_servers
+                    ));
+                }
+                if o.down_for == SimDuration::ZERO {
+                    return Err("outage down_for must be nonzero".into());
+                }
+                spans.push((o.server, o.at, o.reboot_at()));
+            }
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                if w[0].0 == w[1].0 && w[1].1 < w[0].2 {
+                    return Err(format!("server {} has overlapping outages", w[0].0));
+                }
+            }
         }
         Ok(())
     }
@@ -277,6 +395,69 @@ mod tests {
             ..Config::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_validation() {
+        let outage = |server, at, down| ServerOutage {
+            server,
+            at: SimTime::from_secs(at),
+            down_for: SimDuration::from_secs(down),
+        };
+        // A sane plan validates.
+        let c = Config {
+            faults: Some(FaultPlan {
+                outages: vec![outage(0, 100, 60), outage(0, 300, 60), outage(3, 120, 30)],
+                drop_prob: 0.01,
+                ..FaultPlan::default()
+            }),
+            ..Config::default()
+        };
+        c.validate().expect("plan valid");
+
+        // Out-of-range server.
+        let c = Config {
+            faults: Some(FaultPlan {
+                outages: vec![outage(4, 100, 60)],
+                ..FaultPlan::default()
+            }),
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
+
+        // Overlapping outages of one server.
+        let c = Config {
+            faults: Some(FaultPlan {
+                outages: vec![outage(1, 100, 60), outage(1, 130, 10)],
+                ..FaultPlan::default()
+            }),
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
+
+        // Bad drop probability.
+        let c = Config {
+            faults: Some(FaultPlan {
+                drop_prob: 1.5,
+                ..FaultPlan::default()
+            }),
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn retry_budget_is_monotone_and_bounds_stall() {
+        let plan = FaultPlan::default();
+        let mut prev = SimDuration::ZERO;
+        for k in 0..=plan.max_retries {
+            let s = plan.retry_stall(k);
+            assert!(s >= prev, "stall not monotone at retry {k}");
+            prev = s;
+        }
+        assert_eq!(plan.retry_stall(plan.max_retries), plan.retry_budget());
+        // Asking past the cap clamps to the budget.
+        assert_eq!(plan.retry_stall(plan.max_retries + 7), plan.retry_budget());
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub mod server;
 pub mod vm;
 
 pub use cluster::{Cluster, TraceSink, VecSink};
-pub use config::{Config, ConsistencyPolicy};
+pub use config::{Config, ConsistencyPolicy, FaultPlan, ServerOutage};
 pub use metrics::SanitizerStats;
 pub use ops::{AppOp, OpKind, PageClass};

@@ -156,6 +156,46 @@ pub mod consist {
     pub const STALE_READ_BYTES: &str = "consist.stale.read.bytes";
 }
 
+/// Counter names for the fault-injection and recovery subsystem — the
+/// availability study (server crashes, degraded operation, and the
+/// Sprite-style recovery storm).
+pub mod fault {
+    /// Microseconds of client stall attributed to RPC timeouts/retries.
+    pub const STALL_US: &str = "fault.stall.us";
+    /// RPCs that stalled because the target server was down.
+    pub const STALLED_RPCS: &str = "fault.stalled.rpcs";
+    /// Retransmitted messages caused by seeded message drops.
+    pub const RETRANS_MSGS: &str = "fault.retrans.msgs";
+    /// RPCs abandoned after exhausting the retry budget.
+    pub const FAILED_RPCS: &str = "fault.failed.rpcs";
+    /// Write-backs the daemon deferred because the file's server was down.
+    pub const QUEUED_WRITEBACKS: &str = "fault.queued.writebacks";
+    /// Server crash events (counted on the server).
+    pub const SRV_CRASHES: &str = "fault.server.crashes";
+    /// Server reboot/recovery events (counted on the server).
+    pub const SRV_RECOVERIES: &str = "fault.server.recoveries";
+    /// Dirty server-cache bytes destroyed by a crash before reaching disk.
+    pub const SRV_LOST_BYTES: &str = "fault.server.lost.bytes";
+    /// Microseconds of server unavailability (crash to reboot).
+    pub const SRV_UNAVAIL_US: &str = "fault.server.unavail.us";
+    /// Recovery-storm RPCs (re-registrations + reopens) at reboot.
+    pub const STORM_RPCS: &str = "fault.recovery.storm.rpcs";
+    /// Client reopen RPCs issued during recovery storms.
+    pub const STORM_REOPENS: &str = "fault.recovery.reopen.rpcs";
+    /// Client re-registration RPCs issued during recovery storms.
+    pub const STORM_REREGISTERS: &str = "fault.recovery.reregister.rpcs";
+}
+
+/// Counter names for client restarts (crash vs. orderly reboot).
+pub mod restart {
+    /// Dirty client-cache bytes destroyed by a client crash.
+    pub const CRASH_LOST_BYTES: &str = "crash.lost.bytes";
+    /// Client crash events.
+    pub const CRASH_COUNT: &str = "crash.count";
+    /// Orderly client reboots (dirty data flushed, then cold cache).
+    pub const REBOOT_COUNT: &str = "reboot.count";
+}
+
 /// The sanitizer section: SpriteSan's verdict for one cluster run.
 ///
 /// Kept out of [`sdfs_simkit::CounterSet`] on purpose — sanitizer
@@ -334,6 +374,21 @@ mod tests {
             consist::STALE_BLOCKS,
             consist::STALE_READ_OPS,
             consist::STALE_READ_BYTES,
+            fault::STALL_US,
+            fault::STALLED_RPCS,
+            fault::RETRANS_MSGS,
+            fault::FAILED_RPCS,
+            fault::QUEUED_WRITEBACKS,
+            fault::SRV_CRASHES,
+            fault::SRV_RECOVERIES,
+            fault::SRV_LOST_BYTES,
+            fault::SRV_UNAVAIL_US,
+            fault::STORM_RPCS,
+            fault::STORM_REOPENS,
+            fault::STORM_REREGISTERS,
+            restart::CRASH_LOST_BYTES,
+            restart::CRASH_COUNT,
+            restart::REBOOT_COUNT,
         ];
         let set: HashSet<&str> = names.iter().copied().collect();
         assert_eq!(set.len(), names.len());

@@ -47,9 +47,41 @@ pub enum RpcKind {
     TokenAcquire,
     /// Server recalls a token from a client (token mode).
     TokenRecall,
+    /// Client re-registers with a rebooted server (recovery protocol).
+    Reregister,
+    /// Client reopens a file handle after a server reboot (recovery
+    /// protocol; the reopen burst is the "recovery storm").
+    Reopen,
 }
 
 impl RpcKind {
+    /// Every RPC kind, exactly once. `total_msgs`/`total_bytes` and the
+    /// name-uniqueness test iterate this, so a newly added variant that
+    /// is missing here fails to compile (the match arms in `name` et al.
+    /// are exhaustive) or fails the accounting test — new kinds cannot
+    /// silently skip accounting.
+    pub const ALL: [RpcKind; 20] = [
+        RpcKind::Open,
+        RpcKind::Close,
+        RpcKind::ReadBlock,
+        RpcKind::WriteBlock,
+        RpcKind::SharedRead,
+        RpcKind::SharedWrite,
+        RpcKind::ReadDir,
+        RpcKind::PageIn,
+        RpcKind::PageOut,
+        RpcKind::Recall,
+        RpcKind::Invalidate,
+        RpcKind::Create,
+        RpcKind::Delete,
+        RpcKind::Truncate,
+        RpcKind::Fsync,
+        RpcKind::GetAttr,
+        RpcKind::TokenAcquire,
+        RpcKind::TokenRecall,
+        RpcKind::Reregister,
+        RpcKind::Reopen,
+    ];
     /// Short lowercase name used in counter keys.
     pub fn name(self) -> &'static str {
         match self {
@@ -71,6 +103,8 @@ impl RpcKind {
             RpcKind::GetAttr => "getattr",
             RpcKind::TokenAcquire => "token_acquire",
             RpcKind::TokenRecall => "token_recall",
+            RpcKind::Reregister => "reregister",
+            RpcKind::Reopen => "reopen",
         }
     }
 
@@ -95,6 +129,8 @@ impl RpcKind {
             RpcKind::GetAttr => "rpc.getattr.msgs",
             RpcKind::TokenAcquire => "rpc.token_acquire.msgs",
             RpcKind::TokenRecall => "rpc.token_recall.msgs",
+            RpcKind::Reregister => "rpc.reregister.msgs",
+            RpcKind::Reopen => "rpc.reopen.msgs",
         }
     }
 
@@ -119,6 +155,8 @@ impl RpcKind {
             RpcKind::GetAttr => "rpc.getattr.bytes",
             RpcKind::TokenAcquire => "rpc.token_acquire.bytes",
             RpcKind::TokenRecall => "rpc.token_recall.bytes",
+            RpcKind::Reregister => "rpc.reregister.bytes",
+            RpcKind::Reopen => "rpc.reopen.bytes",
         }
     }
 }
@@ -131,22 +169,16 @@ pub fn count_rpc(counters: &mut CounterSet, kind: RpcKind, bytes: u64) {
     }
 }
 
-/// Total RPC messages recorded in `counters`.
+/// Total RPC messages recorded in `counters`, summed over
+/// [`RpcKind::ALL`].
 pub fn total_msgs(counters: &CounterSet) -> u64 {
-    counters
-        .iter()
-        .filter(|(k, _)| k.starts_with("rpc.") && k.ends_with(".msgs"))
-        .map(|(_, v)| v)
-        .sum()
+    RpcKind::ALL.iter().map(|k| counters.get(k.msgs_key())).sum()
 }
 
-/// Total RPC payload bytes recorded in `counters`.
+/// Total RPC payload bytes recorded in `counters`, summed over
+/// [`RpcKind::ALL`].
 pub fn total_bytes(counters: &CounterSet) -> u64 {
-    counters
-        .iter()
-        .filter(|(k, _)| k.starts_with("rpc.") && k.ends_with(".bytes"))
-        .map(|(_, v)| v)
-        .sum()
+    RpcKind::ALL.iter().map(|k| counters.get(k.bytes_key())).sum()
 }
 
 #[cfg(test)]
@@ -170,29 +202,34 @@ mod tests {
     #[test]
     fn names_are_distinct() {
         use std::collections::HashSet;
-        let kinds = [
-            RpcKind::Open,
-            RpcKind::Close,
-            RpcKind::ReadBlock,
-            RpcKind::WriteBlock,
-            RpcKind::SharedRead,
-            RpcKind::SharedWrite,
-            RpcKind::ReadDir,
-            RpcKind::PageIn,
-            RpcKind::PageOut,
-            RpcKind::Recall,
-            RpcKind::Invalidate,
-            RpcKind::Create,
-            RpcKind::Delete,
-            RpcKind::Truncate,
-            RpcKind::Fsync,
-            RpcKind::GetAttr,
-            RpcKind::TokenAcquire,
-            RpcKind::TokenRecall,
-        ];
-        let names: HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), kinds.len());
-        let keys: HashSet<&str> = kinds.iter().map(|k| k.msgs_key()).collect();
-        assert_eq!(keys.len(), kinds.len());
+        let names: HashSet<&str> = RpcKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), RpcKind::ALL.len());
+        let keys: HashSet<&str> = RpcKind::ALL.iter().map(|k| k.msgs_key()).collect();
+        assert_eq!(keys.len(), RpcKind::ALL.len());
+        let bkeys: HashSet<&str> = RpcKind::ALL.iter().map(|k| k.bytes_key()).collect();
+        assert_eq!(bkeys.len(), RpcKind::ALL.len());
+    }
+
+    #[test]
+    fn all_contains_every_kind_once() {
+        use std::collections::HashSet;
+        let set: HashSet<RpcKind> = RpcKind::ALL.iter().copied().collect();
+        assert_eq!(set.len(), RpcKind::ALL.len(), "duplicate in ALL");
+        // Key shape: every msgs/bytes key derives from the short name,
+        // so the totals really sum what count_rpc wrote.
+        for k in RpcKind::ALL {
+            assert_eq!(k.msgs_key(), format!("rpc.{}.msgs", k.name()));
+            assert_eq!(k.bytes_key(), format!("rpc.{}.bytes", k.name()));
+        }
+    }
+
+    #[test]
+    fn totals_cover_recovery_rpcs() {
+        let mut c = CounterSet::new();
+        count_rpc(&mut c, RpcKind::Reregister, 0);
+        count_rpc(&mut c, RpcKind::Reopen, 0);
+        count_rpc(&mut c, RpcKind::Reopen, 128);
+        assert_eq!(total_msgs(&c), 3);
+        assert_eq!(total_bytes(&c), 128);
     }
 }

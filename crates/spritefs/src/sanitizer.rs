@@ -39,6 +39,7 @@ use sdfs_trace::{ClientId, FileId};
 use crate::cache::BlockKey;
 use crate::client::Client;
 use crate::config::{Config, ConsistencyPolicy};
+use crate::fs::FileTable;
 use crate::metrics::SanitizerStats;
 
 /// How a cached write left the block.
@@ -59,6 +60,11 @@ pub struct Sanitizer {
     truth: FastMap<BlockKey, u64>,
     /// Version the owning server holds.
     server_ver: FastMap<BlockKey, u64>,
+    /// Version known to have reached the server's *disk* — the only copy
+    /// a server crash cannot destroy. Fed by the server's disk-flush
+    /// event log; absent means only the preloaded (version 0) content is
+    /// on disk.
+    disk_ver: FastMap<BlockKey, u64>,
     /// Per-client: version of each block the client caches.
     held: Vec<FastMap<BlockKey, u64>>,
     /// The single client allowed to hold a block dirty.
@@ -68,6 +74,8 @@ pub struct Sanitizer {
     by_file: FastMap<FileId, FastSet<u64>>,
     /// Strong consistency in force (everything but polling)?
     strong: bool,
+    /// Scratch buffer for the down-server-aware write-back window scan.
+    scratch_files: Vec<FileId>,
     stats: SanitizerStats,
 }
 
@@ -77,10 +85,12 @@ impl Sanitizer {
         Sanitizer {
             truth: FastMap::default(),
             server_ver: FastMap::default(),
+            disk_ver: FastMap::default(),
             held: (0..cfg.num_clients).map(|_| FastMap::default()).collect(),
             dirty_holder: FastMap::default(),
             by_file: FastMap::default(),
             strong: !matches!(cfg.consistency, ConsistencyPolicy::Polling { .. }),
+            scratch_files: Vec::new(),
             stats: SanitizerStats::default(),
         }
     }
@@ -226,6 +236,47 @@ impl Sanitizer {
         }
     }
 
+    /// The server wrote its cached copy of `key` to disk (delayed-write
+    /// daemon or dirty eviction): the current server version becomes
+    /// crash-proof. Driven by the server's disk-flush event log, which
+    /// the cluster drains after every operation and daemon tick — so in
+    /// rare same-operation flush-then-overwrite interleavings this can
+    /// stamp a slightly newer version than actually hit the platter.
+    /// That only *under*-reports crash damage (a false negative); it can
+    /// never invent a violation, because crash handling below only ever
+    /// lowers `truth`.
+    pub fn on_server_disk_flush(&mut self, key: BlockKey) {
+        let v = self.server_ver.get(&key).copied().unwrap_or(0);
+        self.disk_ver.insert(key, v);
+    }
+
+    /// A server crash destroyed its volatile (not-yet-on-disk) copy of
+    /// `key`. The server restarts from the disk version. Ground truth
+    /// rolls back to the newest copy that still exists anywhere: the
+    /// disk, or a *dirty* client copy (a clean client copy will never be
+    /// written back, so it cannot restore the data for anyone else).
+    pub fn on_server_crash_lost(&mut self, key: BlockKey) {
+        self.stats.ops_checked += 1;
+        let disk = self.disk_ver.get(&key).copied().unwrap_or(0);
+        let dirty_held = self
+            .dirty_holder
+            .get(&key)
+            .map(|c| {
+                self.held[c.raw() as usize]
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        let floor = disk.max(dirty_held);
+        self.server_ver.insert(key, disk);
+        if let Some(t) = self.truth.get_mut(&key) {
+            if *t > floor {
+                *t = floor;
+            }
+        }
+    }
+
     /// `file` was deleted or truncated everywhere: erase its shadow
     /// state (every cached copy was already dropped via
     /// [`Sanitizer::on_drop_block`]).
@@ -235,6 +286,7 @@ impl Sanitizer {
                 let key = BlockKey { file, index };
                 self.truth.remove(&key);
                 self.server_ver.remove(&key);
+                self.disk_ver.remove(&key);
                 self.dirty_holder.remove(&key);
                 for held in &mut self.held {
                     held.remove(&key);
@@ -248,23 +300,62 @@ impl Sanitizer {
     // ------------------------------------------------------------------
 
     /// After a daemon tick at `now`: no block may remain dirty past the
-    /// write-back window (delay + one scan period).
-    pub fn check_writeback_window(&mut self, clients: &[Client], cfg: &Config, now: SimTime) {
+    /// write-back window (delay + one scan period). Blocks of files
+    /// whose server is currently `down` are excused — the daemon queues
+    /// their write-backs by design — but a down server must never mask a
+    /// genuine violation on an up server, so when the oldest dirty block
+    /// is excused the check falls back to a full scan of that client's
+    /// overdue files.
+    pub fn check_writeback_window(
+        &mut self,
+        clients: &[Client],
+        files: &FileTable,
+        down: &[bool],
+        cfg: &Config,
+        now: SimTime,
+    ) {
         self.stats.ops_checked += 1;
         let cutoff = now - cfg.writeback_delay;
+        let server_down =
+            |file: FileId| -> bool {
+                files
+                    .get(file)
+                    .is_some_and(|m| down.get(m.server.raw() as usize) == Some(&true))
+            };
+        let any_down = down.iter().any(|&d| d);
+        let mut scratch = std::mem::take(&mut self.scratch_files);
         for client in clients {
-            if let Some((since, key)) = client.cache.oldest_dirty() {
-                if since <= cutoff {
-                    let c = client.id;
-                    self.note(
-                        |s| &mut s.writeback_window,
-                        format!(
-                            "write-back window missed at {now}: client {c} still holds {key:?} dirty since {since}"
-                        ),
-                    );
+            let Some((since, key)) = client.cache.oldest_dirty() else {
+                continue;
+            };
+            if since > cutoff {
+                continue;
+            }
+            let mut overdue = Some((since, key));
+            if any_down && server_down(key.file) {
+                // The O(1) witness is excused; look for an overdue block
+                // on an up server the slow way.
+                overdue = None;
+                client.cache.files_with_dirty_before_into(cutoff, &mut scratch);
+                for &file in &scratch {
+                    if !server_down(file) {
+                        overdue = Some((since, BlockKey { file, index: 0 }));
+                        break;
+                    }
                 }
             }
+            if let Some((since, key)) = overdue {
+                let c = client.id;
+                self.note(
+                    |s| &mut s.writeback_window,
+                    format!(
+                        "write-back window missed at {now}: client {c} still holds {key:?} dirty since {since}"
+                    ),
+                );
+            }
         }
+        scratch.clear();
+        self.scratch_files = scratch;
     }
 
     /// O(1) per-operation conservation check: the cache holds exactly
@@ -414,6 +505,48 @@ mod tests {
         s.on_drop_block(a, key(5, 0));
         // b reads from the server: v1 is now the newest surviving data.
         s.on_fetch(b, key(5, 0), true, false, SimTime::ZERO);
+        assert!(s.stats().is_clean(), "{:?}", s.stats());
+    }
+
+    #[test]
+    fn server_crash_rolls_back_to_disk_version() {
+        let mut s = sanitizer();
+        let (a, b) = (ClientId(0), ClientId(1));
+        // v1 reaches the disk; v2 only reaches the server's volatile cache.
+        s.on_cached_write(a, key(7, 0), WriteKind::Dirty, SimTime::ZERO);
+        s.on_writeback(a, key(7, 0), true);
+        s.on_server_disk_flush(key(7, 0));
+        s.on_cached_write(a, key(7, 0), WriteKind::Dirty, SimTime::ZERO);
+        s.on_writeback(a, key(7, 0), true);
+        s.on_drop_block(a, key(7, 0));
+        s.on_server_crash_lost(key(7, 0));
+        // v2 is gone; the disk's v1 is the newest surviving data, so a
+        // fetch of it is not stale.
+        s.on_fetch(b, key(7, 0), true, false, SimTime::ZERO);
+        s.on_read_hit(b, key(7, 0), false, SimTime::ZERO);
+        assert!(s.stats().is_clean(), "{:?}", s.stats());
+    }
+
+    #[test]
+    fn dirty_client_copy_survives_server_crash() {
+        let mut s = sanitizer();
+        let (a, b) = (ClientId(0), ClientId(1));
+        // a holds v1 dirty; the server has nothing on disk. A server
+        // crash destroys nothing a cares about — a's dirty copy is still
+        // the newest data and will be written back.
+        s.on_cached_write(a, key(8, 0), WriteKind::Dirty, SimTime::ZERO);
+        s.on_server_crash_lost(key(8, 0));
+        s.on_writeback(a, key(8, 0), true);
+        s.on_drop_block(a, key(8, 0));
+        s.on_fetch(b, key(8, 0), true, false, SimTime::ZERO);
+        assert!(s.stats().is_clean(), "{:?}", s.stats());
+
+        // But if the server's only copy was newer than the disk and no
+        // client holds it dirty, a fetch after the crash IS outdated —
+        // and must NOT be flagged, because truth rolled back with it.
+        s.on_server_write(key(9, 0)); // v1, server cache only
+        s.on_server_crash_lost(key(9, 0));
+        s.on_fetch(b, key(9, 0), true, false, SimTime::ZERO);
         assert!(s.stats().is_clean(), "{:?}", s.stats());
     }
 

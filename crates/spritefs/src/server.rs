@@ -107,6 +107,12 @@ pub struct Server {
     scratch_files: Vec<FileId>,
     /// Scratch buffer reused for per-file block index lists.
     scratch_blocks: Vec<u64>,
+    /// When set, every block written to disk is appended to
+    /// `disk_flush_log` (SpriteSan uses this to track what survives a
+    /// crash). Off by default so plain runs pay nothing.
+    log_disk_flushes: bool,
+    /// Blocks flushed to disk since the last [`Server::take_disk_flush_log`].
+    disk_flush_log: Vec<BlockKey>,
 }
 
 impl Server {
@@ -120,7 +126,57 @@ impl Server {
             counters: CounterSet::new(),
             scratch_files: Vec::new(),
             scratch_blocks: Vec::new(),
+            log_disk_flushes: false,
+            disk_flush_log: Vec::new(),
         }
+    }
+
+    /// Enables or disables the disk-flush event log (sanitized runs only).
+    pub fn set_disk_flush_logging(&mut self, on: bool) {
+        self.log_disk_flushes = on;
+        if !on {
+            self.disk_flush_log.clear();
+        }
+    }
+
+    /// Drains the disk-flush log into `into` (appending), leaving the log
+    /// empty. No-op unless logging is enabled.
+    pub fn take_disk_flush_log(&mut self, into: &mut Vec<BlockKey>) {
+        into.append(&mut self.disk_flush_log);
+    }
+
+    /// A power failure: the volatile block cache and all per-client
+    /// consistency state vanish; only what reached disk survives. Dirty
+    /// cached blocks are destroyed — each is appended to `lost` with its
+    /// accumulated application bytes — and the total lost bytes are
+    /// returned. Counters survive (they model the tracing daemon's
+    /// stable log, and wiping them would break campaign accounting).
+    pub fn crash(&mut self, lost: &mut Vec<(BlockKey, u64)>) -> u64 {
+        let mut files = std::mem::take(&mut self.scratch_files);
+        let mut blocks = std::mem::take(&mut self.scratch_blocks);
+        self.cache.files_with_dirty_before_into(SimTime::MAX, &mut files);
+        let mut lost_bytes = 0;
+        for &file in &files {
+            self.cache.dirty_blocks_of_into(file, &mut blocks);
+            for &index in &blocks {
+                let key = BlockKey { file, index };
+                let bytes = self
+                    .cache
+                    .get(key)
+                    .map(|e| e.dirty_app_bytes)
+                    .unwrap_or(0);
+                lost_bytes += bytes;
+                lost.push((key, bytes));
+            }
+        }
+        files.clear();
+        blocks.clear();
+        self.scratch_files = files;
+        self.scratch_blocks = blocks;
+        self.cache = BlockCache::new();
+        self.files.clear();
+        self.disk_flush_log.clear();
+        lost_bytes
     }
 
     /// Mutable access to the consistency state for `file`, creating it on
@@ -166,9 +222,12 @@ impl Server {
     fn insert_block(&mut self, key: BlockKey, now: SimTime) {
         self.cache.insert(key, now);
         while self.cache.len() as u64 > self.capacity_blocks {
-            if let Some((_, entry)) = self.cache.pop_lru() {
+            if let Some((evicted, entry)) = self.cache.pop_lru() {
                 if entry.dirty {
                     self.counters.add("server.disk.write.bytes", 4096);
+                    if self.log_disk_flushes {
+                        self.disk_flush_log.push(evicted);
+                    }
                 }
                 self.counters.bump("server.cache.evictions");
             } else {
@@ -189,6 +248,9 @@ impl Server {
                 let key = BlockKey { file, index };
                 if self.cache.clean(key).is_some() {
                     self.counters.add("server.disk.write.bytes", block_size);
+                    if self.log_disk_flushes {
+                        self.disk_flush_log.push(key);
+                    }
                 }
             }
         }
@@ -295,6 +357,32 @@ mod tests {
         srv.flush_dirty_before(t(30), 4096);
         assert_eq!(srv.counters.get("server.disk.write.bytes"), 4096);
         assert_eq!(srv.cache.dirty_len(), 1);
+    }
+
+    #[test]
+    fn crash_destroys_dirty_blocks_but_not_disk() {
+        let mut srv = Server::new(ServerId(0), 1 << 20, 4096);
+        srv.set_disk_flush_logging(true);
+        srv.accept_write(key(1, 0), 4096, t(0));
+        srv.accept_write(key(2, 0), 4096, t(50));
+        // The daemon flushes the old block to disk; the young one stays
+        // dirty in the volatile cache.
+        srv.flush_dirty_before(t(30), 4096);
+        let mut flushed = Vec::new();
+        srv.take_disk_flush_log(&mut flushed);
+        assert_eq!(flushed, vec![key(1, 0)]);
+        srv.file_state(FileId(2)).last_writer = Some(ClientId(3));
+
+        let mut lost = Vec::new();
+        let lost_bytes = srv.crash(&mut lost);
+        assert_eq!(lost, vec![(key(2, 0), 4096)], "unflushed block destroyed");
+        assert_eq!(lost_bytes, 4096);
+        assert!(srv.cache.is_empty(), "volatile cache gone");
+        assert!(srv.files.is_empty(), "consistency state gone");
+        // A second crash right after loses nothing.
+        let mut lost2 = Vec::new();
+        assert_eq!(srv.crash(&mut lost2), 0);
+        assert!(lost2.is_empty());
     }
 
     #[test]

@@ -9,10 +9,12 @@ use sdfs_trace::FileId;
 mod cluster_fuzz {
     use sdfs_simkit::{SimRng, SimTime};
     use sdfs_spritefs::{AppOp, Cluster, Config, ConsistencyPolicy, OpKind, VecSink};
-    use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, UserId};
+    use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, ServerId, UserId};
 
     /// A compact alphabet of operations; handles and files are small so
     /// sequences collide and exercise sharing, recalls, and staleness.
+    /// Client crashes, server crashes, and server recoveries interleave
+    /// freely with regular traffic.
     #[derive(Debug, Clone)]
     enum Step {
         Create(u8),
@@ -26,11 +28,13 @@ mod cluster_fuzz {
         Truncate(u8),
         Crash(u8),
         Proc(u8),
+        SrvCrash,
+        SrvRecover,
     }
 
     fn random_step(rng: &mut SimRng) -> Step {
         let b = |rng: &mut SimRng| rng.below(256) as u8;
-        match rng.below(11) {
+        match rng.below(13) {
             0 => Step::Create(b(rng)),
             1 => Step::Open(b(rng), b(rng), b(rng)),
             2 => Step::Read(b(rng), b(rng), rng.next_u64() as u32),
@@ -41,7 +45,9 @@ mod cluster_fuzz {
             7 => Step::Delete(b(rng)),
             8 => Step::Truncate(b(rng)),
             9 => Step::Crash(b(rng)),
-            _ => Step::Proc(b(rng)),
+            10 => Step::Proc(b(rng)),
+            11 => Step::SrvCrash,
+            _ => Step::SrvRecover,
         }
     }
 
@@ -204,6 +210,16 @@ mod cluster_fuzz {
                     live[c].clear();
                     proc_live[c].clear();
                 }
+                Step::SrvCrash => {
+                    // Config::small has one server; a crash while clients
+                    // hold opens and dirty blocks exercises the volatile
+                    // state rebuild. Both calls are idempotent no-ops when
+                    // the server is already in the requested state.
+                    cluster.crash_server(ServerId(0));
+                }
+                Step::SrvRecover => {
+                    cluster.recover_server(ServerId(0));
+                }
                 Step::Proc(c) => {
                     let c = (c % 4) as usize;
                     if proc_live[c].len() < 3 {
@@ -237,6 +253,9 @@ mod cluster_fuzz {
                 assert!(c.get("cache.read.miss.ops") <= c.get("cache.read.ops"));
             }
         }
+        // Bring the server back (a no-op if it is up) so the drain below
+        // can actually deliver queued write-backs.
+        cluster.recover_server(ServerId(0));
         // Drain: advance time so the daemon flushes everything.
         let end = SimTime::from_millis((t + 1) * 250) + sdfs_simkit::SimDuration::from_secs(120);
         cluster.run(std::iter::empty(), end);

@@ -30,6 +30,13 @@ echo "==> sanitizer: repro --quick --sanitize all (must be clean and byte-identi
 ./target/release/repro --quick --sanitize all > /tmp/verify_report_san.txt
 cmp /tmp/verify_report.txt /tmp/verify_report_san.txt
 
+echo "==> fault matrix: repro --quick --sanitize faults (clean, deterministic, nonzero)"
+./target/release/repro --quick --sanitize faults > /tmp/verify_faults_1.txt
+./target/release/repro --quick --sanitize faults > /tmp/verify_faults_2.txt
+cmp /tmp/verify_faults_1.txt /tmp/verify_faults_2.txt
+grep -q "recovery storm RPCs: [1-9]" /tmp/verify_faults_1.txt
+grep -q "data lost at server crash: [1-9]" /tmp/verify_faults_1.txt
+
 echo "==> bench smoke: repro bench"
 tmpdir=$(mktemp -d)
 (cd "$tmpdir" && "$OLDPWD"/target/release/repro bench > /dev/null)
