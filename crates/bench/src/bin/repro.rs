@@ -3,16 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--traces N] [--days N] [--sanitize]
+//! repro [--quick] [--traces N] [--days N] [--sanitize] [--observe]
 //!       [all|table1|table2|table3|table10|table11|table12|cache|
 //!        figures [--csv DIR]|bsd|check|lint [--root DIR]|
-//!        ablations|extensions|faults|latency|gen-trace OUT]
+//!        ablations|extensions|faults|latency|gen-trace OUT|
+//!        obs [--json]|profile|selftrace|bench]
 //! ```
 //!
 //! With no arguments the full study runs at paper scale (eight 24-hour
 //! traces, 14 counter days) and prints every table with the published
 //! values alongside. `--quick` uses the reduced configuration (useful
-//! for smoke tests).
+//! for smoke tests). `--observe` runs the self-measurement layer
+//! alongside any study subcommand, printing its report to stderr so
+//! stdout stays byte-identical to a plain run.
 
 use std::time::Instant;
 
@@ -23,6 +26,68 @@ use sdfs_core::latency::latency_report;
 use sdfs_core::report;
 use sdfs_core::study::writeback_delay_ablation;
 use sdfs_core::Study;
+
+/// Every subcommand the CLI accepts, for validation and the usage
+/// synopsis. Aliases (`fig1`, `table5`, ...) are listed explicitly so a
+/// typo is distinguishable from a narrower table request.
+const KNOWN_SUBCOMMANDS: &[&str] = &[
+    "all",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "cache",
+    "figures",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "bsd",
+    "check",
+    "lint",
+    "ablations",
+    "extensions",
+    "faults",
+    "latency",
+    "gen-trace",
+    "obs",
+    "profile",
+    "selftrace",
+    "bench",
+];
+
+/// The usage synopsis printed on an unknown subcommand.
+fn usage() -> String {
+    "usage: repro [--quick] [--traces N] [--days N] [--sanitize] [--observe] [SUBCOMMAND]\n\
+     \n\
+     subcommands:\n\
+     \x20 all                 full study, every table and figure (default)\n\
+     \x20 table1..table12     one paper table (table4-9 render together)\n\
+     \x20 cache               Tables 4-9 (cache behaviour)\n\
+     \x20 figures [--csv DIR] Figures 1-4 checkpoints (and CSV export)\n\
+     \x20 fig1..fig4          alias for figures\n\
+     \x20 bsd                 1985 BSD study comparison\n\
+     \x20 check               reproduction scorecard (exit 1 on failure)\n\
+     \x20 lint [--root DIR]   determinism lints over workspace sources\n\
+     \x20 ablations           write-back delay ablation\n\
+     \x20 extensions          crash-exposure and policy-matrix studies\n\
+     \x20 faults              availability under server failure\n\
+     \x20 latency             modeled operation latency report\n\
+     \x20 gen-trace OUT       write one trace as a binary trace file\n\
+     \x20 obs [--json]        self-measurement report (implies --observe)\n\
+     \x20 profile             wall-clock breakdown of the pipeline stages\n\
+     \x20 selftrace           simulator self-trace cross-check (exit 1 on disagreement)\n\
+     \x20 bench               timed stages -> BENCH_0001.json / BENCH_0002.json\n"
+        .to_string()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +112,11 @@ fn main() {
         what = a.clone();
         // `gen-trace OUT` keeps OUT as its own argument.
         break;
+    }
+
+    if !KNOWN_SUBCOMMANDS.contains(&what.as_str()) {
+        eprint!("repro: unknown subcommand `{what}`\n\n{}", usage());
+        std::process::exit(2);
     }
 
     if what == "lint" {
@@ -101,10 +171,31 @@ fn main() {
     // goes to stderr so stdout stays byte-identical to a plain run.
     let sanitize = args.iter().any(|a| a == "--sanitize");
     cfg.cluster.sanitize = sanitize;
+    // `--observe` runs the self-measurement layer the same way: report
+    // to stderr, stdout untouched. `repro obs` implies it.
+    let observe = args.iter().any(|a| a == "--observe") || what == "obs";
+    cfg.cluster.observe = observe;
     let study = Study::new(cfg);
 
     if what == "bench" {
         run_bench();
+        return;
+    }
+
+    if what == "profile" {
+        run_profile(&study);
+        return;
+    }
+
+    if what == "selftrace" {
+        // The simulator writes its own Sprite-format trace, re-reads it,
+        // and cross-checks the analysis against its own counters.
+        let spec = study.config().traces[0];
+        let rep = sdfs_core::selftrace::run(&study, spec);
+        print!("{}", rep.render());
+        if !rep.all_agree() {
+            std::process::exit(1);
+        }
         return;
     }
 
@@ -144,7 +235,7 @@ fn main() {
         let mut cfg = study.config().clone();
         cfg.workload.activity_scale = cfg.workload.activity_scale.min(0.5);
         let plan = recovery::default_plan();
-        let outcome = recovery::run_outage_day(&cfg, &plan, sanitize);
+        let outcome = recovery::run_outage_day(&cfg, &plan, sanitize, observe);
         let loss = recovery::loss_vs_writeback_delay(&cfg, &plan, &[5, 30, 120, 600]);
         let storm = recovery::storm_vs_cluster_size(&cfg, &plan, &[4, 8, 16, 32]);
         println!(
@@ -160,6 +251,12 @@ fn main() {
                     }
                 }
                 None => eprintln!("sanitizer: no verdict collected"),
+            }
+        }
+        if observe {
+            match &outcome.obs {
+                Some(o) => eprint!("{}", o.render()),
+                None => eprintln!("observer: no report collected"),
             }
         }
         return;
@@ -196,6 +293,21 @@ fn main() {
 
     let mut results = study.run_all();
     eprintln!("study complete in {:.1}s", t0.elapsed().as_secs_f64());
+
+    if what == "obs" {
+        // `repro obs [--json]`: just the self-measurement report — the
+        // per-RPC latency histograms, span aggregates, and event counts
+        // from the whole campaign.
+        let report = results
+            .obs_summary()
+            .expect("observe is forced on for `repro obs`");
+        if args.iter().any(|a| a == "--json") {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render());
+        }
+        return;
+    }
 
     let out = match what.as_str() {
         "check" => {
@@ -257,6 +369,12 @@ fn main() {
                 }
             }
             None => eprintln!("sanitizer: no verdict collected"),
+        }
+    }
+    if observe {
+        match results.obs_summary() {
+            Some(o) => eprint!("{}", o.render()),
+            None => eprintln!("observer: no report collected"),
         }
     }
 }
@@ -342,4 +460,87 @@ fn run_bench() {
     std::fs::write("BENCH_0001.json", &json).expect("write BENCH_0001.json");
     print!("{json}");
     eprintln!("wrote BENCH_0001.json");
+
+    // Stage 6: observer overhead. The same end-to-end pipeline with the
+    // self-measurement layer on; `end_to_end_secs` above is the obs-off
+    // number (the layer is always compiled, just disabled), so the pair
+    // bounds what `--observe` costs.
+    let mut cfg_on = sdfs_bench::bench_config();
+    cfg_on.cluster.observe = true;
+    let study_on = Study::new(cfg_on);
+    let t = Instant::now();
+    let mut results_on = study_on.run_all();
+    let rendered_on = report::render_all(&mut results_on);
+    let obs_on_secs = t.elapsed().as_secs_f64();
+    let obs = results_on
+        .obs_summary()
+        .expect("observed study yields a report");
+    let overhead_pct = 100.0 * (obs_on_secs - end_to_end_secs) / end_to_end_secs.max(1e-9);
+
+    let json2 = format!(
+        "{{\n  \"config\": \"quick\",\n  \"end_to_end_obs_off_secs\": {:.3},\n  \"end_to_end_obs_on_secs\": {:.3},\n  \"observe_overhead_pct\": {:.1},\n  \"events_recorded\": {},\n  \"events_dropped\": {},\n  \"rpc_latency_samples\": {},\n  \"report_bytes_identical\": {}\n}}\n",
+        end_to_end_secs,
+        obs_on_secs,
+        overhead_pct,
+        obs.events_recorded,
+        obs.events_dropped,
+        obs.rpc_samples(),
+        rendered_on.len() == rendered.len(),
+    );
+    std::fs::write("BENCH_0002.json", &json2).expect("write BENCH_0002.json");
+    print!("{json2}");
+    eprintln!("wrote BENCH_0002.json");
+}
+
+/// `repro profile`: wall-clock breakdown of the pipeline stages on the
+/// configured study — where a full run actually spends its time. This is
+/// deliberately the only observability surface that reads the host
+/// clock, and it lives in the bench crate, outside the determinism
+/// lint's scope.
+fn run_profile(study: &Study) {
+    let t_total = Instant::now();
+
+    let t = Instant::now();
+    let per_trace: Vec<_> = study
+        .config()
+        .traces
+        .iter()
+        .map(|&spec| (spec, study.run_trace_records(spec)))
+        .collect();
+    let simulate = t.elapsed().as_secs_f64();
+    let records: usize = per_trace.iter().map(|(_, r)| r.len()).sum();
+
+    let t = Instant::now();
+    let mut analyses: Vec<_> = per_trace
+        .iter()
+        .map(|(spec, records)| study.analyze_trace(*spec, records))
+        .collect();
+    let analyze = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let counters = study.run_counters();
+    let counters_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut s = report::render_table1(&analyses);
+    s.push_str(&report::render_figure_checkpoints(&mut analyses));
+    let _ = counters.total.get("cache.read.ops");
+    let render_secs = t.elapsed().as_secs_f64();
+    let total = t_total.elapsed().as_secs_f64();
+
+    let pct = |secs: f64| 100.0 * secs / total.max(1e-9);
+    println!(
+        "repro profile ({} traces, {} counter days, {} records):",
+        per_trace.len(),
+        study.config().counter_days,
+        records
+    );
+    println!("  {:<18} {:>8.3} s  ({:>4.1}%)", "simulate", simulate, pct(simulate));
+    println!("  {:<18} {:>8.3} s  ({:>4.1}%)", "analyze (fused)", analyze, pct(analyze));
+    println!(
+        "  {:<18} {:>8.3} s  ({:>4.1}%)",
+        "counter campaign", counters_secs, pct(counters_secs)
+    );
+    println!("  {:<18} {:>8.3} s  ({:>4.1}%)", "render", render_secs, pct(render_secs));
+    println!("  {:<18} {:>8.3} s", "total", total);
 }

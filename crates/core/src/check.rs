@@ -294,6 +294,27 @@ pub fn scorecard(results: &mut StudyResults) -> Scorecard {
         0.0,
         0.0,
     );
+
+    // --- Self-trace cross-check ---
+    // The simulator writes its own Sprite-format trace, re-analyzes it,
+    // and compares the analysis against its own RPC counters. Like the
+    // availability probe this runs at a fixed quick scale, so the rows
+    // are identical whichever study size produced `results`.
+    let st = crate::selftrace::probe();
+    add(
+        "selftrace codec round-trip mismatches",
+        "trace validated against kernel counters",
+        u64::from(!st.roundtrip_exact) as f64,
+        0.0,
+        0.0,
+    );
+    add(
+        "selftrace identity disagreements",
+        "analysis equals the simulator's counters",
+        st.disagreements() as f64,
+        0.0,
+        0.0,
+    );
     sc
 }
 

@@ -36,6 +36,7 @@ pub mod overhead;
 pub mod patterns;
 pub mod recovery;
 pub mod report;
+pub mod selftrace;
 pub mod staleness;
 pub mod study;
 

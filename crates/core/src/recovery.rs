@@ -14,7 +14,7 @@
 use sdfs_simkit::{SimDuration, SimTime};
 use sdfs_spritefs::cluster::NullSink;
 use sdfs_spritefs::metrics::fault;
-use sdfs_spritefs::{Cluster, FaultPlan, SanitizerStats, ServerOutage};
+use sdfs_spritefs::{Cluster, FaultPlan, ObsReport, SanitizerStats, ServerOutage};
 use sdfs_workload::Generator;
 
 use crate::study::StudyConfig;
@@ -65,14 +65,23 @@ pub struct OutageOutcome {
     pub storm_reregisters: u64,
     /// SpriteSan's verdict, when the day ran sanitized.
     pub sanitizer: Option<SanitizerStats>,
+    /// The self-measurement report, when the day ran observed — the
+    /// recovery-storm reopen latencies and outage spans live here.
+    pub obs: Option<ObsReport>,
 }
 
 /// Runs one generated day under `plan` and harvests the availability
 /// counters.
-pub fn run_outage_day(base: &StudyConfig, plan: &FaultPlan, sanitize: bool) -> OutageOutcome {
+pub fn run_outage_day(
+    base: &StudyConfig,
+    plan: &FaultPlan,
+    sanitize: bool,
+    observe: bool,
+) -> OutageOutcome {
     let mut cfg = base.clone();
     cfg.cluster.faults = Some(plan.clone());
     cfg.cluster.sanitize = sanitize;
+    cfg.cluster.observe = observe;
     let mut gen = Generator::new(cfg.workload.clone());
     let mut cluster = Cluster::new(cfg.cluster.clone(), NullSink);
     cluster.preload(&gen.preload_list());
@@ -92,6 +101,7 @@ pub fn run_outage_day(base: &StudyConfig, plan: &FaultPlan, sanitize: bool) -> O
         storm_reopens: 0,
         storm_reregisters: 0,
         sanitizer: None,
+        obs: None,
     };
     for client in cluster.clients() {
         let c = &client.metrics.counters;
@@ -110,6 +120,7 @@ pub fn run_outage_day(base: &StudyConfig, plan: &FaultPlan, sanitize: bool) -> O
         o.storm_reregisters += c.get(fault::STORM_REREGISTERS);
     }
     o.sanitizer = cluster.take_sanitizer_stats();
+    o.obs = cluster.take_obs_report();
     o
 }
 
@@ -141,7 +152,7 @@ pub fn loss_vs_writeback_delay(
             cfg.cluster.writeback_delay = SimDuration::from_secs(delay);
             cfg.cluster.daemon_period =
                 SimDuration::from_secs(cfg.cluster.daemon_period.as_secs().clamp(1, delay.max(1)));
-            let o = run_outage_day(&cfg, plan, false);
+            let o = run_outage_day(&cfg, plan, false, false);
             LossVsDelay {
                 delay_secs: delay,
                 lost_bytes: o.lost_bytes,
@@ -179,7 +190,7 @@ pub fn storm_vs_cluster_size(
             let mut cfg = base.clone();
             cfg.cluster.num_clients = n;
             cfg.workload.num_clients = n;
-            let o = run_outage_day(&cfg, plan, false);
+            let o = run_outage_day(&cfg, plan, false, false);
             StormVsCluster {
                 clients: n,
                 storm_rpcs: o.storm_rpcs,
@@ -292,7 +303,7 @@ pub struct RecoveryProbe {
 pub fn availability_probe() -> RecoveryProbe {
     let mut cfg = StudyConfig::quick();
     cfg.workload.activity_scale = 0.2;
-    let o = run_outage_day(&cfg, &default_plan(), true);
+    let o = run_outage_day(&cfg, &default_plan(), true, false);
     RecoveryProbe {
         storm_rpcs: o.storm_rpcs,
         lost_bytes: o.lost_bytes,
@@ -312,7 +323,7 @@ mod tests {
 
     #[test]
     fn outage_day_measures_crash_and_storm() {
-        let o = run_outage_day(&tiny(), &default_plan(), true);
+        let o = run_outage_day(&tiny(), &default_plan(), true, false);
         assert!(o.unavail_secs >= 299.0, "outage measured: {}", o.unavail_secs);
         assert!(o.lost_bytes > 0, "the crash destroyed dirty server data");
         assert!(o.storm_rpcs > 0, "clients re-registered at reboot");
@@ -329,6 +340,22 @@ mod tests {
             "oracle must stay clean across the failure: {}",
             san.render()
         );
+    }
+
+    #[test]
+    fn observed_outage_reports_storm_latencies() {
+        use sdfs_spritefs::SpanKind;
+        let o = run_outage_day(&tiny(), &default_plan(), false, true);
+        let obs = o.obs.expect("observed run yields a report");
+        // Every storm reopen was timed, and the reborn server's
+        // serialization makes later reopens strictly slower than p50.
+        assert_eq!(obs.reopen_latency.count(), o.storm_reopens);
+        assert!(obs.reopen_latency.max() >= obs.reopen_latency.p50());
+        assert!(obs.span(SpanKind::ServerOutage).count >= 1);
+        assert!(obs.span(SpanKind::RecoveryStorm).count >= 1);
+        assert!(obs.span(SpanKind::Stall).count > 0, "stalled RPCs timed");
+        // The plain counters and the observer agree on the storm size.
+        assert!(obs.events(sdfs_spritefs::ObsEventKind::Reopen) == o.storm_reopens);
     }
 
     #[test]
@@ -356,7 +383,7 @@ mod tests {
         );
         let render = render_availability(
             &default_plan(),
-            &run_outage_day(&tiny(), &default_plan(), false),
+            &run_outage_day(&tiny(), &default_plan(), false, false),
             &[],
             &rows,
         );

@@ -13,7 +13,7 @@
 use sdfs_simkit::{CounterSet, SimDuration, SimTime};
 use sdfs_spritefs::cluster::NullSink;
 use sdfs_spritefs::metrics::MachineMetrics;
-use sdfs_spritefs::{Cluster, Config, SanitizerStats, VecSink};
+use sdfs_spritefs::{Cluster, Config, ObsReport, SanitizerStats, VecSink};
 use sdfs_trace::merge::merge_vecs;
 use sdfs_trace::{Record, TraceStats};
 use sdfs_workload::{Generator, TraceSpec, WorkloadConfig};
@@ -111,6 +111,26 @@ pub struct TraceAnalysis {
     /// SpriteSan verdict for the cluster run that produced this trace
     /// (`None` unless the study ran with `sanitize` set).
     pub sanitizer: Option<SanitizerStats>,
+    /// Self-measurement report for the cluster run that produced this
+    /// trace (`None` unless the study ran with `observe` set).
+    pub obs: Option<ObsReport>,
+}
+
+/// Everything one trace run produces besides the analysis: the merged
+/// record stream, the run's verdicts, and the raw per-machine counters
+/// (the inputs the self-trace cross-check compares against).
+#[derive(Debug)]
+pub struct TraceRun {
+    /// Merged, time-ordered kernel-call records.
+    pub records: Vec<Record>,
+    /// SpriteSan verdict (`None` unless `cluster.sanitize` is set).
+    pub sanitizer: Option<SanitizerStats>,
+    /// Self-measurement report (`None` unless `cluster.observe` is set).
+    pub obs: Option<ObsReport>,
+    /// Final per-client counters.
+    pub client_counters: Vec<CounterSet>,
+    /// Final per-server counters.
+    pub server_counters: Vec<CounterSet>,
 }
 
 /// Results of the counter campaign.
@@ -127,6 +147,9 @@ pub struct CounterData {
     /// SpriteSan verdict for the counter campaign (`None` unless the
     /// study ran with `sanitize` set).
     pub sanitizer: Option<SanitizerStats>,
+    /// Self-measurement report for the counter campaign (`None` unless
+    /// the study ran with `observe` set).
+    pub obs: Option<ObsReport>,
 }
 
 /// All study outputs.
@@ -191,6 +214,15 @@ impl Study {
         &self,
         spec: TraceSpec,
     ) -> (Vec<Record>, Option<SanitizerStats>) {
+        let run = self.run_trace_full(spec);
+        (run.records, run.sanitizer)
+    }
+
+    /// Synthesizes and executes one trace, returning the merged record
+    /// stream together with the run's verdicts and final counters — the
+    /// raw material the self-trace cross-check ([`crate::selftrace`])
+    /// compares analysis output against.
+    pub fn run_trace_full(&self, spec: TraceSpec) -> TraceRun {
         let wl = self.cfg.workload.for_trace(spec);
         let mut gen = Generator::new(wl);
         let mut cluster = Cluster::new(
@@ -201,9 +233,16 @@ impl Study {
         let ops = gen.generate_day(0);
         // Let trailing delayed writes happen before the trace ends.
         cluster.run(ops, SimTime::from_secs(86_400));
-        let san = cluster.take_sanitizer_stats();
-        let sink = cluster.into_sink();
-        (merge_vecs(sink.per_server), san)
+        let sanitizer = cluster.take_sanitizer_stats();
+        let obs = cluster.take_obs_report();
+        let (sink, clients, servers) = cluster.into_parts();
+        TraceRun {
+            records: merge_vecs(sink.per_server),
+            sanitizer,
+            obs,
+            client_counters: clients.into_iter().map(|c| c.metrics.counters).collect(),
+            server_counters: servers.into_iter().map(|s| s.counters).collect(),
+        }
     }
 
     /// Runs every analysis over one merged trace in a single fused pass.
@@ -223,6 +262,7 @@ impl Study {
             table11: fused.table11,
             table12: fused.table12,
             sanitizer: None,
+            obs: None,
         }
     }
 
@@ -240,6 +280,7 @@ impl Study {
             table11: table11(records),
             table12: table12(records),
             sanitizer: None,
+            obs: None,
         }
     }
 
@@ -269,9 +310,10 @@ impl Study {
                         break;
                     }
                     let spec = specs[i];
-                    let (records, san) = self.run_trace_records_sanitized(spec);
-                    let mut analysis = self.analyze_trace(spec, &records);
-                    analysis.sanitizer = san;
+                    let run = self.run_trace_full(spec);
+                    let mut analysis = self.analyze_trace(spec, &run.records);
+                    analysis.sanitizer = run.sanitizer;
+                    analysis.obs = run.obs;
                     *slots[i].lock().expect("slot lock poisoned") = Some(analysis);
                 });
             }
@@ -312,6 +354,7 @@ impl Study {
             per_day.push(day_rows);
         }
         let sanitizer = cluster.take_sanitizer_stats();
+        let obs = cluster.take_obs_report();
         let (_sink, clients, servers) = cluster.into_parts();
         let metrics: Vec<MachineMetrics> = clients.into_iter().map(|c| c.metrics).collect();
         let mut total = CounterSet::new();
@@ -324,6 +367,7 @@ impl Study {
             total,
             servers: servers.into_iter().map(|s| s.counters).collect(),
             sanitizer,
+            obs,
         }
     }
 
@@ -384,6 +428,24 @@ impl StudyResults {
             match &mut acc {
                 Some(a) => a.merge(s),
                 None => acc = Some(s.clone()),
+            }
+        }
+        acc
+    }
+
+    /// Merged self-measurement report across the trace and counter
+    /// campaigns (`None` unless the study ran with `observe` set).
+    pub fn obs_summary(&self) -> Option<ObsReport> {
+        let mut acc: Option<ObsReport> = None;
+        for o in self
+            .traces
+            .iter()
+            .filter_map(|t| t.obs.as_ref())
+            .chain(self.counters.obs.as_ref())
+        {
+            match &mut acc {
+                Some(a) => a.merge(o),
+                None => acc = Some(o.clone()),
             }
         }
         acc

@@ -15,6 +15,8 @@
 //!   weighted CDFs used to build the paper's figures.
 //! * [`counters`] — named counter sets mirroring Sprite's ~50 kernel
 //!   counters.
+//! * [`obs`] — self-measurement primitives: a fixed-capacity structured
+//!   event ring and span aggregates, stamped with [`SimTime`] only.
 //!
 //! Everything here is deterministic given a seed: no wall-clock time, no
 //! global state, no threads.
@@ -22,6 +24,7 @@
 pub mod counters;
 pub mod dist;
 pub mod hash;
+pub mod obs;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -29,7 +32,8 @@ pub mod time;
 
 pub use counters::CounterSet;
 pub use hash::{FastMap, FastSet};
+pub use obs::{EventRing, ObsEvent, SpanStat};
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use stats::{Histogram, Summary, WeightedCdf};
+pub use stats::{Histogram, LogHistogram, Summary, WeightedCdf};
 pub use time::{SimDuration, SimTime};

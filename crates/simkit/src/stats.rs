@@ -323,6 +323,193 @@ pub fn log_points(lo: f64, hi: f64, per_decade: usize) -> Vec<f64> {
     v
 }
 
+/// Sub-bucket resolution of [`LogHistogram`]: each power of two is split
+/// into `2^LOG_HIST_SUB_BITS` linear sub-buckets.
+pub const LOG_HIST_SUB_BITS: u32 = 4;
+
+const LOG_HIST_SUB: u64 = 1 << LOG_HIST_SUB_BITS;
+
+/// Total bucket count of a [`LogHistogram`]: `LOG_HIST_SUB` exact buckets
+/// for values below `LOG_HIST_SUB`, then `LOG_HIST_SUB` sub-buckets per
+/// remaining power of two up to `u64::MAX`.
+pub const LOG_HIST_BUCKETS: usize = (64 - LOG_HIST_SUB_BITS as usize + 1) * LOG_HIST_SUB as usize;
+
+/// An integer log-bucketed histogram (HDR-style) for latency-like `u64`
+/// values — the observability layer records simulated microseconds.
+///
+/// Values below [`LOG_HIST_SUB`] land in exact unit buckets; above that,
+/// each power of two is split into [`LOG_HIST_SUB`] linear sub-buckets,
+/// bounding the relative quantile error at `1/LOG_HIST_SUB` (~6%). All
+/// state is integer counters, so [`LogHistogram::merge`] is exact
+/// (bucket-wise addition) and every reported quantile is a pure function
+/// of the recorded multiset: identical across runs, merge orders, and
+/// split points. The exact `min`/`max` are tracked on the side and
+/// quantiles are clamped into `[min, max]`, so single-valued histograms
+/// report that value exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Maps a value to its bucket index. Monotone and contiguous: bucket
+/// upper bounds strictly increase with the index.
+fn log_bucket_of(v: u64) -> usize {
+    if v < LOG_HIST_SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - LOG_HIST_SUB_BITS;
+    let top = v >> shift; // in [LOG_HIST_SUB, 2 * LOG_HIST_SUB)
+    ((shift as u64 + 1) * LOG_HIST_SUB + (top - LOG_HIST_SUB)) as usize
+}
+
+/// Largest value that maps to bucket `idx` (inverse of [`log_bucket_of`]).
+fn log_bucket_upper(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < LOG_HIST_SUB {
+        return idx;
+    }
+    let shift = idx / LOG_HIST_SUB - 1;
+    let top = LOG_HIST_SUB + idx % LOG_HIST_SUB;
+    // ((top + 1) << shift) - 1, saturating at the top bucket.
+    ((top + 1) << shift).wrapping_sub(1)
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram (allocates its bucket array up front;
+    /// recording never allocates).
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; LOG_HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical observations.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[log_bucket_of(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded values, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact minimum recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the observation of rank `ceil(q * count)`, clamped into
+    /// `[min, max]`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return log_bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.50)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one. Exact: equivalent to
+    /// having recorded both observation streams into one histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates non-empty buckets as `(upper_bound, count)` pairs in
+    /// increasing value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (log_bucket_upper(i), c))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,5 +642,87 @@ mod tests {
         assert_eq!(pts.len(), 7);
         assert!((pts[0] - 1.0).abs() < 1e-9);
         assert!((pts[6] - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_hist_bucket_mapping_is_monotone_and_total() {
+        // Contiguity and monotonicity around every power-of-two boundary.
+        let mut prev = 0usize;
+        for bits in 0..24 {
+            for delta in [-1i64, 0, 1] {
+                let v = ((1u64 << bits) as i64 + delta).max(0) as u64;
+                let idx = log_bucket_of(v);
+                assert!(idx >= prev || v < (1u64 << bits), "non-monotone at {v}");
+                assert!(v <= log_bucket_upper(idx), "{v} above its bucket bound");
+                prev = prev.max(idx);
+            }
+        }
+        assert_eq!(log_bucket_of(u64::MAX), LOG_HIST_BUCKETS - 1);
+        assert_eq!(log_bucket_upper(log_bucket_of(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn log_hist_exact_below_sub() {
+        let mut h = LogHistogram::new();
+        for v in 0..LOG_HIST_SUB {
+            h.record(v);
+        }
+        // Every small value is its own bucket: quantiles are exact.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), LOG_HIST_SUB - 1);
+        assert_eq!(h.count(), LOG_HIST_SUB);
+    }
+
+    #[test]
+    fn log_hist_single_value_quantiles_exact() {
+        let mut h = LogHistogram::new();
+        h.record_n(6_500, 100);
+        assert_eq!(h.p50(), 6_500);
+        assert_eq!(h.p99(), 6_500);
+        assert_eq!(h.max(), 6_500);
+        assert_eq!(h.min(), 6_500);
+        assert_eq!(h.sum(), 650_000);
+    }
+
+    #[test]
+    fn log_hist_quantile_relative_error_bounded() {
+        let mut h = LogHistogram::new();
+        for v in 1..10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let got = h.quantile(q);
+            let err = got.abs_diff(exact) as f64 / exact as f64;
+            assert!(err <= 1.0 / LOG_HIST_SUB as f64, "q={q}: {got} vs {exact}");
+            assert!(got >= exact, "bucket upper bound must not undershoot");
+        }
+    }
+
+    #[test]
+    fn log_hist_empty() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn log_hist_merge_is_exact() {
+        let mut whole = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for i in 0..1_000u64 {
+            let v = i * i % 77_777;
+            whole.record(v);
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
     }
 }

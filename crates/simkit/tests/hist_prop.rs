@@ -1,0 +1,119 @@
+//! Property tests for `LogHistogram` determinism, driven by the crate's
+//! own seeded `SimRng` (no proptest dependency): bucket contents and
+//! quantiles must be identical across runs, and `merge(a, b)` must equal
+//! recording the concatenated stream — the exactness the observability
+//! layer relies on when it merges per-cluster reports.
+
+use sdfs_simkit::{LogHistogram, SimRng};
+
+const CASES: usize = 64;
+const STREAM: usize = 2_000;
+
+/// Draws a latency-shaped value: mixes tiny, mid-range, and huge values
+/// so every bucket regime (exact, log-bucketed, near-overflow) is hit.
+fn draw(rng: &mut SimRng) -> u64 {
+    match rng.below(4) {
+        0 => rng.below(16),
+        1 => rng.below(100_000),
+        2 => rng.below(90_000_000_000),
+        _ => u64::MAX - rng.below(1 << 20),
+    }
+}
+
+/// Same seed → byte-identical histogram state and quantiles.
+#[test]
+fn identical_across_runs() {
+    for case in 0..CASES as u64 {
+        let build = || {
+            let mut rng = SimRng::seed_from_u64(0x4f42_5301 + case);
+            let mut h = LogHistogram::new();
+            for _ in 0..STREAM {
+                h.record(draw(&mut rng));
+            }
+            h
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), b.quantile(q));
+        }
+    }
+}
+
+/// merge(a, b) equals recording the concatenated stream, for every
+/// split point of the stream and regardless of merge direction.
+#[test]
+fn merge_equals_concatenated_stream() {
+    for case in 0..CASES as u64 {
+        let mut rng = SimRng::seed_from_u64(0x4f42_5302 + case);
+        let values: Vec<u64> = (0..STREAM).map(|_| draw(&mut rng)).collect();
+        let mut whole = LogHistogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let split = rng.below(STREAM as u64 + 1) as usize;
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for &v in &values[..split] {
+            a.record(v);
+        }
+        for &v in &values[split..] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, whole);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba, whole);
+    }
+}
+
+/// Quantiles are monotone in q, bounded by [min, max], and never
+/// undershoot the exact order statistic.
+#[test]
+fn quantiles_monotone_and_bounded() {
+    for case in 0..CASES as u64 {
+        let mut rng = SimRng::seed_from_u64(0x4f42_5303 + case);
+        let mut values: Vec<u64> = (0..STREAM).map(|_| draw(&mut rng)).collect();
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let got = h.quantile(q);
+            assert!(got >= prev, "quantiles must be monotone");
+            assert!(got >= h.min() && got <= h.max());
+            prev = got;
+        }
+        // The reported quantile is a bucket upper bound: it may round up
+        // but must never fall below the exact order statistic.
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            assert!(h.quantile(q) >= exact, "q={q} undershoots");
+        }
+        assert_eq!(h.quantile(1.0), *values.last().expect("non-empty"));
+    }
+}
+
+/// record_n(v, n) is exactly n calls to record(v).
+#[test]
+fn record_n_equals_repeated_record() {
+    let mut rng = SimRng::seed_from_u64(0x4f42_5304);
+    for _ in 0..CASES {
+        let v = draw(&mut rng);
+        let n = rng.below(50);
+        let mut a = LogHistogram::new();
+        a.record_n(v, n);
+        let mut b = LogHistogram::new();
+        for _ in 0..n {
+            b.record(v);
+        }
+        assert_eq!(a, b);
+    }
+}

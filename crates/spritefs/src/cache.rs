@@ -47,6 +47,14 @@ pub struct BlockEntry {
     pub dirty_app_bytes: u64,
 }
 
+impl BlockEntry {
+    /// Time since the last application write — the write-back queue
+    /// dwell the observability layer records when the block is cleaned.
+    pub fn dwell(&self, now: SimTime) -> SimDuration {
+        now.since(self.last_write)
+    }
+}
+
 /// Sentinel for "no slab slot".
 const NIL: u32 = u32::MAX;
 

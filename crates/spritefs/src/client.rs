@@ -57,6 +57,12 @@ impl FdState {
     pub fn wrote(&self) -> bool {
         self.total_written > 0
     }
+
+    /// How long this handle has been open — the duration of the
+    /// observability layer's file-open span when the close arrives.
+    pub fn open_duration(&self, now: SimTime) -> SimDuration {
+        now.since(self.opened_at)
+    }
 }
 
 /// A running process, for VM accounting.

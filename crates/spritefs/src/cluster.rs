@@ -23,6 +23,7 @@ use crate::fs::{assign_server, FileTable};
 use crate::metrics::{
     cache as mc, clean, consist, fault, mig, raw, replace, restart, srv, SanitizerStats,
 };
+use crate::obs::{Obs, ObsEventKind, ObsReport, SpanKind};
 use crate::ops::{AppOp, OpKind};
 use crate::rpc::{count_rpc, RpcKind};
 use crate::sanitizer::{Sanitizer, WriteKind};
@@ -249,6 +250,9 @@ pub struct Cluster<S: TraceSink> {
     fault: Option<FaultState>,
     /// Scratch buffer for draining server disk-flush logs to SpriteSan.
     scratch_keys: Vec<BlockKey>,
+    /// sdfs-obs self-measurement collector ([`Config::observe`]). Boxed
+    /// so the disabled (default) case costs one pointer.
+    obs: Option<Box<Obs>>,
 }
 
 impl<S: TraceSink> Cluster<S> {
@@ -284,6 +288,7 @@ impl<S: TraceSink> Cluster<S> {
         let next_tick = SimTime::ZERO + cfg.daemon_period;
         let next_sample = SimTime::ZERO + cfg.sample_period;
         let san = cfg.sanitize.then(|| Box::new(Sanitizer::new(&cfg)));
+        let obs = cfg.observe.then(|| Box::new(Obs::new()));
         let fault = cfg.faults.as_ref().map(FaultState::new);
         let n = cfg.num_servers as usize;
         Cluster {
@@ -304,6 +309,7 @@ impl<S: TraceSink> Cluster<S> {
             crashed_at: vec![SimTime::ZERO; n],
             fault,
             scratch_keys: Vec::new(),
+            obs,
         }
     }
 
@@ -367,6 +373,39 @@ impl<S: TraceSink> Cluster<S> {
         self.san.take().map(|s| s.into_stats())
     }
 
+    /// The live sdfs-obs collector, when [`Config::observe`] is set.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_deref()
+    }
+
+    /// Removes and returns the sdfs-obs report (observation stops
+    /// afterwards). `None` unless [`Config::observe`] was set.
+    pub fn take_obs_report(&mut self) -> Option<ObsReport> {
+        self.obs.take().map(|o| o.into_report())
+    }
+
+    /// Records one completed RPC with its modeled latency: network time
+    /// for the payload, plus a server disk access when the server cache
+    /// missed. No-op unless observing.
+    #[inline]
+    fn obs_rpc(&mut self, kind: RpcKind, ci: usize, si: usize, bytes: u64, disk_miss: bool) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            let mut lat = self.cfg.net.rpc_time(bytes);
+            if disk_miss {
+                lat += self.cfg.disk.access_time(bytes);
+            }
+            obs.rpc(kind, self.now, ci as u16, si as u16, bytes, lat);
+        }
+    }
+
+    /// Records one structured event. No-op unless observing.
+    #[inline]
+    fn obs_event(&mut self, kind: ObsEventKind, src: u16, dst: u16, arg: u64) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.event(kind, self.now, src, dst, arg);
+        }
+    }
+
     /// Consumes the cluster, returning the sink.
     pub fn into_sink(self) -> S {
         self.sink
@@ -416,6 +455,7 @@ impl<S: TraceSink> Cluster<S> {
                 self.fault.as_mut(),
                 &self.server_down,
                 &self.down_until,
+                self.obs.as_deref_mut(),
             );
         }
         files.clear();
@@ -568,6 +608,7 @@ impl<S: TraceSink> Cluster<S> {
         self.server_down[si] = true;
         self.down_until[si] = until;
         self.crashed_at[si] = self.now;
+        self.obs_event(ObsEventKind::ServerCrash, 0, si as u16, lost);
         self.rebuild_server_state(si);
         lost
     }
@@ -678,6 +719,9 @@ impl<S: TraceSink> Cluster<S> {
         self.server_down[si] = false;
         self.down_until[si] = SimTime::MAX;
         let downtime = self.now.since(self.crashed_at[si]);
+        // Unit cost of one empty recovery RPC; the reborn server
+        // serializes the storm, so the k-th reopen waits k+1 units.
+        let storm_unit = self.cfg.net.rpc_time(0);
         let mut storm = 0u64;
         let mut reopens_total = 0u64;
         let mut reregisters = 0u64;
@@ -718,6 +762,23 @@ impl<S: TraceSink> Cluster<S> {
                 count_rpc(sc, RpcKind::Reopen, 0);
             }
             reregisters += 1;
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.event(
+                    ObsEventKind::Reregister,
+                    self.now,
+                    ci as u16,
+                    si as u16,
+                    reopens,
+                );
+                for k in 0..reopens {
+                    obs.reopen(
+                        self.now,
+                        ci as u16,
+                        si as u16,
+                        storm_unit * (reopens_total + k + 1),
+                    );
+                }
+            }
             reopens_total += reopens;
             storm += 1 + reopens;
         }
@@ -727,6 +788,11 @@ impl<S: TraceSink> Cluster<S> {
         c.add(fault::STORM_RPCS, storm);
         c.add(fault::STORM_REOPENS, reopens_total);
         c.add(fault::STORM_REREGISTERS, reregisters);
+        self.obs_event(ObsEventKind::ServerRecover, 0, si as u16, storm);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.span(SpanKind::ServerOutage, downtime);
+            obs.span(SpanKind::RecoveryStorm, storm_unit * storm);
+        }
         storm
     }
 
@@ -769,8 +835,10 @@ impl<S: TraceSink> Cluster<S> {
             &self.server_down,
             &self.down_until,
             &mut self.clients[ci].metrics.counters,
+            ci as u16,
             si,
             self.now,
+            self.obs.as_deref_mut(),
         );
     }
 
@@ -847,17 +915,25 @@ impl<S: TraceSink> Cluster<S> {
                 // the file and retries next tick (degraded mode). The
                 // blocks stay dirty, extending the loss window — exactly
                 // the availability cost the study measures.
-                if any_down
-                    && self
+                if any_down {
+                    let down_si = self
                         .files
                         .get(file)
-                        .is_some_and(|m| self.server_down[m.server.raw() as usize])
-                {
-                    self.clients[ci]
-                        .metrics
-                        .counters
-                        .bump(fault::QUEUED_WRITEBACKS);
-                    continue;
+                        .map(|m| m.server.raw() as usize)
+                        .filter(|&s| self.server_down[s]);
+                    if let Some(down_si) = down_si {
+                        self.clients[ci]
+                            .metrics
+                            .counters
+                            .bump(fault::QUEUED_WRITEBACKS);
+                        self.obs_event(
+                            ObsEventKind::QueuedWriteBack,
+                            ci as u16,
+                            down_si as u16,
+                            file.raw(),
+                        );
+                        continue;
+                    }
                 }
                 flush_file(
                     &mut self.clients[ci],
@@ -871,6 +947,7 @@ impl<S: TraceSink> Cluster<S> {
                     self.fault.as_mut(),
                     &self.server_down,
                     &self.down_until,
+                    self.obs.as_deref_mut(),
                 );
             }
         }
@@ -997,6 +1074,7 @@ impl<S: TraceSink> Cluster<S> {
         self.fault_rpc(ci, si);
         count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Open, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Open, 0);
+        self.obs_rpc(RpcKind::Open, ci, si, 0, false);
         if !is_dir {
             self.clients[ci].metrics.counters.bump(consist::FILE_OPENS);
         }
@@ -1071,6 +1149,7 @@ impl<S: TraceSink> Cluster<S> {
             // read.
             if seen != prev_version && !self.cfg.fault_skip_invalidate {
                 invalidate_file(&mut self.clients[ci], file, true, self.san.as_deref_mut());
+                self.obs_event(ObsEventKind::Invalidate, ci as u16, si as u16, file.raw());
             }
         }
         self.clients[ci].seen_version.insert(file, version);
@@ -1089,6 +1168,8 @@ impl<S: TraceSink> Cluster<S> {
                 let wi = w.raw() as usize;
                 count_rpc(&mut self.servers[si].counters, RpcKind::Recall, 0);
                 count_rpc(&mut self.clients[wi].metrics.counters, RpcKind::Recall, 0);
+                self.obs_rpc(RpcKind::Recall, wi, si, 0, false);
+                self.obs_event(ObsEventKind::Recall, wi as u16, si as u16, file.raw());
                 flush_file(
                     &mut self.clients[wi],
                     &mut self.servers,
@@ -1101,6 +1182,7 @@ impl<S: TraceSink> Cluster<S> {
                     self.fault.as_mut(),
                     &self.server_down,
                     &self.down_until,
+                    self.obs.as_deref_mut(),
                 );
                 self.servers[si].file_state(file).last_writer = None;
             }
@@ -1144,8 +1226,11 @@ impl<S: TraceSink> Cluster<S> {
                         self.fault.as_mut(),
                         &self.server_down,
                         &self.down_until,
+                        self.obs.as_deref_mut(),
                     );
                     invalidate_file(&mut self.clients[wi], file, false, self.san.as_deref_mut());
+                    self.obs_rpc(RpcKind::TokenRecall, wi, si, 0, false);
+                    self.obs_event(ObsEventKind::Recall, wi as u16, si as u16, file.raw());
                 }
                 for &r in &readers {
                     if r != me {
@@ -1156,6 +1241,8 @@ impl<S: TraceSink> Cluster<S> {
                             0,
                         );
                         invalidate_file(&mut self.clients[ri], file, false, self.san.as_deref_mut());
+                        self.obs_rpc(RpcKind::TokenRecall, ri, si, 0, false);
+                        self.obs_event(ObsEventKind::Invalidate, ri as u16, si as u16, file.raw());
                     }
                 }
                 let st = self.servers[si].file_state(file);
@@ -1166,6 +1253,7 @@ impl<S: TraceSink> Cluster<S> {
                     RpcKind::TokenAcquire,
                     0,
                 );
+                self.obs_rpc(RpcKind::TokenAcquire, ci, si, 0, false);
             }
         } else {
             let holds = writer == Some(me) || {
@@ -1194,10 +1282,13 @@ impl<S: TraceSink> Cluster<S> {
                         self.fault.as_mut(),
                         &self.server_down,
                         &self.down_until,
+                        self.obs.as_deref_mut(),
                     );
                     let st = self.servers[si].file_state(file);
                     st.tokens.writer = None;
                     st.tokens.readers.insert(w);
+                    self.obs_rpc(RpcKind::TokenRecall, wi, si, 0, false);
+                    self.obs_event(ObsEventKind::Recall, wi as u16, si as u16, file.raw());
                 }
                 let st = self.servers[si].file_state(file);
                 st.tokens.readers.insert(me);
@@ -1206,6 +1297,7 @@ impl<S: TraceSink> Cluster<S> {
                     RpcKind::TokenAcquire,
                     0,
                 );
+                self.obs_rpc(RpcKind::TokenAcquire, ci, si, 0, false);
             }
         }
         self.scratch_clients = readers;
@@ -1231,12 +1323,14 @@ impl<S: TraceSink> Cluster<S> {
             self.fault_rpc(ci, si);
             count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::GetAttr, 0);
             count_rpc(&mut self.servers[si].counters, RpcKind::GetAttr, 0);
+            self.obs_rpc(RpcKind::GetAttr, ci, si, 0, false);
             let stale = self.clients[ci]
                 .seen_version
                 .get(&file)
                 .is_some_and(|&v| v != version);
             if stale {
                 invalidate_file(&mut self.clients[ci], file, true, self.san.as_deref_mut());
+                self.obs_event(ObsEventKind::Invalidate, ci as u16, si as u16, file.raw());
             }
             self.clients[ci].seen_version.insert(file, version);
             self.clients[ci].last_validate.insert(file, self.now);
@@ -1274,8 +1368,11 @@ impl<S: TraceSink> Cluster<S> {
                 self.fault.as_mut(),
                 &self.server_down,
                 &self.down_until,
+                self.obs.as_deref_mut(),
             );
             invalidate_file(&mut self.clients[ci], file, false, self.san.as_deref_mut());
+            self.obs_rpc(RpcKind::Invalidate, ci, si, 0, false);
+            self.obs_event(ObsEventKind::Invalidate, ci as u16, si as u16, file.raw());
         }
         self.scratch_clients = holders;
         self.servers[si].file_state(file).last_writer = None;
@@ -1297,6 +1394,10 @@ impl<S: TraceSink> Cluster<S> {
         self.fault_rpc(ci, si);
         count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Close, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Close, 0);
+        self.obs_rpc(RpcKind::Close, ci, si, 0, false);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.span(SpanKind::FileOpen, fdst.open_duration(self.now));
+        }
 
         let st = self.servers[si].file_state(file);
         st.remove_open(fd);
@@ -1370,6 +1471,7 @@ impl<S: TraceSink> Cluster<S> {
             c.add(srv::SHARED_READ, eff);
             count_rpc(c, RpcKind::SharedRead, eff);
             count_rpc(&mut self.servers[si].counters, RpcKind::SharedRead, eff);
+            self.obs_rpc(RpcKind::SharedRead, ci, si, eff, false);
             self.emit(
                 server_id,
                 op,
@@ -1441,6 +1543,7 @@ impl<S: TraceSink> Cluster<S> {
                 if let Some(san) = self.san.as_deref_mut() {
                     san.on_read_hit(op.client, key, paging, self.now);
                 }
+                self.obs_event(ObsEventKind::CacheHit, ci as u16, si as u16, file.raw());
                 continue; // Hit.
             }
             // Miss: fetch the whole block from the server.
@@ -1465,7 +1568,9 @@ impl<S: TraceSink> Cluster<S> {
                 }
                 count_rpc(c, RpcKind::ReadBlock, block_bytes);
             }
-            self.servers[si].serve_read(key, block_bytes, self.now);
+            let srv_hit = self.servers[si].serve_read(key, block_bytes, self.now);
+            self.obs_event(ObsEventKind::CacheMiss, ci as u16, si as u16, file.raw());
+            self.obs_rpc(RpcKind::ReadBlock, ci, si, block_bytes, !srv_hit);
             self.insert_block(ci, key);
             if let Some(san) = self.san.as_deref_mut() {
                 let inserted = self.clients[ci].cache.contains(key);
@@ -1515,6 +1620,7 @@ impl<S: TraceSink> Cluster<S> {
             c.add(srv::SHARED_WRITE, len);
             count_rpc(c, RpcKind::SharedWrite, len);
             count_rpc(&mut self.servers[si].counters, RpcKind::SharedWrite, len);
+            self.obs_rpc(RpcKind::SharedWrite, ci, si, len, false);
             if let Some(san) = self.san.as_deref_mut() {
                 let bs = self.cfg.block_size;
                 for index in offset / bs..=(offset + len - 1) / bs {
@@ -1595,7 +1701,8 @@ impl<S: TraceSink> Cluster<S> {
                         c.add(srv::FILE_READ, bs);
                         count_rpc(c, RpcKind::ReadBlock, bs);
                     }
-                    self.servers[si].serve_read(key, bs, self.now);
+                    let srv_hit = self.servers[si].serve_read(key, bs, self.now);
+                    self.obs_rpc(RpcKind::ReadBlock, ci, si, bs, !srv_hit);
                 }
                 self.insert_block(ci, key);
             } else {
@@ -1610,6 +1717,7 @@ impl<S: TraceSink> Cluster<S> {
                 c.add(srv::FILE_WRITE, app_bytes);
                 count_rpc(c, RpcKind::WriteBlock, app_bytes);
                 self.servers[si].accept_write(key, app_bytes, self.now);
+                self.obs_rpc(RpcKind::WriteBlock, ci, si, app_bytes, false);
                 if let Some(san) = self.san.as_deref_mut() {
                     san.on_server_write(key);
                 }
@@ -1624,6 +1732,7 @@ impl<S: TraceSink> Cluster<S> {
                 c.add(srv::FILE_WRITE, app_bytes);
                 count_rpc(c, RpcKind::WriteBlock, app_bytes);
                 self.servers[si].accept_write(key, app_bytes, self.now);
+                self.obs_rpc(RpcKind::WriteBlock, ci, si, app_bytes, false);
                 // Cleaning bookkeeping not needed: block never dirty.
                 if let Some(san) = self.san.as_deref_mut() {
                     san.on_cached_write(op.client, key, WriteKind::Through, self.now);
@@ -1685,6 +1794,7 @@ impl<S: TraceSink> Cluster<S> {
                 self.fault.as_mut(),
                 &self.server_down,
                 &self.down_until,
+                self.obs.as_deref_mut(),
             );
         }
         let age = self.now.since(entry.last_ref);
@@ -1692,6 +1802,12 @@ impl<S: TraceSink> Cluster<S> {
         c.bump(blocks_key);
         c.add(age_key, age.as_micros());
         self.clients[ci].cache.remove(key);
+        self.obs_event(
+            ObsEventKind::CacheEvict,
+            ci as u16,
+            0,
+            age.as_micros(),
+        );
         if let Some(san) = self.san.as_deref_mut() {
             san.on_drop_block(self.clients[ci].id, key);
         }
@@ -1740,6 +1856,7 @@ impl<S: TraceSink> Cluster<S> {
         if let Some(meta) = self.files.get(file) {
             let si = meta.server.raw() as usize;
             self.fault_rpc(ci, si);
+            self.obs_rpc(RpcKind::Fsync, ci, si, 0, false);
         }
         flush_file(
             &mut self.clients[ci],
@@ -1753,6 +1870,7 @@ impl<S: TraceSink> Cluster<S> {
             self.fault.as_mut(),
             &self.server_down,
             &self.down_until,
+            self.obs.as_deref_mut(),
         );
     }
 
@@ -1771,6 +1889,7 @@ impl<S: TraceSink> Cluster<S> {
             RpcKind::Create,
             0,
         );
+        self.obs_rpc(RpcKind::Create, ci, server.raw() as usize, 0, false);
         self.emit(server, op, RecordKind::Create { file, is_dir });
     }
 
@@ -1784,6 +1903,7 @@ impl<S: TraceSink> Cluster<S> {
         self.fault_rpc(ci, si);
         count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Delete, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Delete, 0);
+        self.obs_rpc(RpcKind::Delete, ci, si, 0, false);
         // Drop the file's blocks everywhere; dirty data is cancelled and
         // never written back (this is where short lifetimes save write
         // traffic).
@@ -1826,6 +1946,7 @@ impl<S: TraceSink> Cluster<S> {
         self.fault_rpc(ci, si);
         count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Truncate, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Truncate, 0);
+        self.obs_rpc(RpcKind::Truncate, ci, si, 0, false);
         for client in &mut self.clients {
             drop_file_blocks(client, file, &self.cfg, self.san.as_deref_mut());
         }
@@ -1861,6 +1982,7 @@ impl<S: TraceSink> Cluster<S> {
         c.add(srv::DIR_READ, bytes);
         count_rpc(c, RpcKind::ReadDir, bytes);
         count_rpc(&mut self.servers[si].counters, RpcKind::ReadDir, bytes);
+        self.obs_rpc(RpcKind::ReadDir, ci, si, bytes, false);
         self.emit(server_id, op, RecordKind::DirRead { file: dir, bytes });
     }
 
@@ -1953,7 +2075,8 @@ impl<S: TraceSink> Cluster<S> {
                     if op.migrated {
                         c.bump(mig::PAGING_READ_MISS_OPS);
                     }
-                    self.servers[si].serve_read(key, ps, self.now);
+                    let srv_hit = self.servers[si].serve_read(key, ps, self.now);
+                    self.obs_rpc(RpcKind::PageIn, ci, si, ps, !srv_hit);
                     self.insert_block(ci, key);
                     if let Some(san) = self.san.as_deref_mut() {
                         let inserted = self.clients[ci].cache.contains(key);
@@ -2028,9 +2151,11 @@ impl<S: TraceSink> Cluster<S> {
             c.add(srv::PAGING_READ, bytes);
             count_rpc(c, RpcKind::PageIn, bytes);
             count_rpc(&mut self.servers[si].counters, RpcKind::PageIn, bytes);
+            let mut all_hit = true;
             for index in offset / bs..=(offset + bytes.max(1) - 1) / bs {
-                self.servers[si].serve_read(BlockKey { file, index }, bs, self.now);
+                all_hit &= self.servers[si].serve_read(BlockKey { file, index }, bs, self.now);
             }
+            self.obs_rpc(RpcKind::PageIn, ci, si, bytes, !all_hit);
         } else {
             let was_empty = meta.size == 0;
             if offset + bytes > meta.size {
@@ -2043,6 +2168,7 @@ impl<S: TraceSink> Cluster<S> {
             c.add(srv::PAGING_WRITE, bytes);
             count_rpc(c, RpcKind::PageOut, bytes);
             count_rpc(&mut self.servers[si].counters, RpcKind::PageOut, bytes);
+            self.obs_rpc(RpcKind::PageOut, ci, si, bytes, false);
             for index in offset / bs..=(offset + bytes.max(1) - 1) / bs {
                 self.servers[si].accept_write(BlockKey { file, index }, bs, self.now);
             }
@@ -2061,13 +2187,16 @@ impl<S: TraceSink> Cluster<S> {
 /// exponential backoff. A free function so the write-back path (which
 /// has `self` split into field borrows) can share it with
 /// [`Cluster::fault_rpc`].
+#[allow(clippy::too_many_arguments)]
 fn fault_rpc_account(
     fstate: &mut FaultState,
     server_down: &[bool],
     down_until: &[SimTime],
     counters: &mut CounterSet,
+    ci: u16,
     si: usize,
     now: SimTime,
+    obs: Option<&mut Obs>,
 ) {
     if server_down[si] {
         let remaining = down_until[si].since(now);
@@ -2077,6 +2206,10 @@ fn fault_rpc_account(
         if remaining > fstate.retry_budget {
             counters.bump(fault::FAILED_RPCS);
         }
+        if let Some(obs) = obs {
+            obs.span(SpanKind::Stall, stall);
+            obs.retry(now, ci, si as u16, 0, stall);
+        }
         return;
     }
     if fstate.plan.drop_prob > 0.0 {
@@ -2085,10 +2218,14 @@ fn fault_rpc_account(
             tries += 1;
         }
         if tries > 0 {
+            let stall = fstate.plan.retry_stall(tries);
             counters.add(fault::RETRANS_MSGS, u64::from(tries));
-            counters.add(fault::STALL_US, fstate.plan.retry_stall(tries).as_micros());
+            counters.add(fault::STALL_US, stall.as_micros());
             if tries == fstate.plan.max_retries {
                 counters.bump(fault::FAILED_RPCS);
+            }
+            if let Some(obs) = obs {
+                obs.retry(now, ci, si as u16, u64::from(tries), stall);
             }
         }
     }
@@ -2109,6 +2246,7 @@ fn writeback_block(
     fstate: Option<&mut FaultState>,
     server_down: &[bool],
     down_until: &[SimTime],
+    obs: Option<&mut Obs>,
 ) {
     let Some(before) = client.cache.clean(key) else {
         return;
@@ -2144,17 +2282,32 @@ fn writeback_block(
     c.bump(reason.blocks_key());
     c.add(reason.age_key(), now.since(before.last_write).as_micros());
     let si = meta.server.raw() as usize;
+    let mut obs = obs;
     if let Some(fstate) = fstate {
         fault_rpc_account(
             fstate,
             server_down,
             down_until,
             &mut client.metrics.counters,
+            client.id.raw(),
             si,
             now,
+            obs.as_deref_mut(),
         );
     }
     servers[si].accept_write(key, bytes, now);
+    if let Some(obs) = obs {
+        let ci = client.id.raw();
+        obs.writeback(now, ci, si as u16, before.dwell(now));
+        obs.rpc(
+            RpcKind::WriteBlock,
+            now,
+            ci,
+            si as u16,
+            bytes,
+            cfg.net.rpc_time(bytes),
+        );
+    }
     if let Some(san) = san {
         san.on_writeback(client.id, key, true);
     }
@@ -2174,6 +2327,7 @@ fn flush_file(
     mut fstate: Option<&mut FaultState>,
     server_down: &[bool],
     down_until: &[SimTime],
+    mut obs: Option<&mut Obs>,
 ) {
     let mut blocks = std::mem::take(&mut client.scratch_blocks);
     client.cache.dirty_blocks_of_into(file, &mut blocks);
@@ -2190,6 +2344,7 @@ fn flush_file(
             fstate.as_deref_mut(),
             server_down,
             down_until,
+            obs.as_deref_mut(),
         );
     }
     client.scratch_blocks = blocks;

@@ -199,6 +199,11 @@ pub struct Config {
     /// simulation. Adds a ground-truth oracle checked on every operation;
     /// results are unchanged (violations are reported out of band).
     pub sanitize: bool,
+    /// Run the sdfs-obs self-measurement layer alongside the
+    /// simulation: sim-time spans, structured events, and per-RPC-kind
+    /// latency histograms. Off by default; when off, output is
+    /// byte-identical to builds that predate the layer.
+    pub observe: bool,
     /// Fault injection for sanitizer tests: skip the cache invalidation
     /// that Sprite consistency performs when an open detects a stale
     /// cached version. Never enable outside tests.
@@ -239,6 +244,7 @@ impl Default for Config {
                 per_byte_ns: 650,
             },
             sanitize: false,
+            observe: false,
             fault_skip_invalidate: false,
             faults: None,
         }

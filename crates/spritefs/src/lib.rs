@@ -38,6 +38,7 @@ pub mod cluster;
 pub mod config;
 pub mod fs;
 pub mod metrics;
+pub mod obs;
 pub mod ops;
 pub mod rpc;
 pub mod sanitizer;
@@ -47,4 +48,5 @@ pub mod vm;
 pub use cluster::{Cluster, TraceSink, VecSink};
 pub use config::{Config, ConsistencyPolicy, FaultPlan, ServerOutage};
 pub use metrics::SanitizerStats;
+pub use obs::{Obs, ObsEventKind, ObsReport, SpanKind};
 pub use ops::{AppOp, OpKind, PageClass};

@@ -196,6 +196,35 @@ pub mod restart {
     pub const REBOOT_COUNT: &str = "reboot.count";
 }
 
+/// Self-measurement bookkeeping names used by the sdfs-obs layer.
+///
+/// Like the sanitizer, obs state is kept out of the per-machine
+/// [`sdfs_simkit::CounterSet`]s so an observed run stays byte-identical
+/// to a plain one; these names key the obs report's rendered summary and
+/// JSON export instead.
+pub mod obs {
+    /// Structured events recorded into the ring (including overwritten).
+    pub const EVENTS_RECORDED: &str = "obs.events.recorded";
+    /// Events lost to ring overwrite.
+    pub const EVENTS_DROPPED: &str = "obs.events.dropped";
+    /// Closed file-open spans (open → close of one handle).
+    pub const SPAN_FILE_OPEN: &str = "obs.span.file.open";
+    /// Closed RPC-stall spans (client blocked on a down server).
+    pub const SPAN_STALL: &str = "obs.span.stall";
+    /// Closed server-outage spans (crash → recovery).
+    pub const SPAN_SERVER_OUTAGE: &str = "obs.span.server.outage";
+    /// Closed recovery-storm spans (reregister/reopen burst).
+    pub const SPAN_RECOVERY_STORM: &str = "obs.span.recovery.storm";
+    /// RPC latency samples recorded across all kinds.
+    pub const RPC_SAMPLES: &str = "obs.rpc.latency.samples";
+    /// Retry/backoff wait samples.
+    pub const RETRY_SAMPLES: &str = "obs.retry.wait.samples";
+    /// Write-back queue dwell samples.
+    pub const DWELL_SAMPLES: &str = "obs.writeback.dwell.samples";
+    /// Recovery-storm reopen latency samples.
+    pub const REOPEN_SAMPLES: &str = "obs.reopen.latency.samples";
+}
+
 /// The sanitizer section: SpriteSan's verdict for one cluster run.
 ///
 /// Kept out of [`sdfs_simkit::CounterSet`] on purpose — sanitizer
@@ -315,10 +344,11 @@ mod tests {
         assert!(!m.samples[1].active);
     }
 
-    #[test]
-    fn counter_names_are_unique() {
-        use std::collections::HashSet;
-        let names = [
+    /// Every name constant this module exports, plus the per-kind RPC
+    /// counter keys derived in `rpc.rs` — the full key vocabulary that
+    /// can ever land in a machine's flat sorted counter vec.
+    fn all_counter_names() -> Vec<&'static str> {
+        let mut names = vec![
             raw::FILE_READ,
             raw::FILE_WRITE,
             raw::PAGING_CODE_READ,
@@ -389,8 +419,70 @@ mod tests {
             restart::CRASH_LOST_BYTES,
             restart::CRASH_COUNT,
             restart::REBOOT_COUNT,
+            obs::EVENTS_RECORDED,
+            obs::EVENTS_DROPPED,
+            obs::SPAN_FILE_OPEN,
+            obs::SPAN_STALL,
+            obs::SPAN_SERVER_OUTAGE,
+            obs::SPAN_RECOVERY_STORM,
+            obs::RPC_SAMPLES,
+            obs::RETRY_SAMPLES,
+            obs::DWELL_SAMPLES,
+            obs::REOPEN_SAMPLES,
         ];
-        let set: HashSet<&str> = names.iter().copied().collect();
+        for k in crate::rpc::RpcKind::ALL {
+            names.push(k.msgs_key());
+            names.push(k.bytes_key());
+        }
+        names
+    }
+
+    /// The counter-name grammar: dot-separated lowercase segments, with
+    /// underscores allowed inside a segment (`clean.delay.age_us`,
+    /// `rpc.read_block.msgs`). Formally `[a-z0-9]+([._][a-z0-9]+)*` —
+    /// no empty segments, no leading/trailing/doubled separators, no
+    /// uppercase, whitespace, or other punctuation.
+    fn well_formed(name: &str) -> bool {
+        let mut after_sep = true;
+        for c in name.chars() {
+            match c {
+                'a'..='z' | '0'..='9' => after_sep = false,
+                '.' | '_' => {
+                    if after_sep {
+                        return false;
+                    }
+                    after_sep = true;
+                }
+                _ => return false,
+            }
+        }
+        !after_sep && !name.is_empty()
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        use std::collections::HashSet;
+        let names = all_counter_names();
+        let mut set: HashSet<&str> = HashSet::new();
+        for n in &names {
+            assert!(set.insert(n), "duplicate counter name {n:?}");
+        }
         assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn counter_names_follow_grammar() {
+        for n in all_counter_names() {
+            assert!(well_formed(n), "counter name {n:?} breaks the grammar");
+        }
+        // The checker itself rejects the shapes the grammar forbids.
+        for bad in [
+            "", ".", "a.", ".a", "a..b", "a._b", "A.b", "a b", "a-b", "a.B", "_a", "a_",
+        ] {
+            assert!(!well_formed(bad), "{bad:?} should be rejected");
+        }
+        for good in ["a", "a.b", "clean.delay.age_us", "rpc.read_block.msgs"] {
+            assert!(well_formed(good), "{good:?} should be accepted");
+        }
     }
 }

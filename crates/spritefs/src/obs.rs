@@ -1,0 +1,621 @@
+//! sdfs-obs: the cluster's self-measurement layer.
+//!
+//! The paper's contribution is instrumentation — kernel tracing plus
+//! ~50 per-machine counters — and this module turns the same
+//! methodology back on the simulator itself. When [`crate::Config`]
+//! `observe` is set, the cluster carries an [`Obs`] collector that
+//! records:
+//!
+//! * **structured events** (RPC issue/retry/complete, cache
+//!   hit/miss/evict/write-back, consistency recall/invalidate,
+//!   crash/reregister/reopen) into a pre-allocated
+//!   [`sdfs_simkit::obs::EventRing`] — no allocation on the hot path;
+//! * **integer log-bucketed latency histograms**
+//!   ([`sdfs_simkit::LogHistogram`]) for per-[`RpcKind`] latency,
+//!   retry/backoff waits, write-back queue dwell, and recovery-storm
+//!   reopen latency, with exact deterministic merge;
+//! * **span aggregates** (file-open, RPC stall, server outage,
+//!   recovery storm) as count/total/max triples.
+//!
+//! Every stamp is [`SimTime`] — simulated microseconds, never the wall
+//! clock — so the determinism lint stays clean and an observed run is
+//! replayable bit-for-bit. With `observe` off the collector is never
+//! allocated and stdout is byte-identical to an unobserved build.
+
+use sdfs_simkit::obs::{EventRing, ObsEvent, SpanStat};
+use sdfs_simkit::{LogHistogram, SimDuration, SimTime};
+
+use crate::metrics;
+use crate::rpc::RpcKind;
+
+/// Event-ring capacity: enough to keep the full tail of a recovery
+/// storm while bounding memory; older events are overwritten and
+/// counted as dropped.
+pub const RING_CAPACITY: usize = 65_536;
+
+/// The structured-event vocabulary of the self-measurement layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEventKind {
+    /// An RPC left a client (argument: payload bytes).
+    RpcIssue,
+    /// An RPC was retransmitted after a drop or stall (argument: retry
+    /// ordinal).
+    RpcRetry,
+    /// An RPC finished (argument: modeled latency in microseconds).
+    RpcComplete,
+    /// A client cache read hit (argument: file id).
+    CacheHit,
+    /// A client cache read miss (argument: file id).
+    CacheMiss,
+    /// A client cache block was evicted (argument: file id).
+    CacheEvict,
+    /// A dirty block was written back (argument: dwell in microseconds).
+    WriteBack,
+    /// A write-back was queued because the server was down (argument:
+    /// file id).
+    QueuedWriteBack,
+    /// The server recalled dirty data from the last writer (argument:
+    /// file id).
+    Recall,
+    /// The server invalidated a client's cached copy (argument: file id).
+    Invalidate,
+    /// A server crashed (argument: dirty bytes lost).
+    ServerCrash,
+    /// A server finished recovering (argument: downtime in microseconds).
+    ServerRecover,
+    /// A client re-registered with a rebooted server.
+    Reregister,
+    /// A client reopened a handle at a rebooted server (argument:
+    /// modeled reopen latency in microseconds).
+    Reopen,
+}
+
+impl ObsEventKind {
+    /// Every event kind, exactly once, in code order.
+    pub const ALL: [ObsEventKind; 14] = [
+        ObsEventKind::RpcIssue,
+        ObsEventKind::RpcRetry,
+        ObsEventKind::RpcComplete,
+        ObsEventKind::CacheHit,
+        ObsEventKind::CacheMiss,
+        ObsEventKind::CacheEvict,
+        ObsEventKind::WriteBack,
+        ObsEventKind::QueuedWriteBack,
+        ObsEventKind::Recall,
+        ObsEventKind::Invalidate,
+        ObsEventKind::ServerCrash,
+        ObsEventKind::ServerRecover,
+        ObsEventKind::Reregister,
+        ObsEventKind::Reopen,
+    ];
+
+    /// The `u8` code stored in [`ObsEvent::kind`].
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Dotted lowercase name, following the counter-name grammar.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsEventKind::RpcIssue => "rpc.issue",
+            ObsEventKind::RpcRetry => "rpc.retry",
+            ObsEventKind::RpcComplete => "rpc.complete",
+            ObsEventKind::CacheHit => "cache.hit",
+            ObsEventKind::CacheMiss => "cache.miss",
+            ObsEventKind::CacheEvict => "cache.evict",
+            ObsEventKind::WriteBack => "cache.writeback",
+            ObsEventKind::QueuedWriteBack => "cache.writeback.queued",
+            ObsEventKind::Recall => "consist.recall",
+            ObsEventKind::Invalidate => "consist.invalidate",
+            ObsEventKind::ServerCrash => "fault.server.crash",
+            ObsEventKind::ServerRecover => "fault.server.recover",
+            ObsEventKind::Reregister => "recovery.reregister",
+            ObsEventKind::Reopen => "recovery.reopen",
+        }
+    }
+}
+
+/// The span vocabulary: durations the layer aggregates rather than
+/// streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Open → close of one file handle.
+    FileOpen,
+    /// A client blocked on a down server (timeout + backoff retries).
+    Stall,
+    /// Server crash → end of recovery.
+    ServerOutage,
+    /// The reregister/reopen burst after a server reboot.
+    RecoveryStorm,
+}
+
+impl SpanKind {
+    /// Every span kind, exactly once, in code order.
+    pub const ALL: [SpanKind; 4] = [
+        SpanKind::FileOpen,
+        SpanKind::Stall,
+        SpanKind::ServerOutage,
+        SpanKind::RecoveryStorm,
+    ];
+
+    /// Dense index into the span-aggregate array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Dotted lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::FileOpen => "file.open",
+            SpanKind::Stall => "rpc.stall",
+            SpanKind::ServerOutage => "server.outage",
+            SpanKind::RecoveryStorm => "recovery.storm",
+        }
+    }
+
+    /// The `metrics::obs` bookkeeping key for this span kind.
+    pub fn metrics_key(self) -> &'static str {
+        match self {
+            SpanKind::FileOpen => metrics::obs::SPAN_FILE_OPEN,
+            SpanKind::Stall => metrics::obs::SPAN_STALL,
+            SpanKind::ServerOutage => metrics::obs::SPAN_SERVER_OUTAGE,
+            SpanKind::RecoveryStorm => metrics::obs::SPAN_RECOVERY_STORM,
+        }
+    }
+}
+
+/// The mergeable product of one observed cluster run: histograms, span
+/// aggregates, and event counts. Like [`crate::SanitizerStats`] it is
+/// kept out of the per-machine counter sets so observed runs stay
+/// byte-identical to plain ones; it merges exactly (integer addition)
+/// across clusters, days, and traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsReport {
+    /// Per-RPC-kind latency histograms, indexed by [`RpcKind::index`].
+    pub rpc: Vec<LogHistogram>,
+    /// Retry/backoff waits spent on dropped or stalled RPCs.
+    pub retry_wait: LogHistogram,
+    /// Time dirty blocks sat in the write-back queue before cleaning.
+    pub writeback_dwell: LogHistogram,
+    /// Modeled per-reopen latency inside recovery storms.
+    pub reopen_latency: LogHistogram,
+    /// Span aggregates, indexed by [`SpanKind::index`].
+    pub spans: Vec<SpanStat>,
+    /// Event counts, indexed by [`ObsEventKind`] code.
+    pub event_counts: Vec<u64>,
+    /// Total events pushed into the ring (including overwritten).
+    pub events_recorded: u64,
+    /// Events lost to ring overwrite.
+    pub events_dropped: u64,
+}
+
+impl Default for ObsReport {
+    fn default() -> Self {
+        ObsReport::new()
+    }
+}
+
+impl ObsReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        ObsReport {
+            rpc: (0..RpcKind::ALL.len()).map(|_| LogHistogram::new()).collect(),
+            retry_wait: LogHistogram::new(),
+            writeback_dwell: LogHistogram::new(),
+            reopen_latency: LogHistogram::new(),
+            spans: vec![SpanStat::default(); SpanKind::ALL.len()],
+            event_counts: vec![0; ObsEventKind::ALL.len()],
+            events_recorded: 0,
+            events_dropped: 0,
+        }
+    }
+
+    /// The latency histogram for one RPC kind.
+    pub fn rpc_hist(&self, kind: RpcKind) -> &LogHistogram {
+        &self.rpc[kind.index()]
+    }
+
+    /// The aggregate for one span kind.
+    pub fn span(&self, kind: SpanKind) -> &SpanStat {
+        &self.spans[kind.index()]
+    }
+
+    /// The count of one event kind.
+    pub fn events(&self, kind: ObsEventKind) -> u64 {
+        self.event_counts[kind.code() as usize]
+    }
+
+    /// Total RPC latency samples across all kinds.
+    pub fn rpc_samples(&self) -> u64 {
+        self.rpc.iter().map(|h| h.count()).sum()
+    }
+
+    /// Merges another report into this one (exact integer addition).
+    pub fn merge(&mut self, other: &ObsReport) {
+        for (a, b) in self.rpc.iter_mut().zip(other.rpc.iter()) {
+            a.merge(b);
+        }
+        self.retry_wait.merge(&other.retry_wait);
+        self.writeback_dwell.merge(&other.writeback_dwell);
+        self.reopen_latency.merge(&other.reopen_latency);
+        for (a, b) in self.spans.iter_mut().zip(other.spans.iter()) {
+            a.merge(b);
+        }
+        for (a, b) in self.event_counts.iter_mut().zip(other.event_counts.iter()) {
+            *a += b;
+        }
+        self.events_recorded += other.events_recorded;
+        self.events_dropped += other.events_dropped;
+    }
+
+    /// One-line verdict used when `--observe` is passed to a report run
+    /// (printed to stderr, like the sanitizer's).
+    pub fn verdict(&self) -> String {
+        format!(
+            "sdfs-obs: {} events ({} dropped), {} rpc latency samples, {} spans",
+            self.events_recorded,
+            self.events_dropped,
+            self.rpc_samples(),
+            self.spans.iter().map(|s| s.count).sum::<u64>(),
+        )
+    }
+
+    /// Renders the full human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("sdfs-obs self-measurement report\n");
+        out.push_str(&format!(
+            "  {} = {}, {} = {} (ring capacity {})\n",
+            metrics::obs::EVENTS_RECORDED,
+            self.events_recorded,
+            metrics::obs::EVENTS_DROPPED,
+            self.events_dropped,
+            RING_CAPACITY,
+        ));
+        out.push_str("\n  events by kind:\n");
+        for k in ObsEventKind::ALL {
+            let n = self.events(k);
+            if n > 0 {
+                out.push_str(&format!("    {:<24} {:>12}\n", k.name(), n));
+            }
+        }
+        out.push_str("\n  RPC latency (simulated microseconds):\n");
+        out.push_str(&format!(
+            "    {:<14} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+            "kind", "count", "p50", "p90", "p99", "max"
+        ));
+        for k in RpcKind::ALL {
+            let h = self.rpc_hist(k);
+            if !h.is_empty() {
+                out.push_str(&format!(
+                    "    {:<14} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+                    k.name(),
+                    h.count(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max()
+                ));
+            }
+        }
+        for (label, h) in [
+            ("retry/backoff waits", &self.retry_wait),
+            ("write-back queue dwell", &self.writeback_dwell),
+            ("recovery reopen latency", &self.reopen_latency),
+        ] {
+            if h.is_empty() {
+                out.push_str(&format!("\n  {label} (us): no samples\n"));
+            } else {
+                out.push_str(&format!(
+                    "\n  {label} (us): count={} p50={} p90={} p99={} max={}\n",
+                    h.count(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max()
+                ));
+            }
+        }
+        out.push_str("\n  spans:\n");
+        out.push_str(&format!(
+            "    {:<16} {:>10} {:>14} {:>14}\n",
+            "kind", "count", "mean(ms)", "max(ms)"
+        ));
+        for k in SpanKind::ALL {
+            let s = self.span(k);
+            if s.count > 0 {
+                out.push_str(&format!(
+                    "    {:<16} {:>10} {:>14.3} {:>14.3}\n",
+                    k.name(),
+                    s.count,
+                    s.mean_us() / 1_000.0,
+                    s.max_us as f64 / 1_000.0
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serializes the report as JSON (hand-rolled; the workspace is
+    /// dependency-free). Keys follow the counter-name grammar.
+    pub fn to_json(&self) -> String {
+        fn hist_json(h: &LogHistogram) -> String {
+            format!(
+                "{{\"count\":{},\"sum_us\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max()
+            )
+        }
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"summary\":{{\"{}\":{},\"{}\":{},\"{}\":{},\"{}\":{},\"{}\":{},\"{}\":{}",
+            metrics::obs::EVENTS_RECORDED,
+            self.events_recorded,
+            metrics::obs::EVENTS_DROPPED,
+            self.events_dropped,
+            metrics::obs::RPC_SAMPLES,
+            self.rpc_samples(),
+            metrics::obs::RETRY_SAMPLES,
+            self.retry_wait.count(),
+            metrics::obs::DWELL_SAMPLES,
+            self.writeback_dwell.count(),
+            metrics::obs::REOPEN_SAMPLES,
+            self.reopen_latency.count(),
+        ));
+        for k in SpanKind::ALL {
+            out.push_str(&format!(",\"{}\":{}", k.metrics_key(), self.span(k).count));
+        }
+        out.push_str("},\"events\":{");
+        let mut first = true;
+        for k in ObsEventKind::ALL {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{}", k.name(), self.events(k)));
+        }
+        out.push_str("},\"rpc_latency_us\":{");
+        let mut first = true;
+        for k in RpcKind::ALL {
+            let h = self.rpc_hist(k);
+            if h.is_empty() {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{}", k.name(), hist_json(h)));
+        }
+        out.push_str("},");
+        out.push_str(&format!(
+            "\"retry_wait_us\":{},\"writeback_dwell_us\":{},\"reopen_latency_us\":{},",
+            hist_json(&self.retry_wait),
+            hist_json(&self.writeback_dwell),
+            hist_json(&self.reopen_latency)
+        ));
+        out.push_str("\"spans\":{");
+        let mut first = true;
+        for k in SpanKind::ALL {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let s = self.span(k);
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"total_us\":{},\"max_us\":{}}}",
+                k.name(),
+                s.count,
+                s.total_us,
+                s.max_us
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// The live collector carried by an observed cluster: an [`ObsReport`]
+/// under construction plus the bounded event ring.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    report: ObsReport,
+    ring: EventRing,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+impl Obs {
+    /// Creates a collector with the default ring capacity. All buffers
+    /// are allocated here; the record paths never allocate.
+    pub fn new() -> Self {
+        Obs {
+            report: ObsReport::new(),
+            ring: EventRing::with_capacity(RING_CAPACITY),
+        }
+    }
+
+    /// Records one structured event.
+    #[inline]
+    pub fn event(&mut self, kind: ObsEventKind, time: SimTime, src: u16, dst: u16, arg: u64) {
+        self.report.event_counts[kind.code() as usize] += 1;
+        self.ring.push(ObsEvent {
+            time,
+            kind: kind.code(),
+            src,
+            dst,
+            arg,
+        });
+    }
+
+    /// Records one completed RPC: issue + complete events plus a
+    /// latency sample in the per-kind histogram.
+    pub fn rpc(
+        &mut self,
+        kind: RpcKind,
+        time: SimTime,
+        client: u16,
+        server: u16,
+        bytes: u64,
+        latency: SimDuration,
+    ) {
+        self.event(ObsEventKind::RpcIssue, time, client, server, bytes);
+        self.event(
+            ObsEventKind::RpcComplete,
+            time,
+            client,
+            server,
+            latency.as_micros(),
+        );
+        self.report.rpc[kind.index()].record(latency.as_micros());
+    }
+
+    /// Records one retry/backoff wait (a dropped message or a stall
+    /// slice against a down server).
+    pub fn retry(&mut self, time: SimTime, client: u16, server: u16, ordinal: u64, wait: SimDuration) {
+        self.event(ObsEventKind::RpcRetry, time, client, server, ordinal);
+        self.report.retry_wait.record(wait.as_micros());
+    }
+
+    /// Records a write-back with the time the block dwelled dirty.
+    pub fn writeback(&mut self, time: SimTime, client: u16, server: u16, dwell: SimDuration) {
+        self.event(
+            ObsEventKind::WriteBack,
+            time,
+            client,
+            server,
+            dwell.as_micros(),
+        );
+        self.report.writeback_dwell.record(dwell.as_micros());
+    }
+
+    /// Records one storm reopen with its modeled latency.
+    pub fn reopen(&mut self, time: SimTime, client: u16, server: u16, latency: SimDuration) {
+        self.event(
+            ObsEventKind::Reopen,
+            time,
+            client,
+            server,
+            latency.as_micros(),
+        );
+        self.report.reopen_latency.record(latency.as_micros());
+    }
+
+    /// Records a closed span.
+    #[inline]
+    pub fn span(&mut self, kind: SpanKind, d: SimDuration) {
+        self.report.spans[kind.index()].record(d);
+    }
+
+    /// The retained event tail.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Finalizes the collector into its mergeable report.
+    pub fn into_report(mut self) -> ObsReport {
+        self.report.events_recorded = self.ring.recorded();
+        self.report.events_dropped = self.ring.dropped();
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn d(us: u64) -> SimDuration {
+        SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn kind_codes_match_all_order() {
+        for (i, k) in ObsEventKind::ALL.iter().enumerate() {
+            assert_eq!(k.code() as usize, i);
+        }
+        for (i, k) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn event_and_span_names_follow_grammar() {
+        // Same grammar the metrics hygiene test enforces.
+        let ok = |n: &str| {
+            !n.is_empty()
+                && n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+                && !n.starts_with(['.', '_'])
+                && !n.ends_with(['.', '_'])
+                && !n.contains("..")
+        };
+        for k in ObsEventKind::ALL {
+            assert!(ok(k.name()), "{:?}", k);
+        }
+        for k in SpanKind::ALL {
+            assert!(ok(k.name()), "{:?}", k);
+        }
+    }
+
+    #[test]
+    fn collector_roundtrip() {
+        let mut obs = Obs::new();
+        obs.rpc(RpcKind::Open, t(10), 1, 0, 0, d(1_500));
+        obs.rpc(RpcKind::ReadBlock, t(20), 1, 0, 4_096, d(6_415));
+        obs.retry(t(30), 2, 0, 1, d(50_000));
+        obs.writeback(t(40), 3, 0, d(30_000_000));
+        obs.reopen(t(50), 1, 0, d(3_000));
+        obs.span(SpanKind::FileOpen, d(123_000));
+        let rep = obs.into_report();
+        assert_eq!(rep.events(ObsEventKind::RpcIssue), 2);
+        assert_eq!(rep.events(ObsEventKind::RpcComplete), 2);
+        assert_eq!(rep.events(ObsEventKind::RpcRetry), 1);
+        assert_eq!(rep.rpc_hist(RpcKind::Open).p50(), 1_500);
+        assert_eq!(rep.rpc_hist(RpcKind::ReadBlock).max(), 6_415);
+        assert_eq!(rep.retry_wait.count(), 1);
+        assert_eq!(rep.writeback_dwell.max(), 30_000_000);
+        assert_eq!(rep.reopen_latency.count(), 1);
+        assert_eq!(rep.span(SpanKind::FileOpen).count, 1);
+        // 2 rpcs x (issue + complete) + retry + writeback + reopen.
+        assert_eq!(rep.events_recorded, 7);
+        assert_eq!(rep.events_dropped, 0);
+        let txt = rep.render();
+        assert!(txt.contains("read_block"));
+        assert!(txt.contains("obs.events.recorded"));
+        let json = rep.to_json();
+        assert!(json.contains("\"rpc_latency_us\""));
+        assert!(json.contains("\"obs.span.file.open\":1"));
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = Obs::new();
+        a.rpc(RpcKind::Open, t(1), 0, 0, 0, d(1_500));
+        a.span(SpanKind::Stall, d(10));
+        let mut b = Obs::new();
+        b.rpc(RpcKind::Open, t(2), 1, 0, 0, d(2_500));
+        b.retry(t(3), 1, 0, 2, d(100));
+        let mut whole = Obs::new();
+        whole.rpc(RpcKind::Open, t(1), 0, 0, 0, d(1_500));
+        whole.span(SpanKind::Stall, d(10));
+        whole.rpc(RpcKind::Open, t(2), 1, 0, 0, d(2_500));
+        whole.retry(t(3), 1, 0, 2, d(100));
+        let mut merged = a.into_report();
+        merged.merge(&b.into_report());
+        assert_eq!(merged, whole.into_report());
+    }
+}

@@ -82,6 +82,14 @@ impl RpcKind {
         RpcKind::Reregister,
         RpcKind::Reopen,
     ];
+    /// Dense index of this kind within [`RpcKind::ALL`]; the
+    /// observability layer uses it to address per-kind latency
+    /// histograms without a map lookup.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Short lowercase name used in counter keys.
     pub fn name(self) -> &'static str {
         match self {
@@ -220,6 +228,13 @@ mod tests {
         for k in RpcKind::ALL {
             assert_eq!(k.msgs_key(), format!("rpc.{}.msgs", k.name()));
             assert_eq!(k.bytes_key(), format!("rpc.{}.bytes", k.name()));
+        }
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, k) in RpcKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i, "{:?} index out of sync with ALL", k);
         }
     }
 

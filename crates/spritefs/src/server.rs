@@ -197,15 +197,19 @@ impl Server {
     }
 
     /// Serves a block read from a client: hit in the server cache or a
-    /// disk read. `block_bytes` is the payload size.
-    pub fn serve_read(&mut self, key: BlockKey, block_bytes: u64, now: SimTime) {
+    /// disk read. `block_bytes` is the payload size. Returns `true` on a
+    /// server-cache hit — the observability layer uses this to decide
+    /// whether the RPC's modeled latency includes a disk access.
+    pub fn serve_read(&mut self, key: BlockKey, block_bytes: u64, now: SimTime) -> bool {
         self.counters.add("server.read.bytes", block_bytes);
         if self.cache.touch(key, now) {
             self.counters.bump("server.cache.read.hit");
+            true
         } else {
             self.counters.bump("server.cache.read.miss");
             self.counters.add("server.disk.read.bytes", block_bytes);
             self.insert_block(key, now);
+            false
         }
     }
 

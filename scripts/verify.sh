@@ -30,6 +30,25 @@ echo "==> sanitizer: repro --quick --sanitize all (must be clean and byte-identi
 ./target/release/repro --quick --sanitize all > /tmp/verify_report_san.txt
 cmp /tmp/verify_report.txt /tmp/verify_report_san.txt
 
+echo "==> observer: repro --quick --observe all (report on stderr, stdout byte-identical)"
+./target/release/repro --quick --observe all > /tmp/verify_report_obs.txt 2> /tmp/verify_obs_stderr.txt
+cmp /tmp/verify_report.txt /tmp/verify_report_obs.txt
+grep -q "obs.events.recorded" /tmp/verify_obs_stderr.txt
+
+echo "==> selftrace: repro --quick selftrace (round trip exact, identities agree)"
+./target/release/repro --quick selftrace > /tmp/verify_selftrace.txt
+grep -q "round trip exact" /tmp/verify_selftrace.txt
+grep -q "Self-trace verdict: agree" /tmp/verify_selftrace.txt
+
+echo "==> cli: unknown subcommand exits 2 with usage"
+set +e
+./target/release/repro frobnicate > /dev/null 2> /tmp/verify_usage.txt
+usage_status=$?
+set -e
+test "$usage_status" -eq 2 || { echo "unknown subcommand must exit 2, got $usage_status"; exit 1; }
+grep -q "usage: repro" /tmp/verify_usage.txt
+grep -q "selftrace" /tmp/verify_usage.txt
+
 echo "==> fault matrix: repro --quick --sanitize faults (clean, deterministic, nonzero)"
 ./target/release/repro --quick --sanitize faults > /tmp/verify_faults_1.txt
 ./target/release/repro --quick --sanitize faults > /tmp/verify_faults_2.txt
@@ -42,6 +61,9 @@ tmpdir=$(mktemp -d)
 (cd "$tmpdir" && "$OLDPWD"/target/release/repro bench > /dev/null)
 test -s "$tmpdir/BENCH_0001.json"
 grep -q '"end_to_end"' "$tmpdir/BENCH_0001.json"
+test -s "$tmpdir/BENCH_0002.json"
+grep -q '"end_to_end_obs_off_secs"' "$tmpdir/BENCH_0002.json"
+grep -q '"report_bytes_identical": true' "$tmpdir/BENCH_0002.json"
 rm -rf "$tmpdir"
 
 echo "verify: OK"

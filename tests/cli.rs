@@ -1,0 +1,75 @@
+//! End-to-end tests of the `repro` command-line surface.
+//!
+//! These run the actual binary (Cargo builds it for integration tests
+//! and exposes the path via `CARGO_BIN_EXE_repro`), so they check what
+//! a user at a shell sees: exit statuses, the usage synopsis, and the
+//! observability contract that `--observe` never changes stdout.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_2() {
+    let out = repro(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "unknown subcommand exits 2");
+    assert!(out.stdout.is_empty(), "usage goes to stderr, not stdout");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand `frobnicate`"), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+    // The synopsis must list every subcommand, including the
+    // observability surface added with the self-measurement layer.
+    for name in [
+        "all", "cache", "figures", "bsd", "check", "lint", "ablations", "extensions", "faults",
+        "latency", "gen-trace", "obs", "profile", "selftrace", "bench",
+    ] {
+        assert!(err.contains(name), "usage must list `{name}`:\n{err}");
+    }
+}
+
+#[test]
+fn misspelled_flagless_table_exits_2() {
+    let out = repro(&["--quick", "table13"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("table13"));
+}
+
+#[test]
+fn observe_never_changes_stdout() {
+    // The acceptance bar for the self-measurement layer: an observed
+    // run's stdout is byte-identical to a plain run's; the report rides
+    // on stderr.
+    let plain = repro(&["--quick", "--traces", "1", "--days", "1", "table1"]);
+    let observed = repro(&[
+        "--quick", "--traces", "1", "--days", "1", "--observe", "table1",
+    ]);
+    assert!(plain.status.success());
+    assert!(observed.status.success());
+    assert_eq!(
+        plain.stdout, observed.stdout,
+        "--observe must not perturb stdout"
+    );
+    let err = String::from_utf8_lossy(&observed.stderr);
+    assert!(
+        err.contains("obs.events.recorded"),
+        "observed run reports on stderr:\n{err}"
+    );
+}
+
+#[test]
+fn selftrace_round_trip_agrees() {
+    let out = repro(&["--quick", "selftrace"]);
+    assert!(
+        out.status.success(),
+        "selftrace must agree: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let txt = String::from_utf8_lossy(&out.stdout);
+    assert!(txt.contains("round trip exact"), "{txt}");
+    assert!(txt.contains("Self-trace verdict: agree"), "{txt}");
+}
