@@ -41,6 +41,11 @@ pub struct StudyConfig {
     pub counter_days: u32,
     /// Maximum traces simulated concurrently.
     pub parallelism: usize,
+    /// Worker threads per cluster for the sharded simulation engine
+    /// (`1` = the sequential engine). Output is byte-identical at any
+    /// value; runs with the sanitizer, the observer, or fault injection
+    /// always use the sequential engine.
+    pub threads: usize,
 }
 
 impl Default for StudyConfig {
@@ -51,6 +56,7 @@ impl Default for StudyConfig {
             traces: TraceSpec::paper_eight(0x5DF5_1991),
             counter_days: 14,
             parallelism: 4,
+            threads: 1,
         }
     }
 }
@@ -85,6 +91,7 @@ impl StudyConfig {
             ],
             counter_days: 2,
             parallelism: 2,
+            threads: 1,
         }
     }
 }
@@ -232,7 +239,7 @@ impl Study {
         cluster.preload(&gen.preload_list());
         let ops = gen.generate_day(0);
         // Let trailing delayed writes happen before the trace ends.
-        cluster.run(ops, SimTime::from_secs(86_400));
+        cluster.run_parallel(ops, SimTime::from_secs(86_400), self.cfg.threads);
         let sanitizer = cluster.take_sanitizer_stats();
         let obs = cluster.take_obs_report();
         let (sink, clients, servers) = cluster.into_parts();
@@ -240,7 +247,7 @@ impl Study {
             records: merge_vecs(sink.per_server),
             sanitizer,
             obs,
-            client_counters: clients.into_iter().map(|c| c.metrics.counters).collect(),
+            client_counters: clients.into_iter().map(|c| c.data.metrics.counters).collect(),
             server_counters: servers.into_iter().map(|s| s.counters).collect(),
         }
     }
@@ -341,7 +348,7 @@ impl Study {
         let mut per_day: Vec<Vec<CounterSet>> = Vec::new();
         for day in 0..self.cfg.counter_days {
             let ops = gen.generate_day(day);
-            cluster.run(ops, SimTime::from_secs((day as u64 + 1) * 86_400));
+            cluster.run_parallel(ops, SimTime::from_secs((day as u64 + 1) * 86_400), self.cfg.threads);
             // Delta in place: counters are monotonic, so folding the
             // day's delta back into the running snapshot reproduces the
             // current totals without cloning every set every day.
@@ -356,7 +363,7 @@ impl Study {
         let sanitizer = cluster.take_sanitizer_stats();
         let obs = cluster.take_obs_report();
         let (_sink, clients, servers) = cluster.into_parts();
-        let metrics: Vec<MachineMetrics> = clients.into_iter().map(|c| c.metrics).collect();
+        let metrics: Vec<MachineMetrics> = clients.into_iter().map(|c| c.data.metrics).collect();
         let mut total = CounterSet::new();
         for m in &metrics {
             total.merge(&m.counters);

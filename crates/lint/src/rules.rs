@@ -35,16 +35,23 @@ pub enum Rule {
     /// No `f32` in statistics paths: accumulating in single precision
     /// makes reductions sensitive to association order.
     FloatStats,
+    /// No detached `thread::spawn` in simulation or analysis code: a
+    /// worker that can outlive its caller breaks the deterministic
+    /// join-then-merge discipline the parallel engine depends on. Use
+    /// `std::thread::scope` (whose `s.spawn` is allowed) so every
+    /// worker provably joins before results are read.
+    UnscopedThread,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::WallClock,
         Rule::OsEntropy,
         Rule::DefaultHasher,
         Rule::Unwrap,
         Rule::FloatStats,
+        Rule::UnscopedThread,
     ];
 
     /// The rule's name as used in reports and `lint:allow(...)`.
@@ -55,6 +62,7 @@ impl Rule {
             Rule::DefaultHasher => "default-hasher",
             Rule::Unwrap => "unwrap",
             Rule::FloatStats => "float-stats",
+            Rule::UnscopedThread => "unscoped-thread",
         }
     }
 
@@ -63,7 +71,11 @@ impl Rule {
         const DETERMINISM: &[&str] = &["simkit", "spritefs", "core", "trace", "workload"];
         const STATISTICS: &[&str] = &["simkit", "core"];
         match self {
-            Rule::WallClock | Rule::OsEntropy | Rule::DefaultHasher | Rule::Unwrap => DETERMINISM,
+            Rule::WallClock
+            | Rule::OsEntropy
+            | Rule::DefaultHasher
+            | Rule::Unwrap
+            | Rule::UnscopedThread => DETERMINISM,
             Rule::FloatStats => STATISTICS,
         }
     }
@@ -83,6 +95,7 @@ impl Rule {
             Rule::DefaultHasher => &["HashMap", "HashSet"],
             Rule::Unwrap => &[], // matched as `.unwrap`, not a bare ident
             Rule::FloatStats => &["f32"],
+            Rule::UnscopedThread => &[], // matched as `thread::spawn`, not a bare ident
         }
     }
 
@@ -92,6 +105,7 @@ impl Rule {
         match self {
             Rule::Unwrap => &[".unwrap()"],
             Rule::WallClock => &["SystemTime::now", "Instant::now"],
+            Rule::UnscopedThread => &["thread::spawn("],
             _ => &[],
         }
     }
@@ -109,6 +123,10 @@ impl Rule {
             }
             Rule::Unwrap => ".unwrap() in library code; use a typed error or expect(\"invariant\")",
             Rule::FloatStats => "f32 in a statistics path; accumulate in f64",
+            Rule::UnscopedThread => {
+                "detached thread::spawn; use std::thread::scope so every worker \
+                 joins before results are merged"
+            }
         }
     }
 }
@@ -279,6 +297,12 @@ pub fn scan(events: &[Event], crate_name: &str, rel_path: &str) -> Vec<Violation
                     let hit = if rule == Rule::Unwrap {
                         text == "unwrap"
                             && matches!(prev_significant, Some(Event::Punct { ch: '.', .. }))
+                    } else if rule == Rule::UnscopedThread {
+                        // `thread::spawn` detaches; `thread::scope` and a
+                        // scope handle's `s.spawn(..)` are the sanctioned
+                        // join-before-merge form.
+                        text == "spawn"
+                            && tail_matches(&recent, &["thread", ":", ":", "spawn"])
                     } else {
                         rule.trigger_idents().contains(&text.as_str())
                     };
@@ -429,5 +453,50 @@ mod tests {
     fn entropy_flagged() {
         let src = "use std::collections::hash_map::RandomState;";
         assert_eq!(scan_src(src, "simkit").len(), 1);
+    }
+
+    #[test]
+    fn detached_thread_spawn_flagged() {
+        let src = "fn f() { let h = std::thread::spawn(|| 1); let _ = h.join(); }";
+        let v = scan_src(src, "spritefs");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnscopedThread);
+    }
+
+    #[test]
+    fn scoped_threads_allowed() {
+        // The parallel engine's shape: thread::scope + s.spawn joins
+        // every worker before results are merged — not a violation.
+        let src = r#"
+            fn f() {
+                std::thread::scope(|s| {
+                    let h = s.spawn(|| 1);
+                    let _ = h.join();
+                });
+            }
+        "#;
+        assert!(scan_src(src, "spritefs").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_still_banned_alongside_scoped_threads() {
+        // Allowing thread::scope must not relax the other rules in the
+        // same (parallel) module.
+        let src = r#"
+            fn f() {
+                std::thread::scope(|s| {
+                    s.spawn(|| { let _t = std::time::Instant::now(); });
+                });
+            }
+        "#;
+        let v = scan_src(src, "spritefs");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn detached_spawn_ignored_outside_scope() {
+        let src = "fn f() { std::thread::spawn(|| 1); }";
+        assert!(scan_src(src, "bench").is_empty());
     }
 }

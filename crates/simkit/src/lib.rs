@@ -24,6 +24,7 @@
 pub mod counters;
 pub mod dist;
 pub mod hash;
+pub mod merge;
 pub mod obs;
 pub mod queue;
 pub mod rng;
@@ -32,6 +33,7 @@ pub mod time;
 
 pub use counters::CounterSet;
 pub use hash::{FastMap, FastSet};
+pub use merge::merge_sorted_by;
 pub use obs::{EventRing, ObsEvent, SpanStat};
 pub use queue::EventQueue;
 pub use rng::SimRng;

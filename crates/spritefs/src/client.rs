@@ -76,22 +76,25 @@ pub struct ProcState {
     pub data_pages: u64,
 }
 
-/// One diskless client workstation.
+/// The data plane of one client: the block cache, the memory manager,
+/// the VM process table, and the kernel counters.
+///
+/// This is the state a shard worker owns exclusively when the cluster
+/// runs under the parallel engine ([`crate::parallel`]): everything a
+/// data-movement task (block fetch, cached write, write-back, flush,
+/// invalidate, process start/exit) reads or writes lives here, while
+/// the control plane (open-file table, version stamps, activity clock)
+/// stays on [`Client`] with the coordinator.
 #[derive(Debug)]
-pub struct Client {
-    /// The client's identity.
+pub struct ClientData {
+    /// The client's identity (duplicated from [`Client::id`] so the
+    /// data plane can stamp sanitizer and observability hooks without
+    /// reaching back to the control plane).
     pub id: ClientId,
     /// The file block cache.
     pub cache: BlockCache,
     /// Physical-memory accounting (file cache ↔ VM trade).
     pub mem: MemoryManager,
-    /// Open file table.
-    pub fds: FastMap<Handle, FdState>,
-    /// Last file version this client observed, per file; used for the
-    /// open-time staleness check.
-    pub seen_version: FastMap<FileId, u64>,
-    /// Last revalidation time per file (polling consistency mode).
-    pub last_validate: FastMap<FileId, SimTime>,
     /// Running processes (for the VM model).
     pub procs: FastMap<Pid, ProcState>,
     /// Shared program text: executable → (running instances, resident
@@ -100,12 +103,83 @@ pub struct Client {
     pub shared_text: FastMap<FileId, (u32, u64)>,
     /// Kernel counters and cache-size samples.
     pub metrics: MachineMetrics,
-    /// Last time any application operation ran here (for the Table 4
-    /// activity screen).
-    pub last_activity: SimTime,
     /// Scratch buffer reused for per-file block index lists on the
     /// flush and invalidate paths.
     pub scratch_blocks: Vec<u64>,
+    /// Scratch buffer reused for the write-back daemon's dirty-file scan.
+    pub scratch_files: Vec<FileId>,
+}
+
+/// One diskless client workstation.
+///
+/// The struct itself holds the control-plane state consulted by the
+/// cluster coordinator on every operation; the data plane lives behind
+/// [`Client::data`] and is reachable through `Deref`, so `client.cache`
+/// and `client.metrics` keep working everywhere.
+#[derive(Debug)]
+pub struct Client {
+    /// The client's identity.
+    pub id: ClientId,
+    /// Data-plane state (cache, memory, processes, counters). Swapped
+    /// out wholesale when a shard worker takes ownership.
+    pub data: Box<ClientData>,
+    /// Open file table.
+    pub fds: FastMap<Handle, FdState>,
+    /// Last file version this client observed, per file; used for the
+    /// open-time staleness check.
+    pub seen_version: FastMap<FileId, u64>,
+    /// Last revalidation time per file (polling consistency mode).
+    pub last_validate: FastMap<FileId, SimTime>,
+    /// Last time any application operation ran here (for the Table 4
+    /// activity screen).
+    pub last_activity: SimTime,
+}
+
+impl std::ops::Deref for Client {
+    type Target = ClientData;
+    fn deref(&self) -> &ClientData {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for Client {
+    fn deref_mut(&mut self) -> &mut ClientData {
+        &mut self.data
+    }
+}
+
+impl ClientData {
+    /// Creates the data plane with the given memory geometry.
+    pub fn new(
+        id: ClientId,
+        mem_bytes: u64,
+        reserved_bytes: u64,
+        page_size: u64,
+        preference: SimDuration,
+        code_retention: SimDuration,
+    ) -> Self {
+        ClientData {
+            id,
+            cache: BlockCache::new(),
+            mem: MemoryManager::new(
+                mem_bytes,
+                reserved_bytes,
+                page_size,
+                preference,
+                code_retention,
+            ),
+            procs: FastMap::default(),
+            shared_text: FastMap::default(),
+            metrics: MachineMetrics::new(),
+            scratch_blocks: Vec::new(),
+            scratch_files: Vec::new(),
+        }
+    }
+
+    /// Current file cache size in bytes.
+    pub fn cache_bytes(&self, page_size: u64) -> u64 {
+        self.mem.fc_pages() * page_size
+    }
 }
 
 impl Client {
@@ -120,28 +194,40 @@ impl Client {
     ) -> Self {
         Client {
             id,
-            cache: BlockCache::new(),
-            mem: MemoryManager::new(
+            data: Box::new(ClientData::new(
+                id,
                 mem_bytes,
                 reserved_bytes,
                 page_size,
                 preference,
                 code_retention,
-            ),
+            )),
             fds: FastMap::default(),
             seen_version: FastMap::default(),
             last_validate: FastMap::default(),
-            procs: FastMap::default(),
-            shared_text: FastMap::default(),
-            metrics: MachineMetrics::new(),
             last_activity: SimTime::ZERO,
-            scratch_blocks: Vec::new(),
         }
     }
 
-    /// Current file cache size in bytes.
-    pub fn cache_bytes(&self, page_size: u64) -> u64 {
-        self.mem.fc_pages() * page_size
+    /// Detaches the data plane, leaving a minimal placeholder in its
+    /// place. The coordinator must not touch data-plane state until
+    /// [`Client::attach_data`] restores it.
+    pub fn detach_data(&mut self) -> Box<ClientData> {
+        let placeholder = Box::new(ClientData::new(
+            self.id,
+            4096,
+            0,
+            4096,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        ));
+        std::mem::replace(&mut self.data, placeholder)
+    }
+
+    /// Restores a data plane previously taken by [`Client::detach_data`].
+    pub fn attach_data(&mut self, data: Box<ClientData>) {
+        debug_assert_eq!(data.id, self.id, "data plane belongs to this client");
+        self.data = data;
     }
 
     /// Returns `true` if this client holds any open handle on `file`.

@@ -13,13 +13,14 @@
 //! cache-disable scheme, the modified variant, a token scheme, or
 //! NFS-style polling.
 
-use sdfs_simkit::{CounterSet, SimDuration, SimRng, SimTime};
-use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Record, RecordKind, ServerId};
+use sdfs_simkit::{CounterSet, FastMap, SimDuration, SimRng, SimTime};
+use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, Record, RecordKind, ServerId};
 
 use crate::cache::BlockKey;
-use crate::client::{Client, FdState, ProcState};
+use crate::client::{Client, ClientData, FdState, ProcState};
 use crate::config::{Config, ConsistencyPolicy, FaultPlan};
 use crate::fs::{assign_server, FileTable};
+use crate::parallel::{ClientTask, Route, SrvEventKind};
 use crate::metrics::{
     cache as mc, clean, consist, fault, mig, raw, replace, restart, srv, SanitizerStats,
 };
@@ -83,7 +84,7 @@ impl TraceSink for NullSink {
 /// Why a dirty block was cleaned (Table 9's four reasons, plus the
 /// never-in-practice dirty LRU eviction).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CleanReason {
+pub(crate) enum CleanReason {
     Delay,
     Fsync,
     Recall,
@@ -139,7 +140,7 @@ struct FaultEvent {
 /// [`Config::faults`] is set, so fault-free runs carry no RNG and take
 /// none of these branches.
 #[derive(Debug)]
-struct FaultState {
+pub(crate) struct FaultState {
     /// The plan in force.
     plan: FaultPlan,
     /// Seeded RNG driving per-RPC message drops (never OS entropy).
@@ -220,10 +221,10 @@ impl FaultState {
 /// assert_eq!(cluster.into_sink().len(), 2);
 /// ```
 pub struct Cluster<S: TraceSink> {
-    cfg: Config,
+    pub(crate) cfg: Config,
     files: FileTable,
-    clients: Vec<Client>,
-    servers: Vec<Server>,
+    pub(crate) clients: Vec<Client>,
+    pub(crate) servers: Vec<Server>,
     sink: S,
     now: SimTime,
     next_tick: SimTime,
@@ -237,7 +238,7 @@ pub struct Cluster<S: TraceSink> {
     scratch_clients: Vec<ClientId>,
     /// SpriteSan shadow-state oracle ([`Config::sanitize`]). Boxed so
     /// the disabled (default) case costs one pointer.
-    san: Option<Box<Sanitizer>>,
+    pub(crate) san: Option<Box<Sanitizer>>,
     /// Per-server "currently crashed" flags (all false in fault-free
     /// runs; also settable manually via [`Cluster::crash_server`]).
     server_down: Vec<bool>,
@@ -247,12 +248,19 @@ pub struct Cluster<S: TraceSink> {
     /// Per-server time of the most recent crash, meaningful while down.
     crashed_at: Vec<SimTime>,
     /// Fault-injection runtime ([`Config::faults`]).
-    fault: Option<FaultState>,
+    pub(crate) fault: Option<FaultState>,
     /// Scratch buffer for draining server disk-flush logs to SpriteSan.
     scratch_keys: Vec<BlockKey>,
     /// sdfs-obs self-measurement collector ([`Config::observe`]). Boxed
     /// so the disabled (default) case costs one pointer.
-    obs: Option<Box<Obs>>,
+    pub(crate) obs: Option<Box<Obs>>,
+    /// Where data-plane work goes: executed inline (the sequential
+    /// engine) or queued to shard workers (the parallel engine,
+    /// [`crate::parallel`]). Inline outside of `run_parallel`.
+    pub(crate) route: Route,
+    /// Work-division statistics of the most recent `run_parallel`
+    /// invocation (`None` after sequential runs).
+    pub(crate) last_parallel: Option<crate::parallel::ParallelStats>,
 }
 
 impl<S: TraceSink> Cluster<S> {
@@ -288,7 +296,9 @@ impl<S: TraceSink> Cluster<S> {
         let next_tick = SimTime::ZERO + cfg.daemon_period;
         let next_sample = SimTime::ZERO + cfg.sample_period;
         let san = cfg.sanitize.then(|| Box::new(Sanitizer::new(&cfg)));
-        let obs = cfg.observe.then(|| Box::new(Obs::new()));
+        let obs = cfg
+            .observe
+            .then(|| Box::new(Obs::with_capacity(cfg.obs_ring_capacity)));
         let fault = cfg.faults.as_ref().map(FaultState::new);
         let n = cfg.num_servers as usize;
         Cluster {
@@ -310,7 +320,17 @@ impl<S: TraceSink> Cluster<S> {
             fault,
             scratch_keys: Vec::new(),
             obs,
+            route: Route::Inline,
+            last_parallel: None,
         }
+    }
+
+    /// Work-division statistics of the most recent [`run_parallel`]
+    /// invocation, or `None` if the last run was sequential.
+    ///
+    /// [`run_parallel`]: Cluster::run_parallel
+    pub fn parallel_stats(&self) -> Option<&crate::parallel::ParallelStats> {
+        self.last_parallel.as_ref()
     }
 
     /// Pre-populates the namespace with files that exist before the trace
@@ -406,6 +426,103 @@ impl<S: TraceSink> Cluster<S> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Control/data routing.
+    //
+    // Every handler below is split along the paper's own RPC boundary:
+    // the *control plane* (open-file tables, version stamps, server
+    // consistency state, trace-record emission) runs on the coordinator
+    // in global operation order, while the *data plane* (client block
+    // caches, the VM model, kernel counters, write-backs) is packaged
+    // as `ClientTask`s. Under `Route::Inline` a task executes
+    // immediately at its dispatch point, reproducing the sequential
+    // engine statement for statement; under `Route::Queued` it is
+    // enqueued to the shard worker owning the client, and server-cache
+    // effects are logged and replayed in dispatch order afterwards.
+    // ------------------------------------------------------------------
+
+    /// Control-plane counter sink for client `ci`. Inline this is the
+    /// client's own counter set; under the parallel engine it is a
+    /// coordinator-owned set merged in (exactly — counter addition is
+    /// commutative) when the shard workers join.
+    #[inline]
+    fn ctl(&mut self, ci: usize) -> &mut CounterSet {
+        match &mut self.route {
+            Route::Inline => &mut self.clients[ci].data.metrics.counters,
+            Route::Queued(q) => &mut q.ctl[ci],
+        }
+    }
+
+    /// Routes one data-plane task for client `ci`.
+    fn dispatch(&mut self, ci: usize, task: ClientTask) {
+        let now = self.now;
+        match &mut self.route {
+            Route::Inline => run_client_task(
+                &mut self.clients[ci].data,
+                &mut DirectServers {
+                    servers: &mut self.servers,
+                },
+                &self.files,
+                &self.cfg,
+                now,
+                &task,
+                self.san.as_deref_mut(),
+                self.fault.as_mut(),
+                &self.server_down,
+                &self.down_until,
+                self.obs.as_deref_mut(),
+            ),
+            Route::Queued(q) => q.push_task(ci, now, task),
+        }
+    }
+
+    /// A server-cache read on behalf of the control plane (paging).
+    /// Returns whether the server cache hit; under the parallel engine
+    /// the access is deferred to replay and the hit flag is a
+    /// placeholder (its only consumer, obs, is off in that mode).
+    #[inline]
+    fn server_read(&mut self, si: usize, key: BlockKey, bytes: u64) -> bool {
+        let now = self.now;
+        match &mut self.route {
+            Route::Inline => self.servers[si].serve_read(key, bytes, now),
+            Route::Queued(q) => {
+                q.push_srv_event(si, SrvEventKind::Read { key, bytes }, now);
+                true
+            }
+        }
+    }
+
+    /// A server-cache write on behalf of the control plane (paging).
+    #[inline]
+    fn server_write(&mut self, si: usize, key: BlockKey, bytes: u64) {
+        let now = self.now;
+        match &mut self.route {
+            Route::Inline => self.servers[si].accept_write(key, bytes, now),
+            Route::Queued(q) => q.push_srv_event(si, SrvEventKind::Write { key, bytes }, now),
+        }
+    }
+
+    /// Drops a file's blocks from a server cache (delete/truncate).
+    #[inline]
+    fn server_drop_file(&mut self, si: usize, file: FileId) {
+        let now = self.now;
+        match &mut self.route {
+            Route::Inline => self.servers[si].drop_file_blocks(file),
+            Route::Queued(q) => q.push_srv_event(si, SrvEventKind::DropFile { file }, now),
+        }
+    }
+
+    /// The server's own delayed write-back of expired dirty blocks.
+    #[inline]
+    fn server_tick_flush(&mut self, si: usize, cutoff: SimTime) {
+        let now = self.now;
+        let block_size = self.cfg.block_size;
+        match &mut self.route {
+            Route::Inline => self.servers[si].flush_dirty_before(cutoff, block_size),
+            Route::Queued(q) => q.push_srv_event(si, SrvEventKind::TickFlush { cutoff }, now),
+        }
+    }
+
     /// Consumes the cluster, returning the sink.
     pub fn into_sink(self) -> S {
         self.sink
@@ -444,8 +561,10 @@ impl<S: TraceSink> Cluster<S> {
             .files_with_dirty_before_into(SimTime::MAX, &mut files);
         for &file in &files {
             flush_file(
-                &mut self.clients[ci],
-                &mut self.servers,
+                &mut self.clients[ci].data,
+                &mut DirectServers {
+                    servers: &mut self.servers,
+                },
                 &self.files,
                 &self.cfg,
                 file,
@@ -492,7 +611,7 @@ impl<S: TraceSink> Cluster<S> {
                     san.on_crash_lost(client, key);
                 }
             }
-            invalidate_file(&mut self.clients[ci], file, false, self.san.as_deref_mut());
+            invalidate_file(&mut self.clients[ci].data, file, false, self.san.as_deref_mut());
         }
         if crash {
             self.clients[ci]
@@ -549,7 +668,7 @@ impl<S: TraceSink> Cluster<S> {
         let old = std::mem::replace(&mut self.clients[ci], fresh);
         // Keep the accumulated metrics (counters survive in the study's
         // collector, as the real measurement infrastructure did).
-        self.clients[ci].metrics = old.metrics;
+        self.clients[ci].data.metrics = old.data.metrics;
         lost
     }
 
@@ -901,62 +1020,20 @@ impl<S: TraceSink> Cluster<S> {
     }
 
     /// The write-back daemon: every 5 seconds, write out all dirty blocks
-    /// of any file that has had a block dirty for 30 seconds.
+    /// of any file that has had a block dirty for 30 seconds. The
+    /// per-client dirty scan and flush is a data-plane task (the
+    /// coordinator cannot see shard-owned caches); the server-side
+    /// flush is a control-ordered server event.
     fn daemon_tick(&mut self, now: SimTime) {
         let cutoff = now - self.cfg.writeback_delay;
-        let any_down = self.server_down.iter().any(|&d| d);
-        let mut files = std::mem::take(&mut self.daemon_files);
         for ci in 0..self.clients.len() {
-            self.clients[ci]
-                .cache
-                .files_with_dirty_before_into(cutoff, &mut files);
-            for &file in &files {
-                // A down server takes no write-backs; the daemon queues
-                // the file and retries next tick (degraded mode). The
-                // blocks stay dirty, extending the loss window — exactly
-                // the availability cost the study measures.
-                if any_down {
-                    let down_si = self
-                        .files
-                        .get(file)
-                        .map(|m| m.server.raw() as usize)
-                        .filter(|&s| self.server_down[s]);
-                    if let Some(down_si) = down_si {
-                        self.clients[ci]
-                            .metrics
-                            .counters
-                            .bump(fault::QUEUED_WRITEBACKS);
-                        self.obs_event(
-                            ObsEventKind::QueuedWriteBack,
-                            ci as u16,
-                            down_si as u16,
-                            file.raw(),
-                        );
-                        continue;
-                    }
-                }
-                flush_file(
-                    &mut self.clients[ci],
-                    &mut self.servers,
-                    &self.files,
-                    &self.cfg,
-                    file,
-                    now,
-                    CleanReason::Delay,
-                    self.san.as_deref_mut(),
-                    self.fault.as_mut(),
-                    &self.server_down,
-                    &self.down_until,
-                    self.obs.as_deref_mut(),
-                );
-            }
+            self.dispatch(ci, ClientTask::DaemonFlush { cutoff });
         }
-        self.daemon_files = files;
         // Servers run their own delayed write to disk (a crashed server
         // has no cache to flush).
         for si in 0..self.servers.len() {
             if !self.server_down[si] {
-                self.servers[si].flush_dirty_before(cutoff, self.cfg.block_size);
+                self.server_tick_flush(si, cutoff);
             }
         }
         self.drain_disk_flush_logs();
@@ -973,13 +1050,12 @@ impl<S: TraceSink> Cluster<S> {
 
     fn take_samples(&mut self, now: SimTime) {
         let period = self.cfg.sample_period;
-        for client in &mut self.clients {
+        for ci in 0..self.clients.len() {
             // A client that has never issued an operation is idle; the
             // zero default must not look like activity at time zero.
-            let active =
-                client.last_activity > SimTime::ZERO && now.since(client.last_activity) <= period;
-            let bytes = client.cache_bytes(self.cfg.page_size);
-            client.metrics.sample(now, bytes, active);
+            let last = self.clients[ci].last_activity;
+            let active = last > SimTime::ZERO && now.since(last) <= period;
+            self.dispatch(ci, ClientTask::Sample { active });
         }
         if let Some(san) = self.san.as_deref_mut() {
             san.deep_audit(&self.clients, now);
@@ -1058,7 +1134,7 @@ impl<S: TraceSink> Cluster<S> {
             // (the workload should always create first).
             let server = assign_server(file, self.cfg.num_servers);
             self.files.create(file, server, false, self.now);
-            self.clients[ci].metrics.counters.bump("implicit.creates");
+            self.ctl(ci).bump("implicit.creates");
         }
         let meta = self.files.get_mut(file).expect("file exists");
         let server_id = meta.server;
@@ -1072,11 +1148,11 @@ impl<S: TraceSink> Cluster<S> {
         let si = server_id.raw() as usize;
 
         self.fault_rpc(ci, si);
-        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Open, 0);
+        count_rpc(self.ctl(ci), RpcKind::Open, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Open, 0);
         self.obs_rpc(RpcKind::Open, ci, si, 0, false);
         if !is_dir {
-            self.clients[ci].metrics.counters.bump(consist::FILE_OPENS);
+            self.ctl(ci).bump(consist::FILE_OPENS);
         }
 
         if !is_dir {
@@ -1104,7 +1180,7 @@ impl<S: TraceSink> Cluster<S> {
         // Concurrent write-sharing: detect and, under the Sprite
         // policies, disable caching.
         if !is_dir && st.write_shared() {
-            self.clients[ci].metrics.counters.bump(consist::CWS_OPENS);
+            self.ctl(ci).bump(consist::CWS_OPENS);
             let sprite_family = matches!(
                 self.cfg.consistency,
                 ConsistencyPolicy::Sprite | ConsistencyPolicy::SpriteModified
@@ -1148,7 +1224,7 @@ impl<S: TraceSink> Cluster<S> {
             // hook: dropping this invalidation must surface as a stale
             // read.
             if seen != prev_version && !self.cfg.fault_skip_invalidate {
-                invalidate_file(&mut self.clients[ci], file, true, self.san.as_deref_mut());
+                self.dispatch(ci, ClientTask::Invalidate { file, stale: true });
                 self.obs_event(ObsEventKind::Invalidate, ci as u16, si as u16, file.raw());
             }
         }
@@ -1161,28 +1237,18 @@ impl<S: TraceSink> Cluster<S> {
         let last_writer = self.servers[si].file_state(file).last_writer;
         if let Some(w) = last_writer {
             if w != op.client {
-                self.clients[ci]
-                    .metrics
-                    .counters
-                    .bump(consist::RECALL_OPENS);
+                self.ctl(ci).bump(consist::RECALL_OPENS);
                 let wi = w.raw() as usize;
                 count_rpc(&mut self.servers[si].counters, RpcKind::Recall, 0);
-                count_rpc(&mut self.clients[wi].metrics.counters, RpcKind::Recall, 0);
+                count_rpc(self.ctl(wi), RpcKind::Recall, 0);
                 self.obs_rpc(RpcKind::Recall, wi, si, 0, false);
                 self.obs_event(ObsEventKind::Recall, wi as u16, si as u16, file.raw());
-                flush_file(
-                    &mut self.clients[wi],
-                    &mut self.servers,
-                    &self.files,
-                    &self.cfg,
-                    file,
-                    self.now,
-                    CleanReason::Recall,
-                    self.san.as_deref_mut(),
-                    self.fault.as_mut(),
-                    &self.server_down,
-                    &self.down_until,
-                    self.obs.as_deref_mut(),
+                self.dispatch(
+                    wi,
+                    ClientTask::FlushFile {
+                        file,
+                        reason: CleanReason::Recall,
+                    },
                 );
                 self.servers[si].file_state(file).last_writer = None;
             }
@@ -1209,38 +1275,23 @@ impl<S: TraceSink> Cluster<S> {
                     // Recall the write token: the holder flushes and
                     // invalidates.
                     let wi = w.raw() as usize;
-                    count_rpc(
-                        &mut self.clients[wi].metrics.counters,
-                        RpcKind::TokenRecall,
-                        0,
+                    count_rpc(self.ctl(wi), RpcKind::TokenRecall, 0);
+                    self.dispatch(
+                        wi,
+                        ClientTask::FlushFile {
+                            file,
+                            reason: CleanReason::Recall,
+                        },
                     );
-                    flush_file(
-                        &mut self.clients[wi],
-                        &mut self.servers,
-                        &self.files,
-                        &self.cfg,
-                        file,
-                        self.now,
-                        CleanReason::Recall,
-                        self.san.as_deref_mut(),
-                        self.fault.as_mut(),
-                        &self.server_down,
-                        &self.down_until,
-                        self.obs.as_deref_mut(),
-                    );
-                    invalidate_file(&mut self.clients[wi], file, false, self.san.as_deref_mut());
+                    self.dispatch(wi, ClientTask::Invalidate { file, stale: false });
                     self.obs_rpc(RpcKind::TokenRecall, wi, si, 0, false);
                     self.obs_event(ObsEventKind::Recall, wi as u16, si as u16, file.raw());
                 }
                 for &r in &readers {
                     if r != me {
                         let ri = r.raw() as usize;
-                        count_rpc(
-                            &mut self.clients[ri].metrics.counters,
-                            RpcKind::TokenRecall,
-                            0,
-                        );
-                        invalidate_file(&mut self.clients[ri], file, false, self.san.as_deref_mut());
+                        count_rpc(self.ctl(ri), RpcKind::TokenRecall, 0);
+                        self.dispatch(ri, ClientTask::Invalidate { file, stale: false });
                         self.obs_rpc(RpcKind::TokenRecall, ri, si, 0, false);
                         self.obs_event(ObsEventKind::Invalidate, ri as u16, si as u16, file.raw());
                     }
@@ -1248,11 +1299,7 @@ impl<S: TraceSink> Cluster<S> {
                 let st = self.servers[si].file_state(file);
                 st.tokens.readers.clear();
                 st.tokens.writer = Some(me);
-                count_rpc(
-                    &mut self.clients[ci].metrics.counters,
-                    RpcKind::TokenAcquire,
-                    0,
-                );
+                count_rpc(self.ctl(ci), RpcKind::TokenAcquire, 0);
                 self.obs_rpc(RpcKind::TokenAcquire, ci, si, 0, false);
             }
         } else {
@@ -1265,24 +1312,13 @@ impl<S: TraceSink> Cluster<S> {
                     // Downgrade the writer: flush dirty, keep its blocks,
                     // writer becomes a reader.
                     let wi = w.raw() as usize;
-                    count_rpc(
-                        &mut self.clients[wi].metrics.counters,
-                        RpcKind::TokenRecall,
-                        0,
-                    );
-                    flush_file(
-                        &mut self.clients[wi],
-                        &mut self.servers,
-                        &self.files,
-                        &self.cfg,
-                        file,
-                        self.now,
-                        CleanReason::Recall,
-                        self.san.as_deref_mut(),
-                        self.fault.as_mut(),
-                        &self.server_down,
-                        &self.down_until,
-                        self.obs.as_deref_mut(),
+                    count_rpc(self.ctl(wi), RpcKind::TokenRecall, 0);
+                    self.dispatch(
+                        wi,
+                        ClientTask::FlushFile {
+                            file,
+                            reason: CleanReason::Recall,
+                        },
                     );
                     let st = self.servers[si].file_state(file);
                     st.tokens.writer = None;
@@ -1292,11 +1328,7 @@ impl<S: TraceSink> Cluster<S> {
                 }
                 let st = self.servers[si].file_state(file);
                 st.tokens.readers.insert(me);
-                count_rpc(
-                    &mut self.clients[ci].metrics.counters,
-                    RpcKind::TokenAcquire,
-                    0,
-                );
+                count_rpc(self.ctl(ci), RpcKind::TokenAcquire, 0);
                 self.obs_rpc(RpcKind::TokenAcquire, ci, si, 0, false);
             }
         }
@@ -1321,7 +1353,7 @@ impl<S: TraceSink> Cluster<S> {
         };
         if due {
             self.fault_rpc(ci, si);
-            count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::GetAttr, 0);
+            count_rpc(self.ctl(ci), RpcKind::GetAttr, 0);
             count_rpc(&mut self.servers[si].counters, RpcKind::GetAttr, 0);
             self.obs_rpc(RpcKind::GetAttr, ci, si, 0, false);
             let stale = self.clients[ci]
@@ -1329,7 +1361,7 @@ impl<S: TraceSink> Cluster<S> {
                 .get(&file)
                 .is_some_and(|&v| v != version);
             if stale {
-                invalidate_file(&mut self.clients[ci], file, true, self.san.as_deref_mut());
+                self.dispatch(ci, ClientTask::Invalidate { file, stale: true });
                 self.obs_event(ObsEventKind::Invalidate, ci as u16, si as u16, file.raw());
             }
             self.clients[ci].seen_version.insert(file, version);
@@ -1351,26 +1383,15 @@ impl<S: TraceSink> Cluster<S> {
         }
         for &c in &holders {
             let ci = c.raw() as usize;
-            count_rpc(
-                &mut self.clients[ci].metrics.counters,
-                RpcKind::Invalidate,
-                0,
+            count_rpc(self.ctl(ci), RpcKind::Invalidate, 0);
+            self.dispatch(
+                ci,
+                ClientTask::FlushFile {
+                    file,
+                    reason: CleanReason::Recall,
+                },
             );
-            flush_file(
-                &mut self.clients[ci],
-                &mut self.servers,
-                &self.files,
-                &self.cfg,
-                file,
-                self.now,
-                CleanReason::Recall,
-                self.san.as_deref_mut(),
-                self.fault.as_mut(),
-                &self.server_down,
-                &self.down_until,
-                self.obs.as_deref_mut(),
-            );
-            invalidate_file(&mut self.clients[ci], file, false, self.san.as_deref_mut());
+            self.dispatch(ci, ClientTask::Invalidate { file, stale: false });
             self.obs_rpc(RpcKind::Invalidate, ci, si, 0, false);
             self.obs_event(ObsEventKind::Invalidate, ci as u16, si as u16, file.raw());
         }
@@ -1392,7 +1413,7 @@ impl<S: TraceSink> Cluster<S> {
         let size = meta.size;
         let si = server_id.raw() as usize;
         self.fault_rpc(ci, si);
-        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Close, 0);
+        count_rpc(self.ctl(ci), RpcKind::Close, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Close, 0);
         self.obs_rpc(RpcKind::Close, ci, si, 0, false);
         if let Some(obs) = self.obs.as_deref_mut() {
@@ -1466,7 +1487,7 @@ impl<S: TraceSink> Cluster<S> {
         if uncacheable {
             // Pass-through read on a write-shared file.
             self.fault_rpc(ci, si);
-            let c = &mut self.clients[ci].metrics.counters;
+            let c = self.ctl(ci);
             c.add(raw::SHARED_READ, eff);
             c.add(srv::SHARED_READ, eff);
             count_rpc(c, RpcKind::SharedRead, eff);
@@ -1482,8 +1503,18 @@ impl<S: TraceSink> Cluster<S> {
                 },
             );
         } else {
-            self.clients[ci].metrics.counters.add(raw::FILE_READ, eff);
-            self.cached_read(op, file, fdst.offset, eff, si, false);
+            self.ctl(ci).add(raw::FILE_READ, eff);
+            self.dispatch(
+                ci,
+                ClientTask::Read {
+                    file,
+                    offset: fdst.offset,
+                    len: eff,
+                    si,
+                    paging: false,
+                    migrated: op.migrated,
+                },
+            );
             // Polling mode: a cache read may silently return stale data.
             if matches!(self.cfg.consistency, ConsistencyPolicy::Polling { .. }) {
                 let current = self.files.get(file).map(|m| m.version).unwrap_or(0);
@@ -1493,7 +1524,7 @@ impl<S: TraceSink> Cluster<S> {
                     .copied()
                     .unwrap_or(current);
                 if seen != current {
-                    let c = &mut self.clients[ci].metrics.counters;
+                    let c = self.ctl(ci);
                     c.bump(consist::STALE_READ_OPS);
                     c.add(consist::STALE_READ_BYTES, eff);
                 }
@@ -1503,80 +1534,6 @@ impl<S: TraceSink> Cluster<S> {
         fdst.offset += eff;
         fdst.run_read += eff;
         fdst.total_read += eff;
-    }
-
-    /// Reads `len` bytes at `offset` of `file` through the client block
-    /// cache. `paging` selects the paging counter family (code and
-    /// initialized-data faults).
-    fn cached_read(
-        &mut self,
-        op: &AppOp,
-        file: FileId,
-        offset: u64,
-        len: u64,
-        si: usize,
-        paging: bool,
-    ) {
-        let ci = op.client.raw() as usize;
-        let bs = self.cfg.block_size;
-        let first = offset / bs;
-        let last = (offset + len - 1) / bs;
-        {
-            let c = &mut self.clients[ci].metrics.counters;
-            if paging {
-                c.add(mc::PAGING_READ_OPS, last - first + 1);
-                if op.migrated {
-                    c.add(mig::PAGING_READ_OPS, last - first + 1);
-                }
-            } else {
-                c.add(mc::READ_OPS, last - first + 1);
-                c.add(mc::READ_REQ_BYTES, len);
-                if op.migrated {
-                    c.add(mig::READ_OPS, last - first + 1);
-                    c.add(mig::READ_REQ_BYTES, len);
-                }
-            }
-        }
-        for index in first..=last {
-            let key = BlockKey { file, index };
-            if self.clients[ci].cache.touch(key, self.now) {
-                if let Some(san) = self.san.as_deref_mut() {
-                    san.on_read_hit(op.client, key, paging, self.now);
-                }
-                self.obs_event(ObsEventKind::CacheHit, ci as u16, si as u16, file.raw());
-                continue; // Hit.
-            }
-            // Miss: fetch the whole block from the server.
-            let block_bytes = bs;
-            self.fault_rpc(ci, si);
-            {
-                let c = &mut self.clients[ci].metrics.counters;
-                if paging {
-                    c.bump(mc::PAGING_READ_MISS_OPS);
-                    c.add(srv::PAGING_READ, block_bytes);
-                    if op.migrated {
-                        c.bump(mig::PAGING_READ_MISS_OPS);
-                    }
-                } else {
-                    c.bump(mc::READ_MISS_OPS);
-                    c.add(mc::READ_MISS_BYTES, block_bytes);
-                    c.add(srv::FILE_READ, block_bytes);
-                    if op.migrated {
-                        c.bump(mig::READ_MISS_OPS);
-                        c.add(mig::READ_MISS_BYTES, block_bytes);
-                    }
-                }
-                count_rpc(c, RpcKind::ReadBlock, block_bytes);
-            }
-            let srv_hit = self.servers[si].serve_read(key, block_bytes, self.now);
-            self.obs_event(ObsEventKind::CacheMiss, ci as u16, si as u16, file.raw());
-            self.obs_rpc(RpcKind::ReadBlock, ci, si, block_bytes, !srv_hit);
-            self.insert_block(ci, key);
-            if let Some(san) = self.san.as_deref_mut() {
-                let inserted = self.clients[ci].cache.contains(key);
-                san.on_fetch(op.client, key, inserted, paging, self.now);
-            }
-        }
     }
 
     fn do_write(&mut self, op: &AppOp, fd: Handle, len: u64) {
@@ -1612,10 +1569,11 @@ impl<S: TraceSink> Cluster<S> {
             meta.size = offset + len;
         }
         meta.note_write(self.now, was_empty);
+        let new_size = meta.size;
 
         if uncacheable {
             self.fault_rpc(ci, si);
-            let c = &mut self.clients[ci].metrics.counters;
+            let c = self.ctl(ci);
             c.add(raw::SHARED_WRITE, len);
             c.add(srv::SHARED_WRITE, len);
             count_rpc(c, RpcKind::SharedWrite, len);
@@ -1630,188 +1588,25 @@ impl<S: TraceSink> Cluster<S> {
             self.emit(server_id, op, RecordKind::SharedWrite { file, offset, len });
         } else {
             let polling = matches!(self.cfg.consistency, ConsistencyPolicy::Polling { .. });
-            self.cached_write(op, file, offset, len, old_size, si, polling);
+            self.dispatch(
+                ci,
+                ClientTask::Write {
+                    file,
+                    offset,
+                    len,
+                    old_size,
+                    new_size,
+                    si,
+                    write_through: polling,
+                    migrated: op.migrated,
+                },
+            );
         }
 
         let fdst = self.clients[ci].fds.get_mut(&fd).expect("fd exists");
         fdst.offset += len;
         fdst.run_written += len;
         fdst.total_written += len;
-    }
-
-    /// Writes through the client cache. With `write_through` (polling
-    /// mode) data also goes to the server immediately and blocks stay
-    /// clean.
-    #[allow(clippy::too_many_arguments)]
-    fn cached_write(
-        &mut self,
-        op: &AppOp,
-        file: FileId,
-        offset: u64,
-        len: u64,
-        old_size: u64,
-        si: usize,
-        write_through: bool,
-    ) {
-        let ci = op.client.raw() as usize;
-        let bs = self.cfg.block_size;
-        let first = offset / bs;
-        let last = (offset + len - 1) / bs;
-        {
-            let c = &mut self.clients[ci].metrics.counters;
-            c.add(raw::FILE_WRITE, len);
-            c.add(mc::WRITE_OPS, last - first + 1);
-            c.add(mc::WRITE_BYTES, len);
-            if op.migrated {
-                c.add(mig::WRITE_OPS, last - first + 1);
-            }
-        }
-        for index in first..=last {
-            let key = BlockKey { file, index };
-            let block_start = index * bs;
-            let block_end = block_start + bs;
-            let wstart = offset.max(block_start);
-            let wend = (offset + len).min(block_end);
-            let app_bytes = wend - wstart;
-            let full_block = app_bytes == bs;
-            // Fast path: cached block under delayed write — probe, touch
-            // and dirty in one cache lookup.
-            if !write_through
-                && self.clients[ci]
-                    .cache
-                    .mark_dirty_if_present(key, self.now, app_bytes)
-            {
-                if let Some(san) = self.san.as_deref_mut() {
-                    san.on_cached_write(op.client, key, WriteKind::Dirty, self.now);
-                }
-                continue;
-            }
-            if !self.clients[ci].cache.contains(key) {
-                // Partial write of a block with pre-existing content
-                // requires a write fetch.
-                let has_existing = block_start < old_size && !full_block;
-                if has_existing {
-                    self.fault_rpc(ci, si);
-                    {
-                        let c = &mut self.clients[ci].metrics.counters;
-                        c.bump(mc::WRITE_FETCH_OPS);
-                        if op.migrated {
-                            c.bump(mig::WRITE_FETCH_OPS);
-                        }
-                        c.add(srv::FILE_READ, bs);
-                        count_rpc(c, RpcKind::ReadBlock, bs);
-                    }
-                    let srv_hit = self.servers[si].serve_read(key, bs, self.now);
-                    self.obs_rpc(RpcKind::ReadBlock, ci, si, bs, !srv_hit);
-                }
-                self.insert_block(ci, key);
-            } else {
-                self.clients[ci].cache.touch(key, self.now);
-            }
-            if !self.clients[ci].cache.contains(key) {
-                // The VM system holds every physical page and nothing
-                // could be evicted: this write goes straight through.
-                self.fault_rpc(ci, si);
-                let c = &mut self.clients[ci].metrics.counters;
-                c.add(mc::WRITEBACK_BYTES, app_bytes);
-                c.add(srv::FILE_WRITE, app_bytes);
-                count_rpc(c, RpcKind::WriteBlock, app_bytes);
-                self.servers[si].accept_write(key, app_bytes, self.now);
-                self.obs_rpc(RpcKind::WriteBlock, ci, si, app_bytes, false);
-                if let Some(san) = self.san.as_deref_mut() {
-                    san.on_server_write(key);
-                }
-                continue;
-            }
-            if write_through {
-                // NFS-style: data goes straight through; the cached copy
-                // stays clean.
-                self.fault_rpc(ci, si);
-                let c = &mut self.clients[ci].metrics.counters;
-                c.add(mc::WRITEBACK_BYTES, app_bytes);
-                c.add(srv::FILE_WRITE, app_bytes);
-                count_rpc(c, RpcKind::WriteBlock, app_bytes);
-                self.servers[si].accept_write(key, app_bytes, self.now);
-                self.obs_rpc(RpcKind::WriteBlock, ci, si, app_bytes, false);
-                // Cleaning bookkeeping not needed: block never dirty.
-                if let Some(san) = self.san.as_deref_mut() {
-                    san.on_cached_write(op.client, key, WriteKind::Through, self.now);
-                }
-            } else {
-                self.clients[ci].cache.mark_dirty(key, self.now, app_bytes);
-                if let Some(san) = self.san.as_deref_mut() {
-                    san.on_cached_write(op.client, key, WriteKind::Dirty, self.now);
-                }
-            }
-        }
-    }
-
-    /// Inserts a block into a client cache, obtaining a physical page
-    /// from the memory manager (free page, idle VM page, or LRU
-    /// eviction).
-    fn insert_block(&mut self, ci: usize, key: BlockKey) {
-        use crate::vm::FcGrant;
-        match self.clients[ci].mem.fc_acquire(self.now) {
-            FcGrant::FromFree | FcGrant::FromIdleVm => {
-                self.clients[ci].cache.insert(key, self.now);
-            }
-            FcGrant::MustEvict => {
-                if self.evict_lru(ci, replace::FILE_BLOCKS, replace::FILE_AGE_US) {
-                    // Page reused in place; no memory-manager traffic.
-                    self.clients[ci].cache.insert(key, self.now);
-                }
-                // If the cache was empty there is nothing to evict and
-                // the block simply is not cached.
-            }
-        }
-    }
-
-    /// Evicts the LRU block of client `ci`, writing it back first if
-    /// dirty. Returns `false` if the cache was empty.
-    fn evict_lru(&mut self, ci: usize, blocks_key: &'static str, age_key: &'static str) -> bool {
-        let Some((key, entry)) = self.clients[ci]
-            .cache
-            .peek_lru()
-            .map(|(k, e)| (k, e.clone()))
-        else {
-            return false;
-        };
-        if entry.dirty {
-            let reason = if blocks_key == replace::VM_BLOCKS {
-                CleanReason::Vm
-            } else {
-                CleanReason::Evict
-            };
-            writeback_block(
-                &mut self.clients[ci],
-                &mut self.servers,
-                &self.files,
-                &self.cfg,
-                key,
-                self.now,
-                reason,
-                self.san.as_deref_mut(),
-                self.fault.as_mut(),
-                &self.server_down,
-                &self.down_until,
-                self.obs.as_deref_mut(),
-            );
-        }
-        let age = self.now.since(entry.last_ref);
-        let c = &mut self.clients[ci].metrics.counters;
-        c.bump(blocks_key);
-        c.add(age_key, age.as_micros());
-        self.clients[ci].cache.remove(key);
-        self.obs_event(
-            ObsEventKind::CacheEvict,
-            ci as u16,
-            0,
-            age.as_micros(),
-        );
-        if let Some(san) = self.san.as_deref_mut() {
-            san.on_drop_block(self.clients[ci].id, key);
-        }
-        true
     }
 
     fn do_seek(&mut self, op: &AppOp, fd: Handle, to: u64) {
@@ -1852,25 +1647,18 @@ impl<S: TraceSink> Cluster<S> {
             return;
         };
         let file = fdst.file;
-        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Fsync, 0);
+        count_rpc(self.ctl(ci), RpcKind::Fsync, 0);
         if let Some(meta) = self.files.get(file) {
             let si = meta.server.raw() as usize;
             self.fault_rpc(ci, si);
             self.obs_rpc(RpcKind::Fsync, ci, si, 0, false);
         }
-        flush_file(
-            &mut self.clients[ci],
-            &mut self.servers,
-            &self.files,
-            &self.cfg,
-            file,
-            self.now,
-            CleanReason::Fsync,
-            self.san.as_deref_mut(),
-            self.fault.as_mut(),
-            &self.server_down,
-            &self.down_until,
-            self.obs.as_deref_mut(),
+        self.dispatch(
+            ci,
+            ClientTask::FlushFile {
+                file,
+                reason: CleanReason::Fsync,
+            },
         );
     }
 
@@ -1883,7 +1671,7 @@ impl<S: TraceSink> Cluster<S> {
         let server = assign_server(file, self.cfg.num_servers);
         self.files.create(file, server, is_dir, self.now);
         self.fault_rpc(ci, server.raw() as usize);
-        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Create, 0);
+        count_rpc(self.ctl(ci), RpcKind::Create, 0);
         count_rpc(
             &mut self.servers[server.raw() as usize].counters,
             RpcKind::Create,
@@ -1901,19 +1689,19 @@ impl<S: TraceSink> Cluster<S> {
         };
         let si = meta.server.raw() as usize;
         self.fault_rpc(ci, si);
-        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Delete, 0);
+        count_rpc(self.ctl(ci), RpcKind::Delete, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Delete, 0);
         self.obs_rpc(RpcKind::Delete, ci, si, 0, false);
         // Drop the file's blocks everywhere; dirty data is cancelled and
         // never written back (this is where short lifetimes save write
         // traffic).
-        for client in &mut self.clients {
-            drop_file_blocks(client, file, &self.cfg, self.san.as_deref_mut());
+        for c in 0..self.clients.len() {
+            self.dispatch(c, ClientTask::DropFile { file });
         }
         if let Some(san) = self.san.as_deref_mut() {
             san.on_file_erased(file);
         }
-        self.servers[si].drop_file_blocks(file);
+        self.server_drop_file(si, file);
         self.servers[si].files.remove(&file);
         self.emit(
             meta.server,
@@ -1944,16 +1732,16 @@ impl<S: TraceSink> Cluster<S> {
         let server_id = meta.server;
         let si = server_id.raw() as usize;
         self.fault_rpc(ci, si);
-        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Truncate, 0);
+        count_rpc(self.ctl(ci), RpcKind::Truncate, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Truncate, 0);
         self.obs_rpc(RpcKind::Truncate, ci, si, 0, false);
-        for client in &mut self.clients {
-            drop_file_blocks(client, file, &self.cfg, self.san.as_deref_mut());
+        for c in 0..self.clients.len() {
+            self.dispatch(c, ClientTask::DropFile { file });
         }
         if let Some(san) = self.san.as_deref_mut() {
             san.on_file_erased(file);
         }
-        self.servers[si].drop_file_blocks(file);
+        self.server_drop_file(si, file);
         self.emit(
             server_id,
             op,
@@ -1977,7 +1765,7 @@ impl<S: TraceSink> Cluster<S> {
         let server_id = meta.server;
         let si = server_id.raw() as usize;
         self.fault_rpc(ci, si);
-        let c = &mut self.clients[ci].metrics.counters;
+        let c = self.ctl(ci);
         c.add(raw::DIR_READ, bytes);
         c.add(srv::DIR_READ, bytes);
         count_rpc(c, RpcKind::ReadDir, bytes);
@@ -2008,131 +1796,23 @@ impl<S: TraceSink> Cluster<S> {
         }
         let meta = self.files.get(exec).expect("exec exists");
         let si = meta.server.raw() as usize;
-        let ps = self.cfg.page_size;
-        let code_pages = code_bytes.div_ceil(ps);
-        // Data pages include the heap/stack the process will grow to;
-        // only the initialized-data portion is faulted from the file.
-        let data_pages = (data_bytes + heap_bytes).div_ceil(ps).max(1);
-
-        // Shared program text: if another instance of this program is
-        // already running here, its code pages are shared — no code
-        // faults and no additional code memory.
-        let sharing = {
-            let entry = self.clients[ci].shared_text.entry(exec).or_insert((0, 0));
-            entry.0 += 1;
-            entry.0 > 1
-        };
-        let fault_code_pages = if sharing {
-            0
-        } else {
-            // Retained code from a previous run of the same program?
-            let reused = self.clients[ci].mem.code_hit(exec, self.now);
-            self.clients[ci].shared_text.insert(exec, (1, code_pages));
-            code_pages.saturating_sub(reused)
-        };
-
-        // Obtain physical pages for the process image.
-        let need = fault_code_pages + data_pages;
-        let steal = self.clients[ci].mem.vm_acquire(need);
-        for _ in 0..steal {
-            if self.evict_lru(ci, replace::VM_BLOCKS, replace::VM_AGE_US) {
-                self.clients[ci].mem.steal_from_fc();
-            } else {
-                // Nothing cached to evict: the machine is overcommitted.
-                self.clients[ci].mem.force_grow(1);
-            }
-        }
-
-        // Fault in code pages. Sprite checks the file cache on code
-        // faults (recompilation can leave new code there) but does not
-        // *install* code blocks in the file cache on a miss; a cached
-        // code block is released after its contents are copied to VM.
-        let code_fault_bytes = fault_code_pages * ps;
-        if code_fault_bytes > 0 {
-            self.clients[ci]
-                .metrics
-                .counters
-                .add(raw::PAGING_CODE_READ, code_fault_bytes);
-            for index in 0..fault_code_pages {
-                let key = BlockKey { file: exec, index };
-                let c = &mut self.clients[ci].metrics.counters;
-                c.bump(mc::PAGING_READ_OPS);
-                if op.migrated {
-                    c.bump(mig::PAGING_READ_OPS);
-                }
-                if self.clients[ci].cache.touch(key, self.now) {
-                    // Copy to VM; the block stays cached so a future
-                    // invocation on this machine can find it again.
-                    if let Some(san) = self.san.as_deref_mut() {
-                        san.on_read_hit(op.client, key, true, self.now);
-                    }
-                } else {
-                    self.fault_rpc(ci, si);
-                    let c = &mut self.clients[ci].metrics.counters;
-                    c.bump(mc::PAGING_READ_MISS_OPS);
-                    c.add(srv::PAGING_READ, ps);
-                    count_rpc(c, RpcKind::PageIn, ps);
-                    if op.migrated {
-                        c.bump(mig::PAGING_READ_MISS_OPS);
-                    }
-                    let srv_hit = self.servers[si].serve_read(key, ps, self.now);
-                    self.obs_rpc(RpcKind::PageIn, ci, si, ps, !srv_hit);
-                    self.insert_block(ci, key);
-                    if let Some(san) = self.san.as_deref_mut() {
-                        let inserted = self.clients[ci].cache.contains(key);
-                        san.on_fetch(op.client, key, inserted, true, self.now);
-                    }
-                }
-            }
-        }
-
-        // Fault in initialized data through the file cache (blocks stay
-        // cached so a re-run finds clean copies).
-        if data_bytes > 0 {
-            self.clients[ci]
-                .metrics
-                .counters
-                .add(raw::PAGING_INITDATA_READ, data_bytes);
-            self.cached_read(op, exec, code_bytes, data_bytes, si, true);
-        }
-
-        self.clients[ci].procs.insert(
-            op.pid,
-            ProcState {
+        self.dispatch(
+            ci,
+            ClientTask::ProcStart {
+                pid: op.pid,
                 exec,
-                code_pages,
-                data_pages,
+                code_bytes,
+                data_bytes,
+                heap_bytes,
+                si,
+                migrated: op.migrated,
             },
         );
     }
 
     fn do_proc_exit(&mut self, op: &AppOp) {
         let ci = op.client.raw() as usize;
-        let Some(proc) = self.clients[ci].procs.remove(&op.pid) else {
-            return; // Unknown process: tolerate (migrant bookkeeping).
-        };
-        // Data and stack pages are always private.
-        self.clients[ci].mem.vm_release(self.now, proc.data_pages);
-        // Code is shared; the last instance out releases and retains it.
-        let last = {
-            let entry = self.clients[ci]
-                .shared_text
-                .get_mut(&proc.exec)
-                .expect("shared text entry exists for running process");
-            entry.0 = entry.0.saturating_sub(1);
-            if entry.0 == 0 {
-                Some(entry.1)
-            } else {
-                None
-            }
-        };
-        if let Some(code_pages) = last {
-            self.clients[ci].shared_text.remove(&proc.exec);
-            self.clients[ci].mem.vm_release(self.now, code_pages);
-            self.clients[ci]
-                .mem
-                .retain_code(proc.exec, code_pages, self.now);
-        }
+        self.dispatch(ci, ClientTask::ProcExit { pid: op.pid });
     }
 
     fn do_page(&mut self, op: &AppOp, file: FileId, offset: u64, bytes: u64, read: bool) {
@@ -2146,14 +1826,14 @@ impl<S: TraceSink> Cluster<S> {
         let bs = self.cfg.block_size;
         if read {
             self.fault_rpc(ci, si);
-            let c = &mut self.clients[ci].metrics.counters;
+            let c = self.ctl(ci);
             c.add(raw::PAGING_BACKING_READ, bytes);
             c.add(srv::PAGING_READ, bytes);
             count_rpc(c, RpcKind::PageIn, bytes);
             count_rpc(&mut self.servers[si].counters, RpcKind::PageIn, bytes);
             let mut all_hit = true;
             for index in offset / bs..=(offset + bytes.max(1) - 1) / bs {
-                all_hit &= self.servers[si].serve_read(BlockKey { file, index }, bs, self.now);
+                all_hit &= self.server_read(si, BlockKey { file, index }, bs);
             }
             self.obs_rpc(RpcKind::PageIn, ci, si, bytes, !all_hit);
         } else {
@@ -2163,14 +1843,14 @@ impl<S: TraceSink> Cluster<S> {
             }
             meta.note_write(self.now, was_empty);
             self.fault_rpc(ci, si);
-            let c = &mut self.clients[ci].metrics.counters;
+            let c = self.ctl(ci);
             c.add(raw::PAGING_BACKING_WRITE, bytes);
             c.add(srv::PAGING_WRITE, bytes);
             count_rpc(c, RpcKind::PageOut, bytes);
             count_rpc(&mut self.servers[si].counters, RpcKind::PageOut, bytes);
             self.obs_rpc(RpcKind::PageOut, ci, si, bytes, false);
             for index in offset / bs..=(offset + bytes.max(1) - 1) / bs {
-                self.servers[si].accept_write(BlockKey { file, index }, bs, self.now);
+                self.server_write(si, BlockKey { file, index }, bs);
             }
         }
     }
@@ -2231,13 +1911,847 @@ fn fault_rpc_account(
     }
 }
 
-/// Writes one dirty block of `client` back to its server, recording the
-/// cleaning reason and age.
+// ----------------------------------------------------------------------
+// Data plane. Every function below operates on one client's
+// [`ClientData`] plus abstract server/size views, so the *same* bodies
+// run inline on the coordinator (sequential engine, with
+// sanitizer/fault/obs hooks live) and on shard workers (parallel
+// engine, hooks `None` because those modes force threads=1).
+// ----------------------------------------------------------------------
+
+/// How the data plane reaches server block caches: directly (inline) or
+/// through a deferred per-task event log replayed in dispatch order
+/// after the workers join (parallel).
+pub(crate) trait ServerAccess {
+    /// A block read served from the server's cache or disk. Returns
+    /// whether the server cache hit; deferred implementations return
+    /// `true` (the flag's only consumer is obs, off in parallel runs).
+    fn serve_read(&mut self, si: usize, key: BlockKey, bytes: u64, now: SimTime) -> bool;
+    /// A block write accepted into the server's cache.
+    fn accept_write(&mut self, si: usize, key: BlockKey, bytes: u64, now: SimTime);
+}
+
+/// Inline access to the real server array.
+pub(crate) struct DirectServers<'a> {
+    /// The cluster's servers.
+    pub servers: &'a mut [Server],
+}
+
+impl ServerAccess for DirectServers<'_> {
+    fn serve_read(&mut self, si: usize, key: BlockKey, bytes: u64, now: SimTime) -> bool {
+        self.servers[si].serve_read(key, bytes, now)
+    }
+
+    fn accept_write(&mut self, si: usize, key: BlockKey, bytes: u64, now: SimTime) {
+        self.servers[si].accept_write(key, bytes, now)
+    }
+}
+
+/// Current file sizes as the write-back path sees them: the
+/// authoritative [`FileTable`] inline, or a worker-local mirror built
+/// from the sizes carried on `Write`/`DropFile` tasks. The mirror is
+/// exact for every file a client holds dirty blocks of: a client only
+/// dirties a block through its own `Write` tasks (which carry the new
+/// size), and any other writer is ordered behind a flush/invalidate
+/// task in this client's own queue first (recall, token downgrade,
+/// cache disable, truncate, delete).
+pub(crate) trait SizeView {
+    /// The file's size, or `None` if it is gone.
+    fn size_of(&self, file: FileId) -> Option<u64>;
+}
+
+impl SizeView for FileTable {
+    fn size_of(&self, file: FileId) -> Option<u64> {
+        self.get(file).map(|m| m.size)
+    }
+}
+
+impl SizeView for FastMap<FileId, u64> {
+    fn size_of(&self, file: FileId) -> Option<u64> {
+        self.get(&file).copied()
+    }
+}
+
+/// Executes one data-plane task against `data`. This is *the* data
+/// path: the sequential engine runs it at the dispatch point, shard
+/// workers run it in per-client queue order.
 #[allow(clippy::too_many_arguments)]
-fn writeback_block(
-    client: &mut Client,
-    servers: &mut [Server],
-    files: &FileTable,
+pub(crate) fn run_client_task<A: ServerAccess, M: SizeView>(
+    data: &mut ClientData,
+    srv: &mut A,
+    sizes: &M,
+    cfg: &Config,
+    now: SimTime,
+    task: &ClientTask,
+    san: Option<&mut Sanitizer>,
+    fstate: Option<&mut FaultState>,
+    server_down: &[bool],
+    down_until: &[SimTime],
+    obs: Option<&mut Obs>,
+) {
+    match *task {
+        ClientTask::Read {
+            file,
+            offset,
+            len,
+            si,
+            paging,
+            migrated,
+        } => data_cached_read(
+            data, srv, sizes, cfg, now, file, offset, len, si, paging, migrated, san, fstate,
+            server_down, down_until, obs,
+        ),
+        ClientTask::Write {
+            file,
+            offset,
+            len,
+            old_size,
+            new_size: _,
+            si,
+            write_through,
+            migrated,
+        } => data_cached_write(
+            data,
+            srv,
+            sizes,
+            cfg,
+            now,
+            file,
+            offset,
+            len,
+            old_size,
+            si,
+            write_through,
+            migrated,
+            san,
+            fstate,
+            server_down,
+            down_until,
+            obs,
+        ),
+        ClientTask::FlushFile { file, reason } => flush_file(
+            data,
+            srv,
+            sizes,
+            cfg,
+            file,
+            now,
+            reason,
+            san,
+            fstate,
+            server_down,
+            down_until,
+            obs,
+        ),
+        ClientTask::Invalidate { file, stale } => invalidate_file(data, file, stale, san),
+        ClientTask::DropFile { file } => invalidate_file(data, file, false, san),
+        ClientTask::ProcStart {
+            pid,
+            exec,
+            code_bytes,
+            data_bytes,
+            heap_bytes,
+            si,
+            migrated,
+        } => data_proc_start(
+            data, srv, sizes, cfg, now, pid, exec, code_bytes, data_bytes, heap_bytes, si,
+            migrated, san, fstate, server_down, down_until, obs,
+        ),
+        ClientTask::ProcExit { pid } => data_proc_exit(data, now, pid),
+        ClientTask::DaemonFlush { cutoff } => data_daemon_flush(
+            data,
+            srv,
+            sizes,
+            cfg,
+            now,
+            cutoff,
+            san,
+            fstate,
+            server_down,
+            down_until,
+            obs,
+        ),
+        ClientTask::Sample { active } => data_sample(data, cfg, now, active),
+    }
+}
+
+/// Reads `len` bytes at `offset` of `file` through the client block
+/// cache. `paging` selects the paging counter family (code and
+/// initialized-data faults).
+#[allow(clippy::too_many_arguments)]
+fn data_cached_read<A: ServerAccess, M: SizeView>(
+    data: &mut ClientData,
+    srv: &mut A,
+    sizes: &M,
+    cfg: &Config,
+    now: SimTime,
+    file: FileId,
+    offset: u64,
+    len: u64,
+    si: usize,
+    paging: bool,
+    migrated: bool,
+    mut san: Option<&mut Sanitizer>,
+    mut fstate: Option<&mut FaultState>,
+    server_down: &[bool],
+    down_until: &[SimTime],
+    mut obs: Option<&mut Obs>,
+) {
+    let bs = cfg.block_size;
+    let first = offset / bs;
+    let last = (offset + len - 1) / bs;
+    {
+        let c = &mut data.metrics.counters;
+        if paging {
+            c.add(mc::PAGING_READ_OPS, last - first + 1);
+            if migrated {
+                c.add(mig::PAGING_READ_OPS, last - first + 1);
+            }
+        } else {
+            c.add(mc::READ_OPS, last - first + 1);
+            c.add(mc::READ_REQ_BYTES, len);
+            if migrated {
+                c.add(mig::READ_OPS, last - first + 1);
+                c.add(mig::READ_REQ_BYTES, len);
+            }
+        }
+    }
+    let ci = data.id.raw();
+    for index in first..=last {
+        let key = BlockKey { file, index };
+        if data.cache.touch(key, now) {
+            if let Some(san) = san.as_deref_mut() {
+                san.on_read_hit(data.id, key, paging, now);
+            }
+            if let Some(obs) = obs.as_deref_mut() {
+                obs.event(ObsEventKind::CacheHit, now, ci, si as u16, file.raw());
+            }
+            continue; // Hit.
+        }
+        // Miss: fetch the whole block from the server.
+        let block_bytes = bs;
+        if let Some(f) = fstate.as_deref_mut() {
+            fault_rpc_account(
+                f,
+                server_down,
+                down_until,
+                &mut data.metrics.counters,
+                ci,
+                si,
+                now,
+                obs.as_deref_mut(),
+            );
+        }
+        {
+            let c = &mut data.metrics.counters;
+            if paging {
+                c.bump(mc::PAGING_READ_MISS_OPS);
+                c.add(srv::PAGING_READ, block_bytes);
+                if migrated {
+                    c.bump(mig::PAGING_READ_MISS_OPS);
+                }
+            } else {
+                c.bump(mc::READ_MISS_OPS);
+                c.add(mc::READ_MISS_BYTES, block_bytes);
+                c.add(srv::FILE_READ, block_bytes);
+                if migrated {
+                    c.bump(mig::READ_MISS_OPS);
+                    c.add(mig::READ_MISS_BYTES, block_bytes);
+                }
+            }
+            count_rpc(c, RpcKind::ReadBlock, block_bytes);
+        }
+        let srv_hit = srv.serve_read(si, key, block_bytes, now);
+        if let Some(obs) = obs.as_deref_mut() {
+            obs.event(ObsEventKind::CacheMiss, now, ci, si as u16, file.raw());
+            let mut lat = cfg.net.rpc_time(block_bytes);
+            if !srv_hit {
+                lat += cfg.disk.access_time(block_bytes);
+            }
+            obs.rpc(RpcKind::ReadBlock, now, ci, si as u16, block_bytes, lat);
+        }
+        data_insert_block(
+            data,
+            srv,
+            sizes,
+            cfg,
+            now,
+            key,
+            san.as_deref_mut(),
+            fstate.as_deref_mut(),
+            server_down,
+            down_until,
+            obs.as_deref_mut(),
+        );
+        if let Some(san) = san.as_deref_mut() {
+            let inserted = data.cache.contains(key);
+            san.on_fetch(data.id, key, inserted, paging, now);
+        }
+    }
+}
+
+/// Writes through the client cache. With `write_through` (polling
+/// mode) data also goes to the server immediately and blocks stay
+/// clean.
+#[allow(clippy::too_many_arguments)]
+fn data_cached_write<A: ServerAccess, M: SizeView>(
+    data: &mut ClientData,
+    srv: &mut A,
+    sizes: &M,
+    cfg: &Config,
+    now: SimTime,
+    file: FileId,
+    offset: u64,
+    len: u64,
+    old_size: u64,
+    si: usize,
+    write_through: bool,
+    migrated: bool,
+    mut san: Option<&mut Sanitizer>,
+    mut fstate: Option<&mut FaultState>,
+    server_down: &[bool],
+    down_until: &[SimTime],
+    mut obs: Option<&mut Obs>,
+) {
+    let bs = cfg.block_size;
+    let first = offset / bs;
+    let last = (offset + len - 1) / bs;
+    {
+        let c = &mut data.metrics.counters;
+        c.add(raw::FILE_WRITE, len);
+        c.add(mc::WRITE_OPS, last - first + 1);
+        c.add(mc::WRITE_BYTES, len);
+        if migrated {
+            c.add(mig::WRITE_OPS, last - first + 1);
+        }
+    }
+    let ci = data.id.raw();
+    for index in first..=last {
+        let key = BlockKey { file, index };
+        let block_start = index * bs;
+        let block_end = block_start + bs;
+        let wstart = offset.max(block_start);
+        let wend = (offset + len).min(block_end);
+        let app_bytes = wend - wstart;
+        let full_block = app_bytes == bs;
+        // Fast path: cached block under delayed write — probe, touch
+        // and dirty in one cache lookup.
+        if !write_through && data.cache.mark_dirty_if_present(key, now, app_bytes) {
+            if let Some(san) = san.as_deref_mut() {
+                san.on_cached_write(data.id, key, WriteKind::Dirty, now);
+            }
+            continue;
+        }
+        if !data.cache.contains(key) {
+            // Partial write of a block with pre-existing content
+            // requires a write fetch.
+            let has_existing = block_start < old_size && !full_block;
+            if has_existing {
+                if let Some(f) = fstate.as_deref_mut() {
+                    fault_rpc_account(
+                        f,
+                        server_down,
+                        down_until,
+                        &mut data.metrics.counters,
+                        ci,
+                        si,
+                        now,
+                        obs.as_deref_mut(),
+                    );
+                }
+                {
+                    let c = &mut data.metrics.counters;
+                    c.bump(mc::WRITE_FETCH_OPS);
+                    if migrated {
+                        c.bump(mig::WRITE_FETCH_OPS);
+                    }
+                    c.add(srv::FILE_READ, bs);
+                    count_rpc(c, RpcKind::ReadBlock, bs);
+                }
+                let srv_hit = srv.serve_read(si, key, bs, now);
+                if let Some(obs) = obs.as_deref_mut() {
+                    let mut lat = cfg.net.rpc_time(bs);
+                    if !srv_hit {
+                        lat += cfg.disk.access_time(bs);
+                    }
+                    obs.rpc(RpcKind::ReadBlock, now, ci, si as u16, bs, lat);
+                }
+            }
+            data_insert_block(
+                data,
+                srv,
+                sizes,
+                cfg,
+                now,
+                key,
+                san.as_deref_mut(),
+                fstate.as_deref_mut(),
+                server_down,
+                down_until,
+                obs.as_deref_mut(),
+            );
+        } else {
+            data.cache.touch(key, now);
+        }
+        if !data.cache.contains(key) {
+            // The VM system holds every physical page and nothing
+            // could be evicted: this write goes straight through.
+            if let Some(f) = fstate.as_deref_mut() {
+                fault_rpc_account(
+                    f,
+                    server_down,
+                    down_until,
+                    &mut data.metrics.counters,
+                    ci,
+                    si,
+                    now,
+                    obs.as_deref_mut(),
+                );
+            }
+            let c = &mut data.metrics.counters;
+            c.add(mc::WRITEBACK_BYTES, app_bytes);
+            c.add(srv::FILE_WRITE, app_bytes);
+            count_rpc(c, RpcKind::WriteBlock, app_bytes);
+            srv.accept_write(si, key, app_bytes, now);
+            if let Some(obs) = obs.as_deref_mut() {
+                obs.rpc(
+                    RpcKind::WriteBlock,
+                    now,
+                    ci,
+                    si as u16,
+                    app_bytes,
+                    cfg.net.rpc_time(app_bytes),
+                );
+            }
+            if let Some(san) = san.as_deref_mut() {
+                san.on_server_write(key);
+            }
+            continue;
+        }
+        if write_through {
+            // NFS-style: data goes straight through; the cached copy
+            // stays clean.
+            if let Some(f) = fstate.as_deref_mut() {
+                fault_rpc_account(
+                    f,
+                    server_down,
+                    down_until,
+                    &mut data.metrics.counters,
+                    ci,
+                    si,
+                    now,
+                    obs.as_deref_mut(),
+                );
+            }
+            let c = &mut data.metrics.counters;
+            c.add(mc::WRITEBACK_BYTES, app_bytes);
+            c.add(srv::FILE_WRITE, app_bytes);
+            count_rpc(c, RpcKind::WriteBlock, app_bytes);
+            srv.accept_write(si, key, app_bytes, now);
+            if let Some(obs) = obs.as_deref_mut() {
+                obs.rpc(
+                    RpcKind::WriteBlock,
+                    now,
+                    ci,
+                    si as u16,
+                    app_bytes,
+                    cfg.net.rpc_time(app_bytes),
+                );
+            }
+            // Cleaning bookkeeping not needed: block never dirty.
+            if let Some(san) = san.as_deref_mut() {
+                san.on_cached_write(data.id, key, WriteKind::Through, now);
+            }
+        } else {
+            data.cache.mark_dirty(key, now, app_bytes);
+            if let Some(san) = san.as_deref_mut() {
+                san.on_cached_write(data.id, key, WriteKind::Dirty, now);
+            }
+        }
+    }
+}
+
+/// Inserts a block into the client cache, obtaining a physical page
+/// from the memory manager (free page, idle VM page, or LRU eviction).
+#[allow(clippy::too_many_arguments)]
+fn data_insert_block<A: ServerAccess, M: SizeView>(
+    data: &mut ClientData,
+    srv: &mut A,
+    sizes: &M,
+    cfg: &Config,
+    now: SimTime,
+    key: BlockKey,
+    san: Option<&mut Sanitizer>,
+    fstate: Option<&mut FaultState>,
+    server_down: &[bool],
+    down_until: &[SimTime],
+    obs: Option<&mut Obs>,
+) {
+    use crate::vm::FcGrant;
+    match data.mem.fc_acquire(now) {
+        FcGrant::FromFree | FcGrant::FromIdleVm => {
+            data.cache.insert(key, now);
+        }
+        FcGrant::MustEvict => {
+            if data_evict_lru(
+                data,
+                srv,
+                sizes,
+                cfg,
+                now,
+                replace::FILE_BLOCKS,
+                replace::FILE_AGE_US,
+                san,
+                fstate,
+                server_down,
+                down_until,
+                obs,
+            ) {
+                // Page reused in place; no memory-manager traffic.
+                data.cache.insert(key, now);
+            }
+            // If the cache was empty there is nothing to evict and
+            // the block simply is not cached.
+        }
+    }
+}
+
+/// Evicts the client's LRU block, writing it back first if dirty.
+/// Returns `false` if the cache was empty.
+#[allow(clippy::too_many_arguments)]
+fn data_evict_lru<A: ServerAccess, M: SizeView>(
+    data: &mut ClientData,
+    srv: &mut A,
+    sizes: &M,
+    cfg: &Config,
+    now: SimTime,
+    blocks_key: &'static str,
+    age_key: &'static str,
+    mut san: Option<&mut Sanitizer>,
+    fstate: Option<&mut FaultState>,
+    server_down: &[bool],
+    down_until: &[SimTime],
+    mut obs: Option<&mut Obs>,
+) -> bool {
+    let Some((key, entry)) = data.cache.peek_lru().map(|(k, e)| (k, e.clone())) else {
+        return false;
+    };
+    if entry.dirty {
+        let reason = if blocks_key == replace::VM_BLOCKS {
+            CleanReason::Vm
+        } else {
+            CleanReason::Evict
+        };
+        writeback_block(
+            data,
+            srv,
+            sizes,
+            cfg,
+            key,
+            now,
+            reason,
+            san.as_deref_mut(),
+            fstate,
+            server_down,
+            down_until,
+            obs.as_deref_mut(),
+        );
+    }
+    let age = now.since(entry.last_ref);
+    let c = &mut data.metrics.counters;
+    c.bump(blocks_key);
+    c.add(age_key, age.as_micros());
+    data.cache.remove(key);
+    if let Some(obs) = obs {
+        obs.event(ObsEventKind::CacheEvict, now, data.id.raw(), 0, age.as_micros());
+    }
+    if let Some(san) = san {
+        san.on_drop_block(data.id, key);
+    }
+    true
+}
+
+/// One process start on this client: shared-text accounting, VM page
+/// acquisition (stealing from the file cache if needed), code and
+/// initialized-data faults.
+#[allow(clippy::too_many_arguments)]
+fn data_proc_start<A: ServerAccess, M: SizeView>(
+    data: &mut ClientData,
+    srv: &mut A,
+    sizes: &M,
+    cfg: &Config,
+    now: SimTime,
+    pid: Pid,
+    exec: FileId,
+    code_bytes: u64,
+    data_bytes: u64,
+    heap_bytes: u64,
+    si: usize,
+    migrated: bool,
+    mut san: Option<&mut Sanitizer>,
+    mut fstate: Option<&mut FaultState>,
+    server_down: &[bool],
+    down_until: &[SimTime],
+    mut obs: Option<&mut Obs>,
+) {
+    let ps = cfg.page_size;
+    let code_pages = code_bytes.div_ceil(ps);
+    // Data pages include the heap/stack the process will grow to;
+    // only the initialized-data portion is faulted from the file.
+    let data_pages = (data_bytes + heap_bytes).div_ceil(ps).max(1);
+
+    // Shared program text: if another instance of this program is
+    // already running here, its code pages are shared — no code
+    // faults and no additional code memory.
+    let sharing = {
+        let entry = data.shared_text.entry(exec).or_insert((0, 0));
+        entry.0 += 1;
+        entry.0 > 1
+    };
+    let fault_code_pages = if sharing {
+        0
+    } else {
+        // Retained code from a previous run of the same program?
+        let reused = data.mem.code_hit(exec, now);
+        data.shared_text.insert(exec, (1, code_pages));
+        code_pages.saturating_sub(reused)
+    };
+
+    // Obtain physical pages for the process image.
+    let need = fault_code_pages + data_pages;
+    let steal = data.mem.vm_acquire(need);
+    for _ in 0..steal {
+        if data_evict_lru(
+            data,
+            srv,
+            sizes,
+            cfg,
+            now,
+            replace::VM_BLOCKS,
+            replace::VM_AGE_US,
+            san.as_deref_mut(),
+            fstate.as_deref_mut(),
+            server_down,
+            down_until,
+            obs.as_deref_mut(),
+        ) {
+            data.mem.steal_from_fc();
+        } else {
+            // Nothing cached to evict: the machine is overcommitted.
+            data.mem.force_grow(1);
+        }
+    }
+
+    // Fault in code pages. Sprite checks the file cache on code
+    // faults (recompilation can leave new code there) but does not
+    // *install* code blocks in the file cache on a miss; a cached
+    // code block is released after its contents are copied to VM.
+    let code_fault_bytes = fault_code_pages * ps;
+    if code_fault_bytes > 0 {
+        data.metrics
+            .counters
+            .add(raw::PAGING_CODE_READ, code_fault_bytes);
+        let ci = data.id.raw();
+        for index in 0..fault_code_pages {
+            let key = BlockKey { file: exec, index };
+            {
+                let c = &mut data.metrics.counters;
+                c.bump(mc::PAGING_READ_OPS);
+                if migrated {
+                    c.bump(mig::PAGING_READ_OPS);
+                }
+            }
+            if data.cache.touch(key, now) {
+                // Copy to VM; the block stays cached so a future
+                // invocation on this machine can find it again.
+                if let Some(san) = san.as_deref_mut() {
+                    san.on_read_hit(data.id, key, true, now);
+                }
+            } else {
+                if let Some(f) = fstate.as_deref_mut() {
+                    fault_rpc_account(
+                        f,
+                        server_down,
+                        down_until,
+                        &mut data.metrics.counters,
+                        ci,
+                        si,
+                        now,
+                        obs.as_deref_mut(),
+                    );
+                }
+                {
+                    let c = &mut data.metrics.counters;
+                    c.bump(mc::PAGING_READ_MISS_OPS);
+                    c.add(srv::PAGING_READ, ps);
+                    count_rpc(c, RpcKind::PageIn, ps);
+                    if migrated {
+                        c.bump(mig::PAGING_READ_MISS_OPS);
+                    }
+                }
+                let srv_hit = srv.serve_read(si, key, ps, now);
+                if let Some(obs) = obs.as_deref_mut() {
+                    let mut lat = cfg.net.rpc_time(ps);
+                    if !srv_hit {
+                        lat += cfg.disk.access_time(ps);
+                    }
+                    obs.rpc(RpcKind::PageIn, now, ci, si as u16, ps, lat);
+                }
+                data_insert_block(
+                    data,
+                    srv,
+                    sizes,
+                    cfg,
+                    now,
+                    key,
+                    san.as_deref_mut(),
+                    fstate.as_deref_mut(),
+                    server_down,
+                    down_until,
+                    obs.as_deref_mut(),
+                );
+                if let Some(san) = san.as_deref_mut() {
+                    let inserted = data.cache.contains(key);
+                    san.on_fetch(data.id, key, inserted, true, now);
+                }
+            }
+        }
+    }
+
+    // Fault in initialized data through the file cache (blocks stay
+    // cached so a re-run finds clean copies).
+    if data_bytes > 0 {
+        data.metrics
+            .counters
+            .add(raw::PAGING_INITDATA_READ, data_bytes);
+        data_cached_read(
+            data,
+            srv,
+            sizes,
+            cfg,
+            now,
+            exec,
+            code_bytes,
+            data_bytes,
+            si,
+            true,
+            migrated,
+            san,
+            fstate,
+            server_down,
+            down_until,
+            obs,
+        );
+    }
+
+    data.procs.insert(
+        pid,
+        ProcState {
+            exec,
+            code_pages,
+            data_pages,
+        },
+    );
+}
+
+/// One process exit: release private pages, and shared code when the
+/// last instance leaves (retaining it for the paper's code-reuse
+/// effect).
+fn data_proc_exit(data: &mut ClientData, now: SimTime, pid: Pid) {
+    let Some(proc) = data.procs.remove(&pid) else {
+        return; // Unknown process: tolerate (migrant bookkeeping).
+    };
+    // Data and stack pages are always private.
+    data.mem.vm_release(now, proc.data_pages);
+    // Code is shared; the last instance out releases and retains it.
+    let last = {
+        let entry = data
+            .shared_text
+            .get_mut(&proc.exec)
+            .expect("shared text entry exists for running process");
+        entry.0 = entry.0.saturating_sub(1);
+        if entry.0 == 0 {
+            Some(entry.1)
+        } else {
+            None
+        }
+    };
+    if let Some(code_pages) = last {
+        data.shared_text.remove(&proc.exec);
+        data.mem.vm_release(now, code_pages);
+        data.mem.retain_code(proc.exec, code_pages, now);
+    }
+}
+
+/// The per-client half of a write-back daemon tick: flush every file
+/// with a block dirty since before `cutoff`. A file on a down server is
+/// queued instead (degraded mode) — its blocks stay dirty, extending
+/// the loss window.
+#[allow(clippy::too_many_arguments)]
+fn data_daemon_flush<A: ServerAccess, M: SizeView>(
+    data: &mut ClientData,
+    srv: &mut A,
+    sizes: &M,
+    cfg: &Config,
+    now: SimTime,
+    cutoff: SimTime,
+    mut san: Option<&mut Sanitizer>,
+    mut fstate: Option<&mut FaultState>,
+    server_down: &[bool],
+    down_until: &[SimTime],
+    mut obs: Option<&mut Obs>,
+) {
+    let any_down = server_down.iter().any(|&d| d);
+    let mut files = std::mem::take(&mut data.scratch_files);
+    data.cache.files_with_dirty_before_into(cutoff, &mut files);
+    for &file in &files {
+        if any_down {
+            let down_si = assign_server(file, cfg.num_servers).raw() as usize;
+            if server_down[down_si] {
+                data.metrics.counters.bump(fault::QUEUED_WRITEBACKS);
+                if let Some(obs) = obs.as_deref_mut() {
+                    obs.event(
+                        ObsEventKind::QueuedWriteBack,
+                        now,
+                        data.id.raw(),
+                        down_si as u16,
+                        file.raw(),
+                    );
+                }
+                continue;
+            }
+        }
+        flush_file(
+            data,
+            srv,
+            sizes,
+            cfg,
+            file,
+            now,
+            CleanReason::Delay,
+            san.as_deref_mut(),
+            fstate.as_deref_mut(),
+            server_down,
+            down_until,
+            obs.as_deref_mut(),
+        );
+    }
+    data.scratch_files = files;
+}
+
+/// One Table 4 cache-size sample for this client.
+fn data_sample(data: &mut ClientData, cfg: &Config, now: SimTime, active: bool) {
+    let bytes = data.cache_bytes(cfg.page_size);
+    data.metrics.sample(now, bytes, active);
+}
+
+/// Writes one dirty block of the client back to its server, recording
+/// the cleaning reason and age.
+#[allow(clippy::too_many_arguments)]
+fn writeback_block<A: ServerAccess, M: SizeView>(
+    data: &mut ClientData,
+    srv: &mut A,
+    sizes: &M,
     cfg: &Config,
     key: BlockKey,
     now: SimTime,
@@ -2248,56 +2762,54 @@ fn writeback_block(
     down_until: &[SimTime],
     obs: Option<&mut Obs>,
 ) {
-    let Some(before) = client.cache.clean(key) else {
+    let Some(before) = data.cache.clean(key) else {
         return;
     };
-    let Some(meta) = files.get(key.file) else {
+    let Some(fsize) = sizes.size_of(key.file) else {
         // File deleted with dirty data still cached: cancelled write.
-        client
-            .metrics
+        data.metrics
             .counters
             .add(mc::CANCELLED_BYTES, before.dirty_app_bytes);
         if let Some(san) = san {
-            san.on_writeback(client.id, key, false);
+            san.on_writeback(data.id, key, false);
         }
         return;
     };
     let bs = cfg.block_size;
     let block_start = key.index * bs;
-    let bytes = bs.min(meta.size.saturating_sub(block_start));
+    let bytes = bs.min(fsize.saturating_sub(block_start));
     if bytes == 0 {
-        client
-            .metrics
+        data.metrics
             .counters
             .add(mc::CANCELLED_BYTES, before.dirty_app_bytes);
         if let Some(san) = san {
-            san.on_writeback(client.id, key, false);
+            san.on_writeback(data.id, key, false);
         }
         return;
     }
-    let c = &mut client.metrics.counters;
+    let c = &mut data.metrics.counters;
     c.add(mc::WRITEBACK_BYTES, bytes);
     c.add(srv::FILE_WRITE, bytes);
     count_rpc(c, RpcKind::WriteBlock, bytes);
     c.bump(reason.blocks_key());
     c.add(reason.age_key(), now.since(before.last_write).as_micros());
-    let si = meta.server.raw() as usize;
+    let si = assign_server(key.file, cfg.num_servers).raw() as usize;
     let mut obs = obs;
     if let Some(fstate) = fstate {
         fault_rpc_account(
             fstate,
             server_down,
             down_until,
-            &mut client.metrics.counters,
-            client.id.raw(),
+            &mut data.metrics.counters,
+            data.id.raw(),
             si,
             now,
             obs.as_deref_mut(),
         );
     }
-    servers[si].accept_write(key, bytes, now);
+    srv.accept_write(si, key, bytes, now);
     if let Some(obs) = obs {
-        let ci = client.id.raw();
+        let ci = data.id.raw();
         obs.writeback(now, ci, si as u16, before.dwell(now));
         obs.rpc(
             RpcKind::WriteBlock,
@@ -2309,16 +2821,16 @@ fn writeback_block(
         );
     }
     if let Some(san) = san {
-        san.on_writeback(client.id, key, true);
+        san.on_writeback(data.id, key, true);
     }
 }
 
-/// Flushes every dirty block `client` holds for `file`.
+/// Flushes every dirty block the client holds for `file`.
 #[allow(clippy::too_many_arguments)]
-fn flush_file(
-    client: &mut Client,
-    servers: &mut [Server],
-    files: &FileTable,
+fn flush_file<A: ServerAccess, M: SizeView>(
+    data: &mut ClientData,
+    srv: &mut A,
+    sizes: &M,
     cfg: &Config,
     file: FileId,
     now: SimTime,
@@ -2329,13 +2841,13 @@ fn flush_file(
     down_until: &[SimTime],
     mut obs: Option<&mut Obs>,
 ) {
-    let mut blocks = std::mem::take(&mut client.scratch_blocks);
-    client.cache.dirty_blocks_of_into(file, &mut blocks);
+    let mut blocks = std::mem::take(&mut data.scratch_blocks);
+    data.cache.dirty_blocks_of_into(file, &mut blocks);
     for &index in &blocks {
         writeback_block(
-            client,
-            servers,
-            files,
+            data,
+            srv,
+            sizes,
             cfg,
             BlockKey { file, index },
             now,
@@ -2347,45 +2859,43 @@ fn flush_file(
             obs.as_deref_mut(),
         );
     }
-    client.scratch_blocks = blocks;
+    data.scratch_blocks = blocks;
 }
 
-/// Drops every cached block of `file` from `client`, releasing the pages.
-/// Dirty data is cancelled (never written). `stale` selects the
+/// Drops every cached block of `file` from the client, releasing the
+/// pages. Dirty data is cancelled (never written). `stale` selects the
 /// staleness counter (consistency invalidation) over silent dropping.
-fn invalidate_file(client: &mut Client, file: FileId, stale: bool, mut san: Option<&mut Sanitizer>) {
-    let mut indices = std::mem::take(&mut client.scratch_blocks);
-    client.cache.blocks_of_into(file, &mut indices);
+fn invalidate_file(
+    data: &mut ClientData,
+    file: FileId,
+    stale: bool,
+    mut san: Option<&mut Sanitizer>,
+) {
+    let mut indices = std::mem::take(&mut data.scratch_blocks);
+    data.cache.blocks_of_into(file, &mut indices);
     let n = indices.len() as u64;
     if n == 0 {
-        client.scratch_blocks = indices;
+        data.scratch_blocks = indices;
         return;
     }
     for &index in &indices {
         let key = BlockKey { file, index };
-        if let Some(entry) = client.cache.remove(key) {
+        if let Some(entry) = data.cache.remove(key) {
             if entry.dirty {
-                client
-                    .metrics
+                data.metrics
                     .counters
                     .add(mc::CANCELLED_BYTES, entry.dirty_app_bytes);
             }
             if let Some(san) = san.as_deref_mut() {
-                san.on_drop_block(client.id, key);
+                san.on_drop_block(data.id, key);
             }
         }
     }
-    client.scratch_blocks = indices;
-    client.mem.fc_release(n);
+    data.scratch_blocks = indices;
+    data.mem.fc_release(n);
     if stale {
-        client.metrics.counters.add(consist::STALE_BLOCKS, n);
+        data.metrics.counters.add(consist::STALE_BLOCKS, n);
     }
-}
-
-/// Delete/truncate path: identical mechanics to invalidation, but never
-/// counted as staleness.
-fn drop_file_blocks(client: &mut Client, file: FileId, _cfg: &Config, san: Option<&mut Sanitizer>) {
-    invalidate_file(client, file, false, san);
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ pub mod fs;
 pub mod metrics;
 pub mod obs;
 pub mod ops;
+pub mod parallel;
 pub mod rpc;
 pub mod sanitizer;
 pub mod server;
@@ -50,3 +51,4 @@ pub use config::{Config, ConsistencyPolicy, FaultPlan, ServerOutage};
 pub use metrics::SanitizerStats;
 pub use obs::{Obs, ObsEventKind, ObsReport, SpanKind};
 pub use ops::{AppOp, OpKind, PageClass};
+pub use parallel::ParallelStats;

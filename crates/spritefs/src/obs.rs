@@ -189,6 +189,9 @@ pub struct ObsReport {
     pub events_recorded: u64,
     /// Events lost to ring overwrite.
     pub events_dropped: u64,
+    /// Capacity of the event ring that produced this report (the
+    /// largest, when reports from differently-sized rings merge).
+    pub ring_capacity: u64,
 }
 
 impl Default for ObsReport {
@@ -209,6 +212,7 @@ impl ObsReport {
             event_counts: vec![0; ObsEventKind::ALL.len()],
             events_recorded: 0,
             events_dropped: 0,
+            ring_capacity: RING_CAPACITY as u64,
         }
     }
 
@@ -248,6 +252,16 @@ impl ObsReport {
         }
         self.events_recorded += other.events_recorded;
         self.events_dropped += other.events_dropped;
+        self.ring_capacity = self.ring_capacity.max(other.ring_capacity);
+    }
+
+    /// Percentage of recorded events lost to ring overwrite.
+    pub fn drop_rate_pct(&self) -> f64 {
+        if self.events_recorded == 0 {
+            0.0
+        } else {
+            100.0 * self.events_dropped as f64 / self.events_recorded as f64
+        }
     }
 
     /// One-line verdict used when `--observe` is passed to a report run
@@ -267,12 +281,13 @@ impl ObsReport {
         let mut out = String::new();
         out.push_str("sdfs-obs self-measurement report\n");
         out.push_str(&format!(
-            "  {} = {}, {} = {} (ring capacity {})\n",
+            "  {} = {}, {} = {} ({:.1}% drop rate, ring capacity {})\n",
             metrics::obs::EVENTS_RECORDED,
             self.events_recorded,
             metrics::obs::EVENTS_DROPPED,
             self.events_dropped,
-            RING_CAPACITY,
+            self.drop_rate_pct(),
+            self.ring_capacity,
         ));
         out.push_str("\n  events by kind:\n");
         for k in ObsEventKind::ALL {
@@ -369,6 +384,11 @@ impl ObsReport {
             metrics::obs::REOPEN_SAMPLES,
             self.reopen_latency.count(),
         ));
+        out.push_str(&format!(
+            ",\"obs.ring.capacity\":{},\"obs.ring.drop_rate_pct\":{:.1}",
+            self.ring_capacity,
+            self.drop_rate_pct(),
+        ));
         for k in SpanKind::ALL {
             out.push_str(&format!(",\"{}\":{}", k.metrics_key(), self.span(k).count));
         }
@@ -440,9 +460,18 @@ impl Obs {
     /// Creates a collector with the default ring capacity. All buffers
     /// are allocated here; the record paths never allocate.
     pub fn new() -> Self {
+        Obs::with_capacity(RING_CAPACITY)
+    }
+
+    /// Creates a collector with an explicit event-ring capacity
+    /// ([`crate::Config::obs_ring_capacity`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut report = ObsReport::new();
+        report.ring_capacity = capacity as u64;
         Obs {
-            report: ObsReport::new(),
-            ring: EventRing::with_capacity(RING_CAPACITY),
+            report,
+            ring: EventRing::with_capacity(capacity),
         }
     }
 

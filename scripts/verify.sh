@@ -35,6 +35,10 @@ echo "==> observer: repro --quick --observe all (report on stderr, stdout byte-i
 cmp /tmp/verify_report.txt /tmp/verify_report_obs.txt
 grep -q "obs.events.recorded" /tmp/verify_obs_stderr.txt
 
+echo "==> parallel engine: repro --quick --threads 4 all (byte-identical to threads=1)"
+./target/release/repro --quick --threads 4 all > /tmp/verify_report_par.txt
+cmp /tmp/verify_report.txt /tmp/verify_report_par.txt
+
 echo "==> selftrace: repro --quick selftrace (round trip exact, identities agree)"
 ./target/release/repro --quick selftrace > /tmp/verify_selftrace.txt
 grep -q "round trip exact" /tmp/verify_selftrace.txt
@@ -64,6 +68,17 @@ grep -q '"end_to_end"' "$tmpdir/BENCH_0001.json"
 test -s "$tmpdir/BENCH_0002.json"
 grep -q '"end_to_end_obs_off_secs"' "$tmpdir/BENCH_0002.json"
 grep -q '"report_bytes_identical": true' "$tmpdir/BENCH_0002.json"
+test -s "$tmpdir/BENCH_0003.json"
+grep -q '"records_identical_across_shards": true' "$tmpdir/BENCH_0003.json"
+grep -q '"shard_threads": 2' "$tmpdir/BENCH_0003.json"
+# The decomposition bound is machine-independent (wall clock is not on
+# small hosts): >= 4x available data-plane parallelism at 8 threads.
+python3 - "$tmpdir/BENCH_0003.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+bound = doc["simulate_speedup_bound_max_vs_1"]
+assert bound >= 4.0, f"data-plane speedup bound {bound} < 4.0"
+EOF
 rm -rf "$tmpdir"
 
 echo "verify: OK"

@@ -1,0 +1,205 @@
+//! Equivalence regression for the sharded (parallel) simulation engine.
+//!
+//! The parallel engine splits each cluster's data plane across shard
+//! workers and replays deferred server-cache effects after the join
+//! (`spritefs::parallel`). Its whole contract is *byte identity*: the
+//! rendered campaign, every counter, the sanitizer verdict, and the obs
+//! report must match the sequential engine exactly at any thread count
+//! — including a non-power-of-two, which exercises the remainder shard
+//! (8 clients % 7 workers leaves one worker owning two clients).
+
+use sdfs_core::report;
+use sdfs_core::{Study, StudyConfig};
+use sdfs_simkit::{SimRng, SimTime};
+use sdfs_spritefs::cluster::NullSink;
+use sdfs_spritefs::{Cluster, VecSink};
+use sdfs_workload::Generator;
+
+fn quick_config(threads: usize) -> StudyConfig {
+    let mut cfg = StudyConfig::quick();
+    cfg.workload.activity_scale = 0.3;
+    cfg.threads = threads;
+    cfg
+}
+
+fn render_with_threads(threads: usize) -> String {
+    let study = Study::new(quick_config(threads));
+    let mut results = study.run_all();
+    report::render_all(&mut results)
+}
+
+#[test]
+fn full_campaign_is_byte_identical_at_any_thread_count() {
+    let sequential = render_with_threads(1);
+    for threads in [2, 4, 7] {
+        let sharded = render_with_threads(threads);
+        assert_eq!(
+            sequential, sharded,
+            "threads={threads} must render the identical campaign"
+        );
+    }
+}
+
+#[test]
+fn counters_and_samples_match_the_sequential_engine() {
+    let run = |threads: usize| {
+        let study = Study::new(quick_config(threads));
+        study.run_counters()
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(seq.total, par.total, "merged client counters must match");
+    assert_eq!(seq.per_day, par.per_day, "per-day deltas must match");
+    assert_eq!(
+        seq.servers, par.servers,
+        "server counters must match after event replay"
+    );
+    for (a, b) in seq.clients.iter().zip(par.clients.iter()) {
+        assert_eq!(a.counters, b.counters, "per-client counters must match");
+        assert_eq!(a.samples, b.samples, "cache-size samples must match");
+    }
+}
+
+#[test]
+fn trace_records_match_across_thread_counts() {
+    let run = |threads: usize| {
+        let cfg = quick_config(threads);
+        let spec = cfg.traces[0];
+        let study = Study::new(cfg);
+        study.run_trace_full(spec)
+    };
+    let seq = run(1);
+    for threads in [2, 7] {
+        let par = run(threads);
+        assert_eq!(
+            seq.records, par.records,
+            "threads={threads} must emit identical trace records"
+        );
+        assert_eq!(seq.client_counters, par.client_counters);
+        assert_eq!(seq.server_counters, par.server_counters);
+    }
+}
+
+#[test]
+fn sanitizer_and_obs_summaries_match() {
+    // Sanitized and observed runs force the sequential engine, so their
+    // summaries must be untouched by any `threads` setting — and the
+    // verdict itself must stay clean.
+    let run = |threads: usize| {
+        let mut cfg = quick_config(threads);
+        cfg.cluster.sanitize = true;
+        cfg.cluster.observe = true;
+        let study = Study::new(cfg);
+        let results = study.run_all();
+        (
+            results.sanitizer_summary().expect("sanitized run"),
+            results.obs_summary().expect("observed run"),
+        )
+    };
+    let (san_seq, obs_seq) = run(1);
+    let (san_par, obs_par) = run(4);
+    assert!(san_seq.is_clean(), "sequential sanitizer verdict clean");
+    assert!(san_par.is_clean(), "threads=4 sanitizer verdict clean");
+    assert_eq!(san_seq, san_par, "sanitizer summaries must match");
+    assert_eq!(obs_seq, obs_par, "obs reports must match");
+}
+
+/// Seeded property test: cross-shard consistency actions (recalls and
+/// invalidates, which the coordinator routes into *other* clients'
+/// queues) must land in a stable order. Two clients ping-pong writes and
+/// reads on a shared file under randomized interleavings, which makes
+/// every open trigger recall/invalidate traffic; records and counters
+/// must be identical sequential vs sharded for every seed.
+#[test]
+fn cross_shard_recall_order_is_stable() {
+    use sdfs_spritefs::{AppOp, OpKind};
+    use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, UserId};
+
+    let cfg = quick_config(1).cluster;
+    let shared = FileId(7);
+    let build_ops = |seed: u64| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut ops = Vec::new();
+        let mut t = 1_000_000u64;
+        for round in 0u64..400 {
+            // Alternate writers/readers across all 8 clients so recalls
+            // cross every shard boundary at any worker count.
+            let ci = (rng.next_u64() % 8) as u16;
+            let writer = rng.next_u64() % 2 == 0;
+            t += 50_000 + rng.next_u64() % 200_000;
+            let mk = |kind, time: u64| AppOp {
+                time: SimTime::from_micros(time),
+                client: ClientId(ci),
+                user: UserId(ci as u32),
+                pid: Pid(ci as u32 + 1),
+                migrated: false,
+                kind,
+            };
+            let h = Handle(round + 1);
+            ops.push(mk(
+                OpKind::Open {
+                    fd: h,
+                    file: shared,
+                    mode: if writer {
+                        OpenMode::ReadWrite
+                    } else {
+                        OpenMode::Read
+                    },
+                },
+                t,
+            ));
+            if writer {
+                ops.push(mk(OpKind::Write { fd: h, len: 8_192 }, t + 10_000));
+            } else {
+                ops.push(mk(OpKind::Read { fd: h, len: 8_192 }, t + 10_000));
+            }
+            ops.push(mk(OpKind::Close { fd: h }, t + 20_000));
+        }
+        ops
+    };
+
+    for seed in [3u64, 17, 99] {
+        let run = |threads: usize| {
+            let mut cluster = Cluster::new(cfg.clone(), VecSink::new(cfg.num_servers));
+            cluster.preload(&[(shared, 65_536, false)]);
+            cluster.run_parallel(build_ops(seed), SimTime::from_secs(3_600), threads);
+            let (sink, clients, servers) = cluster.into_parts();
+            (
+                sink.per_server,
+                clients
+                    .into_iter()
+                    .map(|c| c.data.metrics.counters)
+                    .collect::<Vec<_>>(),
+                servers.into_iter().map(|s| s.counters).collect::<Vec<_>>(),
+            )
+        };
+        let seq = run(1);
+        for threads in [2, 4, 7] {
+            let par = run(threads);
+            assert_eq!(
+                seq, par,
+                "seed {seed}, threads {threads}: recall/invalidate order leaked into results"
+            );
+        }
+    }
+}
+
+#[test]
+fn work_division_stats_are_deterministic() {
+    let cfg = quick_config(1);
+    let spec = cfg.traces[0];
+    let run = || {
+        let wl = cfg.workload.for_trace(spec);
+        let mut gen = Generator::new(wl);
+        let mut cluster = Cluster::new(cfg.cluster.clone(), NullSink);
+        cluster.preload(&gen.preload_list());
+        cluster.run_parallel(gen.generate_day(0), SimTime::from_secs(86_400), 3);
+        let stats = cluster.parallel_stats().expect("parallel run").clone();
+        (stats.workers, stats.tasks_per_worker, stats.srv_events)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "task routing must not depend on thread timing");
+    assert_eq!(a.0, 3);
+    assert!(a.1.iter().sum::<u64>() > 0, "the run dispatched tasks");
+}
