@@ -217,6 +217,14 @@ pub struct Config {
     /// cluster fault-free with byte-identical output to builds that
     /// predate the fault subsystem.
     pub faults: Option<FaultPlan>,
+    /// Control-plane consistency fast path: epoch-guarded per-file
+    /// "calm" summaries let opens and closes of unshared files take an
+    /// O(1) decision instead of the full consistency walk. Pure
+    /// optimization — every output byte (trace records, counters,
+    /// sanitizer verdict, obs report) is identical with it off; the
+    /// slow path stays alive as the oracle and `verify.sh` cmp-gates
+    /// the two against each other.
+    pub consistency_fast_path: bool,
 }
 
 impl Default for Config {
@@ -252,6 +260,7 @@ impl Default for Config {
             obs_ring_capacity: crate::obs::RING_CAPACITY,
             fault_skip_invalidate: false,
             faults: None,
+            consistency_fast_path: true,
         }
     }
 }

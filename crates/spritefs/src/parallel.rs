@@ -112,15 +112,43 @@ pub(crate) enum ClientTask {
 
 /// A [`ClientTask`] stamped with its global dispatch id and time.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Task {
+pub(crate) struct SubTask {
     /// Global dispatch sequence number (shared with server events).
     pub id: u64,
     /// Simulated time at dispatch.
     pub now: SimTime,
-    /// The client the task belongs to.
-    pub ci: u16,
     /// The effect.
     pub kind: ClientTask,
+}
+
+/// Maximum sub-tasks coalesced into one dispatch round, bounding how
+/// long the coordinator holds work back from a worker.
+const ROUND_CAP: usize = 64;
+
+/// One dispatch round: a maximal run of consecutive tasks for the same
+/// client in one worker's queue, handed over as a unit. Fast-path
+/// opens/closes dispatch no cross-client traffic, so calm stretches of
+/// a client's ops coalesce into long rounds; slow-path consistency
+/// actions (recalls, invalidates) break runs by interleaving other
+/// clients' tasks. Purely transport + accounting: every sub-task keeps
+/// its own global dispatch id, so server-event replay order is
+/// *identical* to uncoalesced dispatch by construction.
+#[derive(Debug)]
+pub(crate) struct Task {
+    /// The client every sub-task belongs to.
+    pub ci: u16,
+    /// The round's sub-tasks, in dispatch order.
+    pub kind: TaskKind,
+}
+
+/// Round payload: the single-task case avoids a heap allocation (most
+/// rounds are singletons — daemon ticks and samples alternate clients).
+#[derive(Debug)]
+pub(crate) enum TaskKind {
+    /// A singleton round.
+    One(SubTask),
+    /// A coalesced round of two or more sub-tasks.
+    Round(Vec<SubTask>),
 }
 
 /// A deferred server-cache effect, replayed after the workers join.
@@ -203,8 +231,19 @@ pub struct ParallelStats {
     pub workers: usize,
     /// Data-plane tasks executed by each worker.
     pub tasks_per_worker: Vec<u64>,
+    /// Dispatch rounds handed to each worker (consecutive same-client
+    /// tasks coalesce into one round, up to a cap).
+    pub rounds_per_worker: Vec<u64>,
     /// Deferred server-cache events replayed after the join.
     pub srv_events: u64,
+    /// Control-plane operations the coordinator walked during the run
+    /// (its busy share of the split, vs the workers' task counts).
+    pub coordinator_ops: u64,
+    /// Consistency fast-path admissions during the run (opens + closes;
+    /// zero when [`crate::Config::consistency_fast_path`] is off).
+    pub fastpath_hits: u64,
+    /// Slow-path fallbacks during the run while the fast path was on.
+    pub fastpath_misses: u64,
 }
 
 impl ParallelStats {
@@ -213,10 +252,41 @@ impl ParallelStats {
         self.tasks_per_worker.iter().sum()
     }
 
-    /// The busiest worker's task count — the data-plane critical path.
+    /// The busiest worker's task count.
     pub fn max_worker_tasks(&self) -> u64 {
         self.tasks_per_worker.iter().copied().max().unwrap_or(0)
     }
+
+    /// Total dispatch rounds across all workers.
+    pub fn total_rounds(&self) -> u64 {
+        self.rounds_per_worker.iter().sum()
+    }
+
+    /// The busiest worker's round count — the data-plane critical path
+    /// in dispatch-round units.
+    pub fn max_worker_rounds(&self) -> u64 {
+        self.rounds_per_worker.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fast-path hit rate in percent over the run's open/close
+    /// decisions (0 when the fast path was off or nothing ran).
+    pub fn fastpath_hit_rate_pct(&self) -> f64 {
+        let total = self.fastpath_hits + self.fastpath_misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.fastpath_hits as f64 / total as f64
+        }
+    }
+}
+
+/// An open (not yet sealed) dispatch round for one worker.
+#[derive(Debug, Default)]
+struct PendingRound {
+    /// The round's client (meaningful while `subs` is non-empty).
+    ci: u16,
+    /// Accumulated sub-tasks; empty = no round open.
+    subs: Vec<SubTask>,
 }
 
 /// Coordinator-side state of a queued (parallel) run.
@@ -227,6 +297,8 @@ pub(crate) struct QueuedState {
     queues: Vec<Arc<TaskQueue>>,
     /// Per-worker batch buffers awaiting a push.
     bufs: Vec<Vec<Task>>,
+    /// Per-worker open dispatch round awaiting a seal.
+    pending: Vec<PendingRound>,
     /// Next global dispatch id (shared by tasks and server events).
     next_id: u64,
     /// Control-path client counters, merged into the clients at join
@@ -237,6 +309,8 @@ pub(crate) struct QueuedState {
     pub events: Vec<SrvEvent>,
     /// Tasks dispatched to each worker, for [`ParallelStats`].
     tasks: Vec<u64>,
+    /// Dispatch rounds sealed for each worker, for [`ParallelStats`].
+    rounds: Vec<u64>,
 }
 
 impl QueuedState {
@@ -245,25 +319,50 @@ impl QueuedState {
         QueuedState {
             queues,
             bufs: (0..nworkers).map(|_| Vec::with_capacity(BATCH)).collect(),
+            pending: (0..nworkers).map(|_| PendingRound::default()).collect(),
             next_id: 0,
             ctl: (0..nclients).map(|_| CounterSet::new()).collect(),
             events: Vec::new(),
             tasks: vec![0; nworkers],
+            rounds: vec![0; nworkers],
         }
     }
 
     /// Enqueues one task for client `ci`, stamping the next dispatch id.
+    /// Consecutive tasks for the same client coalesce into the worker's
+    /// open dispatch round; a task for a different client of the same
+    /// worker seals it first.
     pub(crate) fn push_task(&mut self, ci: usize, now: SimTime, kind: ClientTask) {
         let id = self.next_id;
         self.next_id += 1;
         let w = ci % self.queues.len();
         self.tasks[w] += 1;
-        self.bufs[w].push(Task {
-            id,
-            now,
-            ci: ci as u16,
-            kind,
-        });
+        let p = &mut self.pending[w];
+        if !p.subs.is_empty() && (p.ci as usize != ci || p.subs.len() >= ROUND_CAP) {
+            self.seal(w);
+        }
+        let p = &mut self.pending[w];
+        p.ci = ci as u16;
+        p.subs.push(SubTask { id, now, kind });
+    }
+
+    /// Seals worker `w`'s open dispatch round, if any, into its batch
+    /// buffer. Singleton rounds keep the pending buffer's allocation.
+    fn seal(&mut self, w: usize) {
+        let p = &mut self.pending[w];
+        let task = match p.subs.len() {
+            0 => return,
+            1 => Task {
+                ci: p.ci,
+                kind: TaskKind::One(p.subs.pop().expect("len checked")),
+            },
+            _ => Task {
+                ci: p.ci,
+                kind: TaskKind::Round(std::mem::take(&mut p.subs)),
+            },
+        };
+        self.rounds[w] += 1;
+        self.bufs[w].push(task);
         if self.bufs[w].len() >= BATCH {
             let batch = std::mem::replace(&mut self.bufs[w], Vec::with_capacity(BATCH));
             self.queues[w].push_batch(batch);
@@ -285,6 +384,7 @@ impl QueuedState {
 
     fn flush_all(&mut self) {
         for w in 0..self.queues.len() {
+            self.seal(w);
             if !self.bufs[w].is_empty() {
                 let batch = std::mem::take(&mut self.bufs[w]);
                 self.queues[w].push_batch(batch);
@@ -369,34 +469,48 @@ fn worker_main(
         cur_id: 0,
         subseq: 0,
     };
+    let run_sub = |ci: usize,
+                       sub: &SubTask,
+                       datas: &mut Vec<Option<Box<ClientData>>>,
+                       sizes: &mut Vec<FastMap<FileId, u64>>,
+                       log: &mut EventLog| {
+        match sub.kind {
+            ClientTask::Write { file, new_size, .. } => {
+                sizes[ci].insert(file, new_size);
+            }
+            ClientTask::DropFile { file } => {
+                sizes[ci].remove(&file);
+            }
+            _ => {}
+        }
+        log.cur_id = sub.id;
+        log.subseq = 0;
+        let data = datas[ci].as_deref_mut().expect("task routed to owning worker");
+        run_client_task(
+            data,
+            log,
+            &sizes[ci],
+            cfg,
+            sub.now,
+            &sub.kind,
+            None,
+            None,
+            &server_down,
+            &down_until,
+            None,
+        );
+    };
     while let Some(batch) = queue.pop_batch() {
         for task in &batch {
             let ci = task.ci as usize;
-            match task.kind {
-                ClientTask::Write { file, new_size, .. } => {
-                    sizes[ci].insert(file, new_size);
+            match &task.kind {
+                TaskKind::One(sub) => run_sub(ci, sub, &mut datas, &mut sizes, &mut log),
+                TaskKind::Round(subs) => {
+                    for sub in subs {
+                        run_sub(ci, sub, &mut datas, &mut sizes, &mut log);
+                    }
                 }
-                ClientTask::DropFile { file } => {
-                    sizes[ci].remove(&file);
-                }
-                _ => {}
             }
-            log.cur_id = task.id;
-            log.subseq = 0;
-            let data = datas[ci].as_deref_mut().expect("task routed to owning worker");
-            run_client_task(
-                data,
-                &mut log,
-                &sizes[ci],
-                cfg,
-                task.now,
-                &task.kind,
-                None,
-                None,
-                &server_down,
-                &down_until,
-                None,
-            );
         }
     }
     WorkerResult {
@@ -442,6 +556,8 @@ impl<S: TraceSink> Cluster<S> {
             .collect();
         self.route = Route::Queued(Box::new(QueuedState::new(queues.clone(), nclients)));
         let cfg = self.cfg.clone();
+        let ops_before = self.ops_applied();
+        let fp_before = self.fastpath;
 
         let (mut qstate, results) = std::thread::scope(|s| {
             let handles: Vec<_> = shards
@@ -484,10 +600,15 @@ impl<S: TraceSink> Cluster<S> {
             self.clients[ci].data.metrics.counters.merge(ctl);
         }
         streams.push(std::mem::take(&mut qstate.events));
+        let fp = self.fastpath;
         self.last_parallel = Some(ParallelStats {
             workers: nworkers,
             tasks_per_worker: std::mem::take(&mut qstate.tasks),
+            rounds_per_worker: std::mem::take(&mut qstate.rounds),
             srv_events: streams.iter().map(|s| s.len() as u64).sum(),
+            coordinator_ops: self.ops_applied() - ops_before,
+            fastpath_hits: fp.hits() - fp_before.hits(),
+            fastpath_misses: fp.misses() - fp_before.misses(),
         });
 
         // Replay the deferred server-cache effects in exact dispatch

@@ -1,0 +1,318 @@
+//! Equivalence tests for the epoch-guarded consistency fast path.
+//!
+//! The fast path must be a pure optimization: with
+//! `consistency_fast_path` on or off, every trace record, every
+//! counter, and every sanitizer verdict must be identical under every
+//! consistency policy — including under conflict storms that thrash
+//! the calm summaries with write-sharing flips, truncates, deletes,
+//! client restarts, and server crashes. These tests drive the same op
+//! stream through both configurations and compare the complete
+//! observable state.
+
+use sdfs_simkit::{CounterSet, SimDuration, SimRng, SimTime};
+use sdfs_spritefs::metrics::SanitizerStats;
+use sdfs_spritefs::{
+    AppOp, Cluster, Config, ConsistencyPolicy, FastPathStats, OpKind, VecSink,
+};
+use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, Record, ServerId, UserId};
+
+const POLICIES: [ConsistencyPolicy; 4] = [
+    ConsistencyPolicy::Sprite,
+    ConsistencyPolicy::SpriteModified,
+    ConsistencyPolicy::Token,
+    ConsistencyPolicy::Polling { interval_secs: 10 },
+];
+
+/// Cluster-level events that are not application ops, fired just before
+/// the op at the given index.
+#[derive(Debug, Clone, Copy)]
+enum Shock {
+    ClientCrash(u16),
+    ServerCrash,
+    ServerRecover,
+}
+
+/// Everything observable about a finished run.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    records: Vec<Vec<Record>>,
+    client_counters: Vec<CounterSet>,
+    server_counters: Vec<CounterSet>,
+    sanitizer: Option<SanitizerStats>,
+}
+
+fn run_stream(
+    policy: ConsistencyPolicy,
+    fast: bool,
+    sanitize: bool,
+    num_clients: u16,
+    ops: &[AppOp],
+    shocks: &[(usize, Shock)],
+) -> (Outcome, FastPathStats) {
+    let mut cfg = Config::small();
+    cfg.consistency = policy;
+    cfg.consistency_fast_path = fast;
+    cfg.sanitize = sanitize;
+    cfg.num_clients = num_clients;
+    let num_servers = cfg.num_servers;
+    let mut cluster = Cluster::new(cfg, VecSink::new(num_servers));
+    let mut shock_i = 0;
+    for (i, op) in ops.iter().enumerate() {
+        while shock_i < shocks.len() && shocks[shock_i].0 == i {
+            match shocks[shock_i].1 {
+                Shock::ClientCrash(c) => {
+                    cluster.crash_client(ClientId(c));
+                }
+                Shock::ServerCrash => {
+                    cluster.crash_server(ServerId(0));
+                }
+                Shock::ServerRecover => {
+                    cluster.recover_server(ServerId(0));
+                }
+            }
+            shock_i += 1;
+        }
+        cluster.apply(op);
+    }
+    // Bring the server back and drain the write-back daemon so delayed
+    // writes land in the record stream.
+    cluster.recover_server(ServerId(0));
+    let end = cluster.now() + SimDuration::from_secs(120);
+    cluster.run(std::iter::empty(), end);
+    let fp = cluster.fastpath_stats();
+    let sanitizer = cluster.take_sanitizer_stats();
+    let client_counters = cluster
+        .clients()
+        .iter()
+        .map(|c| c.metrics.counters.clone())
+        .collect();
+    let server_counters = cluster
+        .servers()
+        .iter()
+        .map(|s| s.counters.clone())
+        .collect();
+    let records = cluster.into_sink().per_server;
+    (
+        Outcome {
+            records,
+            client_counters,
+            server_counters,
+            sanitizer,
+        },
+        fp,
+    )
+}
+
+fn mk(t: u64, client: u16, kind: OpKind) -> AppOp {
+    AppOp {
+        time: SimTime::from_micros(t * 500),
+        client: ClientId(client),
+        user: UserId(client as u32),
+        pid: Pid(1),
+        migrated: false,
+        kind,
+    }
+}
+
+/// A deterministic mixed stream: calm single-client reopen traffic
+/// (where the fast path should hit) plus enough cross-client sharing,
+/// truncates, and deletes to exercise the slow path and the epoch
+/// bumps.
+fn mixed_stream() -> Vec<AppOp> {
+    let mut ops = Vec::new();
+    let mut t = 0u64;
+    let mut tick = || {
+        t += 1;
+        t
+    };
+    for f in 0..8u64 {
+        ops.push(mk(tick(), 0, OpKind::Create { file: FileId(f), is_dir: false }));
+    }
+    let mut fd = 1u64;
+    // Calm phase: client 1 re-reads file 0 repeatedly.
+    for _ in 0..200 {
+        let h = Handle(fd);
+        fd += 1;
+        ops.push(mk(tick(), 1, OpKind::Open { fd: h, file: FileId(0), mode: OpenMode::Read }));
+        ops.push(mk(tick(), 1, OpKind::Read { fd: h, len: 4096 }));
+        ops.push(mk(tick(), 1, OpKind::Close { fd: h }));
+    }
+    // Temp-file phase: client 2 creates, writes, deletes private files.
+    for i in 0..100u64 {
+        let file = FileId(100 + i);
+        let h = Handle(fd);
+        fd += 1;
+        ops.push(mk(tick(), 2, OpKind::Create { file, is_dir: false }));
+        ops.push(mk(tick(), 2, OpKind::Open { fd: h, file, mode: OpenMode::Write }));
+        ops.push(mk(tick(), 2, OpKind::Write { fd: h, len: 2048 }));
+        ops.push(mk(tick(), 2, OpKind::Close { fd: h }));
+        ops.push(mk(tick(), 2, OpKind::Delete { file }));
+    }
+    // Sharing phase: clients 0 and 3 alternate writes to file 1 (forces
+    // recalls / cache disable / token revocation depending on policy),
+    // then client 1 reads it back.
+    for round in 0..50 {
+        for c in [0u16, 3] {
+            let h = Handle(fd);
+            fd += 1;
+            ops.push(mk(tick(), c, OpKind::Open { fd: h, file: FileId(1), mode: OpenMode::Write }));
+            ops.push(mk(tick(), c, OpKind::Write { fd: h, len: 4096 }));
+            ops.push(mk(tick(), c, OpKind::Close { fd: h }));
+        }
+        if round % 10 == 0 {
+            ops.push(mk(tick(), 0, OpKind::Truncate { file: FileId(2) }));
+        }
+        let h = Handle(fd);
+        fd += 1;
+        ops.push(mk(tick(), 1, OpKind::Open { fd: h, file: FileId(1), mode: OpenMode::Read }));
+        ops.push(mk(tick(), 1, OpKind::Read { fd: h, len: 4096 }));
+        ops.push(mk(tick(), 1, OpKind::Close { fd: h }));
+    }
+    ops
+}
+
+/// Fast path on and off produce byte-identical observable state under
+/// every consistency policy, and the fast path actually fires where it
+/// should.
+#[test]
+fn fastpath_is_byte_identical_across_policies() {
+    let ops = mixed_stream();
+    for policy in POLICIES {
+        let (on, fp_on) = run_stream(policy, true, true, 4, &ops, &[]);
+        let (off, fp_off) = run_stream(policy, false, true, 4, &ops, &[]);
+        assert_eq!(on, off, "fast path changed observable state under {policy:?}");
+        assert_eq!(
+            fp_off.hits(),
+            0,
+            "fast path fired with the toggle off under {policy:?}"
+        );
+        assert!(
+            fp_on.hits() > 0,
+            "fast path never fired on calm traffic under {policy:?}"
+        );
+        // The calm reopen phase alone should give the sprite family a
+        // substantial hit rate.
+        if matches!(policy, ConsistencyPolicy::Sprite | ConsistencyPolicy::SpriteModified) {
+            assert!(
+                fp_on.hit_rate_pct() > 30.0,
+                "unexpectedly low hit rate {:.1}% under {policy:?}",
+                fp_on.hit_rate_pct()
+            );
+        }
+        // The sanitizer ran and saw nothing under the strong policies.
+        let san = on.sanitizer.expect("sanitizer enabled");
+        assert!(san.ops_checked > 0);
+        if !matches!(policy, ConsistencyPolicy::Polling { .. }) {
+            assert_eq!(san.stale_reads, 0, "stale read under {policy:?}");
+            assert_eq!(san.multi_dirty, 0);
+            assert_eq!(san.accounting, 0);
+        }
+    }
+}
+
+/// A seeded conflict storm: rapid write-sharing flips with truncates,
+/// deletes, client restarts, and server crash/recovery mixed in. The
+/// epoch guard must never let a stale calm summary leak a fast-path
+/// decision — proven by exact equality with the slow path, which
+/// re-derives every decision from first principles.
+#[test]
+fn conflict_storm_never_admits_stale_decisions() {
+    for seed in [3u64, 17, 99] {
+        let (ops, shocks) = storm_stream(seed, 400);
+        for policy in POLICIES {
+            let (on, fp_on) = run_stream(policy, true, true, 8, &ops, &shocks);
+            let (off, _) = run_stream(policy, false, true, 8, &ops, &shocks);
+            assert_eq!(
+                on, off,
+                "storm divergence: seed {seed} policy {policy:?} (hits {} misses {})",
+                fp_on.hits(),
+                fp_on.misses()
+            );
+        }
+    }
+}
+
+/// Generates one storm: 8 clients, 6 hot files, `rounds` bursts chosen
+/// by the workspace's deterministic [`SimRng`].
+fn storm_stream(seed: u64, rounds: usize) -> (Vec<AppOp>, Vec<(usize, Shock)>) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let n_files = 6u64;
+    let mut ops = Vec::new();
+    let mut shocks = Vec::new();
+    let mut t = 0u64;
+    let tick = |t: &mut u64| {
+        *t += 1;
+        *t
+    };
+    let mut exists = [true; 6];
+    for f in 0..n_files {
+        ops.push(mk(tick(&mut t), 0, OpKind::Create { file: FileId(f), is_dir: false }));
+    }
+    let mut fd = 1u64;
+    let mut server_up = true;
+    for _ in 0..rounds {
+        match rng.below(12) {
+            0..=3 => {
+                // Write-share flip: two clients write the same file
+                // back to back.
+                let f = rng.below(n_files);
+                if !exists[f as usize] {
+                    continue;
+                }
+                for _ in 0..2 {
+                    let c = rng.below(8) as u16;
+                    let h = Handle(fd);
+                    fd += 1;
+                    ops.push(mk(tick(&mut t), c, OpKind::Open { fd: h, file: FileId(f), mode: OpenMode::Write }));
+                    ops.push(mk(tick(&mut t), c, OpKind::Write { fd: h, len: 4096 + rng.below(8192) }));
+                    ops.push(mk(tick(&mut t), c, OpKind::Close { fd: h }));
+                }
+            }
+            4..=7 => {
+                // Calm burst: one client re-reads a file a few times —
+                // the storm interleaves calm periods so the fast path
+                // keeps re-arming and must keep re-invalidating.
+                let c = rng.below(8) as u16;
+                let f = rng.below(n_files);
+                if !exists[f as usize] {
+                    continue;
+                }
+                for _ in 0..3 {
+                    let h = Handle(fd);
+                    fd += 1;
+                    ops.push(mk(tick(&mut t), c, OpKind::Open { fd: h, file: FileId(f), mode: OpenMode::Read }));
+                    ops.push(mk(tick(&mut t), c, OpKind::Read { fd: h, len: 4096 }));
+                    ops.push(mk(tick(&mut t), c, OpKind::Close { fd: h }));
+                }
+            }
+            8 => {
+                let f = rng.below(n_files);
+                if exists[f as usize] {
+                    ops.push(mk(tick(&mut t), 0, OpKind::Truncate { file: FileId(f) }));
+                }
+            }
+            9 => {
+                let f = rng.below(n_files);
+                if exists[f as usize] {
+                    ops.push(mk(tick(&mut t), 0, OpKind::Delete { file: FileId(f) }));
+                    exists[f as usize] = false;
+                } else {
+                    ops.push(mk(tick(&mut t), 0, OpKind::Create { file: FileId(f), is_dir: false }));
+                    exists[f as usize] = true;
+                }
+            }
+            10 => {
+                shocks.push((ops.len(), Shock::ClientCrash(rng.below(8) as u16)));
+            }
+            _ => {
+                if server_up {
+                    shocks.push((ops.len(), Shock::ServerCrash));
+                } else {
+                    shocks.push((ops.len(), Shock::ServerRecover));
+                }
+                server_up = !server_up;
+            }
+        }
+    }
+    (ops, shocks)
+}

@@ -39,6 +39,25 @@ echo "==> parallel engine: repro --quick --threads 4 all (byte-identical to thre
 ./target/release/repro --quick --threads 4 all > /tmp/verify_report_par.txt
 cmp /tmp/verify_report.txt /tmp/verify_report_par.txt
 
+echo "==> fast path off: repro --quick --no-fastpath all (byte-identical to fast path on)"
+./target/release/repro --quick --no-fastpath all > /tmp/verify_report_nofp.txt
+cmp /tmp/verify_report.txt /tmp/verify_report_nofp.txt
+
+echo "==> fast path off + sanitize/threads/faults (byte-identical across the matrix)"
+./target/release/repro --quick --no-fastpath --sanitize all > /tmp/verify_report_nofp_san.txt
+cmp /tmp/verify_report.txt /tmp/verify_report_nofp_san.txt
+./target/release/repro --quick --no-fastpath --threads 4 all > /tmp/verify_report_nofp_par.txt
+cmp /tmp/verify_report.txt /tmp/verify_report_nofp_par.txt
+./target/release/repro --quick --sanitize faults > /tmp/verify_faults_fp.txt
+./target/release/repro --quick --no-fastpath --sanitize faults > /tmp/verify_faults_nofp.txt
+cmp /tmp/verify_faults_fp.txt /tmp/verify_faults_nofp.txt
+./target/release/repro --quick --no-fastpath --observe all > /tmp/verify_report_nofp_obs.txt 2> /tmp/verify_nofp_obs_stderr.txt
+cmp /tmp/verify_report.txt /tmp/verify_report_nofp_obs.txt
+# The obs report is deterministic except the wall-clock timing line.
+grep -v "study complete in" /tmp/verify_obs_stderr.txt > /tmp/verify_obs_a.txt
+grep -v "study complete in" /tmp/verify_nofp_obs_stderr.txt > /tmp/verify_obs_b.txt
+cmp /tmp/verify_obs_a.txt /tmp/verify_obs_b.txt
+
 echo "==> selftrace: repro --quick selftrace (round trip exact, identities agree)"
 ./target/release/repro --quick selftrace > /tmp/verify_selftrace.txt
 grep -q "round trip exact" /tmp/verify_selftrace.txt
@@ -78,6 +97,26 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 bound = doc["simulate_speedup_bound_max_vs_1"]
 assert bound >= 4.0, f"data-plane speedup bound {bound} < 4.0"
+EOF
+test -s "$tmpdir/BENCH_0004.json"
+grep -q '"records_identical_on_vs_off": true' "$tmpdir/BENCH_0004.json"
+python3 - "$tmpdir/BENCH_0004.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+# The dispatch-round bound must beat the task-based bound of the
+# previous PR (7.07 at 8 threads): coalescing shortens the critical
+# path in coordinator hand-offs.
+bound = doc["data_plane_speedup_bound"]
+assert bound > doc["data_plane_speedup_bound_prev_pr"], f"round bound {bound} did not beat prev"
+# The calm summaries must carry most of the open/close traffic.
+hit = doc["fastpath_hit_rate_pct"]
+assert hit > 50.0, f"fast-path hit rate {hit}% too low"
+# The open/close decision path — the code the fast path replaces —
+# must be at least 1.3x faster. (The full-campaign wall ratio is
+# diluted by data-plane block work that is byte-identical on both
+# sides by design, so it is reported but not gated.)
+dec = doc["open_close_decision_speedup_on_vs_off"]
+assert dec >= 1.3, f"open/close decision speedup {dec} < 1.3"
 EOF
 rm -rf "$tmpdir"
 
