@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--quick] [--traces N] [--days N] [--threads N|auto] [--sanitize]
-//!       [--observe] [--no-fastpath]
+//!       [--observe] [--racecheck] [--no-fastpath]
 //!       [all|table1|table2|table3|table10|table11|table12|cache|
 //!        figures [--csv DIR]|bsd|check|lint [--root DIR]|
 //!        ablations|extensions|faults|latency|gen-trace OUT|
@@ -67,7 +67,7 @@ const KNOWN_SUBCOMMANDS: &[&str] = &[
 
 /// The usage synopsis printed on an unknown subcommand.
 fn usage() -> String {
-    "usage: repro [--quick] [--traces N] [--days N] [--threads N|auto] [--sanitize] [--observe] [--no-fastpath] [SUBCOMMAND]\n\
+    "usage: repro [--quick] [--traces N] [--days N] [--threads N|auto] [--sanitize] [--observe] [--racecheck] [--no-fastpath] [SUBCOMMAND]\n\
      \n\
      subcommands:\n\
      \x20 all                 full study, every table and figure (default)\n\
@@ -77,7 +77,7 @@ fn usage() -> String {
      \x20 fig1..fig4          alias for figures\n\
      \x20 bsd                 1985 BSD study comparison\n\
      \x20 check               reproduction scorecard (exit 1 on failure)\n\
-     \x20 lint [--root DIR]   determinism lints over workspace sources\n\
+     \x20 lint [--root DIR] [--audit]  determinism + plane-safety lints (--audit lists suppressions)\n\
      \x20 ablations           write-back delay ablation\n\
      \x20 extensions          crash-exposure and policy-matrix studies\n\
      \x20 faults              availability under server failure\n\
@@ -121,8 +121,11 @@ fn main() {
     }
 
     if what == "lint" {
-        // `repro lint [--root DIR]`: run the determinism lints over the
-        // workspace sources. Exits 1 if any rule fires.
+        // `repro lint [--root DIR] [--audit]`: run the determinism
+        // lints and the PlaneCheck analysis over the workspace sources.
+        // Exits 1 if any rule fires. `--audit` instead lists every
+        // `lint:allow` site with its staleness verdict (stale
+        // suppressions are warnings, not failures).
         let root = args
             .iter()
             .position(|a| a == "--root")
@@ -131,9 +134,32 @@ fn main() {
             .unwrap_or_else(|| {
                 std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
             });
+        if args.iter().any(|a| a == "--audit") {
+            match sdfs_lint::audit_workspace(&root) {
+                Ok(sites) => {
+                    for s in &sites {
+                        println!("{s}");
+                    }
+                    let stale = sites.iter().filter(|s| s.stale).count();
+                    eprintln!(
+                        "repro lint --audit: {} suppression site(s), {} stale",
+                        sites.len(),
+                        stale
+                    );
+                }
+                Err(e) => {
+                    eprintln!("repro lint: cannot walk {}: {e}", root.display());
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
+        let plane = sdfs_lint::workspace_worker_plane(&root)
+            .map(|wp| wp.len())
+            .unwrap_or(0);
         match sdfs_lint::lint_workspace(&root) {
             Ok(violations) if violations.is_empty() => {
-                eprintln!("repro lint: clean");
+                eprintln!("repro lint: clean ({plane} worker-plane fns checked)");
             }
             Ok(violations) => {
                 for v in &violations {
@@ -206,6 +232,12 @@ fn main() {
     // to stderr, stdout untouched. `repro obs` implies it.
     let observe = args.iter().any(|a| a == "--observe") || what == "obs";
     cfg.cluster.observe = observe;
+    // `--racecheck` runs the PlaneCheck dynamic happens-before checker
+    // on the parallel engine (it does NOT force the sequential
+    // fallback). Verdict to stderr, stdout byte-identical, exit 1 on
+    // any violation.
+    let racecheck = args.iter().any(|a| a == "--racecheck");
+    cfg.cluster.racecheck = racecheck;
     let study = Study::new(cfg);
 
     if what == "bench" {
@@ -419,6 +451,17 @@ fn main() {
         match results.obs_summary() {
             Some(o) => eprint!("{}", o.render()),
             None => eprintln!("observer: no report collected"),
+        }
+    }
+    if racecheck {
+        match results.racecheck_summary() {
+            Some(rc) => {
+                eprintln!("{}", rc.render());
+                if !rc.is_clean() {
+                    std::process::exit(1);
+                }
+            }
+            None => eprintln!("racecheck: no verdict collected"),
         }
     }
 }

@@ -315,6 +315,28 @@ pub fn scorecard(results: &mut StudyResults) -> Scorecard {
         0.0,
         0.0,
     );
+
+    // --- PlaneCheck dynamic race checker ---
+    // Present only when the study ran with `racecheck` set, so a plain
+    // `repro check` renders the scorecard unchanged. The band demands
+    // both a clean verdict and evidence that the checker actually ran
+    // (at least one guarded access and one ordering edge).
+    if let Some(rc) = results.racecheck_summary() {
+        add(
+            "racecheck violations (plane + ordering)",
+            "no worker touches coordinator state",
+            rc.violations() as f64,
+            0.0,
+            0.0,
+        );
+        add(
+            "racecheck coverage (accesses + orderings)",
+            "guards and happens-before edges fired",
+            (rc.accesses_checked + rc.orderings_checked) as f64,
+            1.0,
+            f64::INFINITY,
+        );
+    }
     sc
 }
 

@@ -13,7 +13,7 @@
 use sdfs_simkit::{CounterSet, SimDuration, SimTime};
 use sdfs_spritefs::cluster::NullSink;
 use sdfs_spritefs::metrics::MachineMetrics;
-use sdfs_spritefs::{Cluster, Config, ObsReport, SanitizerStats, VecSink};
+use sdfs_spritefs::{Cluster, Config, ObsReport, RaceStats, SanitizerStats, VecSink};
 use sdfs_trace::merge::merge_vecs;
 use sdfs_trace::{Record, TraceStats};
 use sdfs_workload::{Generator, TraceSpec, WorkloadConfig};
@@ -121,6 +121,10 @@ pub struct TraceAnalysis {
     /// Self-measurement report for the cluster run that produced this
     /// trace (`None` unless the study ran with `observe` set).
     pub obs: Option<ObsReport>,
+    /// PlaneCheck race-checker verdict for the cluster run that
+    /// produced this trace (`None` unless the study ran with
+    /// `racecheck` set).
+    pub racecheck: Option<RaceStats>,
 }
 
 /// Everything one trace run produces besides the analysis: the merged
@@ -134,6 +138,8 @@ pub struct TraceRun {
     pub sanitizer: Option<SanitizerStats>,
     /// Self-measurement report (`None` unless `cluster.observe` is set).
     pub obs: Option<ObsReport>,
+    /// Race-checker verdict (`None` unless `cluster.racecheck` is set).
+    pub racecheck: Option<RaceStats>,
     /// Final per-client counters.
     pub client_counters: Vec<CounterSet>,
     /// Final per-server counters.
@@ -157,6 +163,9 @@ pub struct CounterData {
     /// Self-measurement report for the counter campaign (`None` unless
     /// the study ran with `observe` set).
     pub obs: Option<ObsReport>,
+    /// PlaneCheck race-checker verdict for the counter campaign
+    /// (`None` unless the study ran with `racecheck` set).
+    pub racecheck: Option<RaceStats>,
 }
 
 /// All study outputs.
@@ -242,11 +251,13 @@ impl Study {
         cluster.run_parallel(ops, SimTime::from_secs(86_400), self.cfg.threads);
         let sanitizer = cluster.take_sanitizer_stats();
         let obs = cluster.take_obs_report();
+        let racecheck = cluster.take_race_stats();
         let (sink, clients, servers) = cluster.into_parts();
         TraceRun {
             records: merge_vecs(sink.per_server),
             sanitizer,
             obs,
+            racecheck,
             client_counters: clients.into_iter().map(|c| c.data.metrics.counters).collect(),
             server_counters: servers.into_iter().map(|s| s.counters).collect(),
         }
@@ -270,6 +281,7 @@ impl Study {
             table12: fused.table12,
             sanitizer: None,
             obs: None,
+            racecheck: None,
         }
     }
 
@@ -288,6 +300,7 @@ impl Study {
             table12: table12(records),
             sanitizer: None,
             obs: None,
+            racecheck: None,
         }
     }
 
@@ -321,6 +334,7 @@ impl Study {
                     let mut analysis = self.analyze_trace(spec, &run.records);
                     analysis.sanitizer = run.sanitizer;
                     analysis.obs = run.obs;
+                    analysis.racecheck = run.racecheck;
                     *slots[i].lock().expect("slot lock poisoned") = Some(analysis);
                 });
             }
@@ -362,6 +376,7 @@ impl Study {
         }
         let sanitizer = cluster.take_sanitizer_stats();
         let obs = cluster.take_obs_report();
+        let racecheck = cluster.take_race_stats();
         let (_sink, clients, servers) = cluster.into_parts();
         let metrics: Vec<MachineMetrics> = clients.into_iter().map(|c| c.data.metrics).collect();
         let mut total = CounterSet::new();
@@ -375,6 +390,7 @@ impl Study {
             servers: servers.into_iter().map(|s| s.counters).collect(),
             sanitizer,
             obs,
+            racecheck,
         }
     }
 
@@ -435,6 +451,25 @@ impl StudyResults {
             match &mut acc {
                 Some(a) => a.merge(s),
                 None => acc = Some(s.clone()),
+            }
+        }
+        acc
+    }
+
+    /// Merged PlaneCheck race-checker verdict across the trace and
+    /// counter campaigns (`None` unless the study ran with `racecheck`
+    /// set).
+    pub fn racecheck_summary(&self) -> Option<RaceStats> {
+        let mut acc: Option<RaceStats> = None;
+        for r in self
+            .traces
+            .iter()
+            .filter_map(|t| t.racecheck.as_ref())
+            .chain(self.counters.racecheck.as_ref())
+        {
+            match &mut acc {
+                Some(a) => a.merge(r),
+                None => acc = Some(r.clone()),
             }
         }
         acc

@@ -1,0 +1,259 @@
+//! Intra-workspace call graph and field-access graph over parsed items.
+//!
+//! Built per crate from every file's [`crate::parse::ParsedFile`]. The
+//! graph is name-resolved: a call site `name(..)` or `recv.name(..)`
+//! binds to every same-named function defined in the analyzed file set
+//! (the plane analysis then narrows method-call candidates — see
+//! [`crate::planes`]). All storage is sorted, so reports derived from
+//! the graph are byte-stable across runs.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::Event;
+use crate::parse::{self, ParsedFile};
+
+/// One analyzed source file: its path, token stream, and parsed items.
+pub struct SourceFile {
+    /// Path relative to the workspace root, forward slashes.
+    pub rel: String,
+    /// The lexed token stream.
+    pub events: Vec<Event>,
+    /// Items recovered from the stream.
+    pub parsed: ParsedFile,
+}
+
+impl SourceFile {
+    /// Lexes and parses `source` as `rel`.
+    pub fn new(rel: &str, source: &str) -> Self {
+        let events = crate::lexer::lex(source);
+        let parsed = parse::parse(&events);
+        SourceFile {
+            rel: rel.to_string(),
+            events,
+            parsed,
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called name (last path segment).
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Whether the call is a method call (`recv.name(..)`).
+    pub method: bool,
+    /// The path qualifier for `Qual::name(..)` calls (`Type::new`,
+    /// `module::helper`); `None` for bare and method calls.
+    pub qual: Option<String>,
+}
+
+/// One function node with everything the plane analysis inspects.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// File the fn is defined in.
+    pub file: String,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` self type, if a method.
+    pub owner: Option<String>,
+    /// Annotated `plane:coordinator-only`.
+    pub coordinator_only: bool,
+    /// Defined inside a test region.
+    pub in_test: bool,
+    /// Call sites in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Field accesses (`recv.field` not followed by `(`) as
+    /// `(field, line)`, in source order.
+    pub fields: Vec<(String, u32)>,
+    /// Every identifier mentioned in the signature or body, with its
+    /// line, in source order.
+    pub mentions: Vec<(String, u32)>,
+}
+
+/// The per-crate graph: function nodes plus a name index.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Nodes, sorted by `(file, line)`.
+    pub fns: Vec<FnNode>,
+    /// Name → indices into `fns`, each list sorted.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Keywords that can directly precede `(` without being calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "in", "as", "let",
+    "else", "move", "ref", "mut", "box", "dyn", "where", "fn", "impl",
+    "pub", "use", "unsafe",
+];
+
+/// Builds the graph from a set of files (one crate's sources).
+pub fn build(files: &[SourceFile]) -> Graph {
+    let mut g = Graph::default();
+    for sf in files {
+        for def in &sf.parsed.fns {
+            let mut node = FnNode {
+                file: sf.rel.clone(),
+                line: def.line,
+                name: def.name.clone(),
+                owner: def.owner.clone(),
+                coordinator_only: def.coordinator_only,
+                in_test: def.in_test,
+                calls: Vec::new(),
+                fields: Vec::new(),
+                mentions: Vec::new(),
+            };
+            scan_range(&sf.events, def.sig.clone(), &mut node, true);
+            scan_range(&sf.events, def.body.clone(), &mut node, false);
+            g.fns.push(node);
+        }
+    }
+    g.fns.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    for (i, f) in g.fns.iter().enumerate() {
+        g.by_name.entry(f.name.clone()).or_default().push(i);
+    }
+    g
+}
+
+/// Scans one event range for calls, field accesses, and mentions.
+/// Signature ranges (`sig_only`) contribute mentions only: parameter
+/// lists name types, not executed code.
+fn scan_range(
+    events: &[Event],
+    range: std::ops::Range<usize>,
+    node: &mut FnNode,
+    sig_only: bool,
+) {
+    let slice = &events[range];
+    // Significant (non-comment) neighbors for call/field detection.
+    let sig_at = |mut k: usize, step_back: bool| -> Option<&Event> {
+        loop {
+            let ev = slice.get(k)?;
+            match ev {
+                Event::Comment { .. } | Event::Doc { .. } => {
+                    if step_back {
+                        k = k.checked_sub(1)?;
+                    } else {
+                        k += 1;
+                    }
+                }
+                _ => return Some(ev),
+            }
+        }
+    };
+    for (k, ev) in slice.iter().enumerate() {
+        let Event::Ident { line, text } = ev else {
+            continue;
+        };
+        node.mentions.push((text.clone(), *line));
+        if sig_only {
+            continue;
+        }
+        let prev = k.checked_sub(1).and_then(|p| sig_at(p, true));
+        let prev2 = k.checked_sub(2).and_then(|p| sig_at(p, true));
+        let next = sig_at(k + 1, false);
+        let after_dot = matches!(prev, Some(Event::Punct { ch: '.', .. }))
+            && !matches!(prev2, Some(Event::Punct { ch: '.', .. }));
+        let before_paren = matches!(next, Some(Event::Punct { ch: '(', .. }));
+        if before_paren && !NON_CALL_KEYWORDS.contains(&text.as_str()) {
+            // `Qual::name(..)`: the two previous significant events are
+            // `::` and the one before that the qualifier ident.
+            let qual = if matches!(prev, Some(Event::Punct { ch: ':', .. }))
+                && matches!(prev2, Some(Event::Punct { ch: ':', .. }))
+            {
+                match k.checked_sub(3).and_then(|p| sig_at(p, true)) {
+                    Some(Event::Ident { text: q, .. }) => Some(q.clone()),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            node.calls.push(CallSite {
+                name: text.clone(),
+                line: *line,
+                method: after_dot,
+                qual,
+            });
+        } else if after_dot && !before_paren {
+            node.fields.push((text.clone(), *line));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(src: &str) -> Graph {
+        build(&[SourceFile::new("x.rs", src)])
+    }
+
+    #[test]
+    fn calls_and_methods_distinguished() {
+        let src = r#"
+            fn f(x: Widget) {
+                helper(1);
+                x.spin();
+                path::to::target(2);
+                format!(x);
+            }
+        "#;
+        let g = graph_of(src);
+        let f = &g.fns[0];
+        let names: Vec<(&str, bool)> = f
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.method))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("helper", false), ("spin", true), ("target", false)]
+        );
+    }
+
+    #[test]
+    fn field_access_vs_method_vs_range() {
+        let src = r#"
+            fn f(s: S) -> u64 {
+                let a = s.field;
+                let b = s.method();
+                for i in lo..hi { let _ = i; }
+                a
+            }
+        "#;
+        let g = graph_of(src);
+        let f = &g.fns[0];
+        let fields: Vec<&str> = f.fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(fields.contains(&"field"));
+        assert!(!fields.contains(&"method"), "method calls are not fields");
+        assert!(!fields.contains(&"hi"), "range endpoints are not fields");
+    }
+
+    #[test]
+    fn signature_mentions_recorded_but_not_calls() {
+        let src = "fn f(t: &FileTable) -> bool { true }";
+        let g = graph_of(src);
+        let f = &g.fns[0];
+        assert!(f.mentions.iter().any(|(n, _)| n == "FileTable"));
+        assert!(f.calls.is_empty());
+    }
+
+    #[test]
+    fn name_index_is_sorted_and_total() {
+        let src = "fn a() { b(); }\nfn b() {}\nimpl T { fn b(&self) {} }";
+        let g = graph_of(src);
+        assert_eq!(g.by_name["b"].len(), 2);
+        assert_eq!(g.fns.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let src = "fn a() { c(); }\nfn c() { a.x; }\n";
+        let a = format!("{:?}", graph_of(src).fns);
+        let b = format!("{:?}", graph_of(src).fns);
+        assert_eq!(a, b);
+    }
+}

@@ -1,20 +1,28 @@
-//! `sdfs-lint`: project-specific determinism lints.
+//! `sdfs-lint`: project-specific determinism lints and the PlaneCheck
+//! static analyzer.
 //!
 //! The scorecard (`core::check`) validates the simulator's *outputs*
 //! against the paper; this crate guards the *sources* against the ways
 //! nondeterminism sneaks back in. A hand-rolled lexer ([`lexer`])
 //! tokenizes each workspace source file, and a rule engine ([`rules`])
 //! flags wall-clock reads, OS entropy, default-hasher maps, library
-//! `.unwrap()`s, and `f32` statistics — each scoped to the crates where
-//! it matters. Run it as `repro lint`; `scripts/verify.sh` gates on it.
+//! `.unwrap()`s, `f32` statistics, and detached threads — each scoped
+//! to the crates where it matters. On top of the lexer, a small parser
+//! ([`parse`]) recovers items, [`graph`] builds a per-crate call and
+//! field-access graph, and [`planes`] statically verifies the parallel
+//! engine's worker/coordinator ownership rule (DESIGN.md §14). Run it
+//! as `repro lint`; `scripts/verify.sh` gates on it.
 //!
 //! Zero dependencies by design: the linter must never be the thing that
 //! drags a nondeterministic dependency into the workspace.
 
+pub mod graph;
 pub mod lexer;
+pub mod parse;
+pub mod planes;
 pub mod rules;
 
-pub use rules::{Rule, Violation};
+pub use rules::{AllowSite, Rule, ScanOutput, Violation};
 
 use std::fs;
 use std::io;
@@ -22,16 +30,23 @@ use std::path::{Path, PathBuf};
 
 /// Lints a single source string as if it lived in crate `crate_name` at
 /// `rel_path`. This is the unit-testable core; [`lint_workspace`] is the
-/// filesystem walker over it.
+/// filesystem walker over it. Plane analysis is whole-crate, so it is
+/// not run here — see [`lint_workspace`] / [`planes::check`].
 pub fn lint_str(crate_name: &str, rel_path: &str, source: &str) -> Vec<Violation> {
     rules::scan(&lexer::lex(source), crate_name, rel_path)
 }
 
-/// Walks `<root>/crates/*/src/**/*.rs` (sorted, so report order is
-/// stable) and lints every file against the rules scoped to its crate.
-/// Integration-test and bench directories outside `src/` are not
-/// scanned: the rules only bind library code.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+/// One workspace source file, read and keyed for the scan.
+struct WorkspaceFile {
+    crate_name: String,
+    rel: String,
+    source: String,
+}
+
+/// Walks `<root>/crates/*/{src,benches}/**/*.rs` (sorted, so report
+/// order is byte-stable) and reads every file. Integration-test
+/// directories are not scanned: the rules exempt test code anyway.
+fn collect_workspace(root: &Path) -> io::Result<Vec<WorkspaceFile>> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -46,12 +61,13 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
             Some(n) => n.to_string(),
             None => continue,
         };
-        let src = dir.join("src");
-        if !src.is_dir() {
-            continue;
-        }
         let mut files = Vec::new();
-        collect_rs_files(&src, &mut files)?;
+        for sub in ["src", "benches"] {
+            let sub = dir.join(sub);
+            if sub.is_dir() {
+                collect_rs_files(&sub, &mut files)?;
+            }
+        }
         files.sort();
         for file in files {
             let source = fs::read_to_string(&file)?;
@@ -60,9 +76,56 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            out.extend(lint_str(&crate_name, &rel, &source));
+            out.push(WorkspaceFile {
+                crate_name: crate_name.clone(),
+                rel,
+                source,
+            });
         }
     }
+    Ok(out)
+}
+
+/// Lints every workspace file against the rules scoped to its crate,
+/// then runs the PlaneCheck analysis ([`planes::check`]) over the
+/// `spritefs` sources and appends its findings.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let files = collect_workspace(root)?;
+    let mut out = Vec::new();
+    let mut spritefs: Vec<graph::SourceFile> = Vec::new();
+    for f in &files {
+        out.extend(rules::scan(&lexer::lex(&f.source), &f.crate_name, &f.rel));
+        if f.crate_name == "spritefs" {
+            spritefs.push(graph::SourceFile::new(&f.rel, &f.source));
+        }
+    }
+    out.extend(planes::check(&spritefs));
+    Ok(out)
+}
+
+/// The worker-plane reachability set for the workspace's `spritefs`
+/// crate, as `(file, line, fn name)` sorted — the `repro lint` summary
+/// prints its size, and tests pin its roots.
+pub fn workspace_worker_plane(root: &Path) -> io::Result<Vec<(String, u32, String)>> {
+    let files = collect_workspace(root)?;
+    let spritefs: Vec<graph::SourceFile> = files
+        .iter()
+        .filter(|f| f.crate_name == "spritefs")
+        .map(|f| graph::SourceFile::new(&f.rel, &f.source))
+        .collect();
+    Ok(planes::worker_plane(&spritefs))
+}
+
+/// Lists every `lint:allow` / `lint:allow-file` site in the workspace
+/// with its staleness verdict (`repro lint --audit`), sorted by
+/// `(file, line)`.
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<AllowSite>> {
+    let files = collect_workspace(root)?;
+    let mut out = Vec::new();
+    for f in &files {
+        out.extend(rules::scan_full(&lexer::lex(&f.source), &f.crate_name, &f.rel).allows);
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(out)
 }
 
@@ -112,5 +175,58 @@ mod tests {
         let v = lint_workspace(&base).expect("walk temp tree");
         fs::remove_dir_all(&base).ok();
         assert!(v.is_empty(), "clean tree must produce no violations: {v:?}");
+    }
+
+    #[test]
+    fn bench_benches_dir_is_scanned() {
+        let base = std::env::temp_dir().join(format!("sdfs_lint_bench_{}", std::process::id()));
+        let benches = base.join("crates/bench/benches");
+        fs::create_dir_all(&benches).expect("create temp tree");
+        fs::write(
+            benches.join("tables.rs"),
+            "use std::collections::HashMap;\nfn main() {}\n",
+        )
+        .expect("write bench file");
+        let v = lint_workspace(&base).expect("walk temp tree");
+        fs::remove_dir_all(&base).ok();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::DefaultHasher);
+        assert_eq!(v[0].file, "crates/bench/benches/tables.rs");
+    }
+
+    #[test]
+    fn plane_violation_in_fake_spritefs_tree_is_caught() {
+        let base = std::env::temp_dir().join(format!("sdfs_lint_plane_{}", std::process::id()));
+        let src = base.join("crates/spritefs/src");
+        fs::create_dir_all(&src).expect("create temp tree");
+        fs::write(
+            src.join("lib.rs"),
+            "pub fn worker_main() { data_read(); }\n\
+             pub fn data_read() { let t: &FileTable = table(); let _ = t; }\n",
+        )
+        .expect("write seed file");
+        let v = lint_workspace(&base).expect("walk temp tree");
+        fs::remove_dir_all(&base).ok();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::PlaneSafety);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn audit_reports_stale_and_live_sites() {
+        let base = std::env::temp_dir().join(format!("sdfs_lint_audit_{}", std::process::id()));
+        let src = base.join("crates/simkit/src");
+        fs::create_dir_all(&src).expect("create temp tree");
+        fs::write(
+            src.join("lib.rs"),
+            "// lint:allow(default-hasher)\nuse std::collections::HashMap;\n\
+             // lint:allow(wall-clock)\npub fn f() {}\n",
+        )
+        .expect("write seed file");
+        let sites = audit_workspace(&base).expect("walk temp tree");
+        fs::remove_dir_all(&base).ok();
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert!(!sites[0].stale, "live default-hasher allow: {:?}", sites[0]);
+        assert!(sites[1].stale, "stale wall-clock allow: {:?}", sites[1]);
     }
 }

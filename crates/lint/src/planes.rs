@@ -1,0 +1,384 @@
+//! PlaneCheck: static worker/coordinator plane-safety analysis for the
+//! `spritefs` parallel engine (DESIGN.md §14).
+//!
+//! The parallel simulation's soundness argument is an ownership rule:
+//! code executed on shard workers (the *worker plane* — everything
+//! reachable from `ClientTask` execution) must never read or write
+//! coordinator-owned state — per-file consistency state
+//! (`SrvFileState`/`CalmState`), the global `FileTable`, trace
+//! emission (`TraceSink`), or the server caches and counters — except
+//! through the logged-`SrvEvent` channel. This module checks that rule
+//! statically:
+//!
+//! 1. Build the `spritefs` call graph ([`crate::graph`]).
+//! 2. Compute the worker plane: every function reachable from the
+//!    roots `worker_main` and `run_client_task`.
+//! 3. Flag any worker-plane function that (a) is a method of a
+//!    coordinator-owned type, (b) mentions a coordinator-owned type in
+//!    its signature or body, or (c) accesses a coordinator-owned field.
+//!
+//! Name resolution is conservative with one deliberate narrowing: a
+//! *method* call `recv.m(..)` whose name has at least one data-plane
+//! candidate binds only to those candidates (e.g. `.serve_read(..)`
+//! binds to the worker-side `EventLog`, not to `Server`); a method
+//! name that exists *only* on coordinator-owned types is a hard error.
+//! Free-function calls always bind to every same-named definition.
+//! Edges into items annotated `// plane:coordinator-only` are cut —
+//! the escape hatch that keeps the analysis zero-false-positive (each
+//! annotation marks code that provably cannot run on a worker, e.g.
+//! the inline `DirectServers` path or the sanitizer, which forces the
+//! sequential engine). `// plane:allow(<subject>)` silences a single
+//! finding, mirroring `lint:allow`.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{self, SourceFile};
+use crate::rules::{Rule, Violation};
+
+/// Worker-plane entry points: `worker_main` executes dispatched tasks
+/// on shard threads, and `run_client_task` is the shared task
+/// interpreter it drives (also called inline by the coordinator, so it
+/// must satisfy the worker contract).
+pub const ROOTS: &[&str] = &["worker_main", "run_client_task"];
+
+/// Types the coordinator owns: a worker-plane fn may not be one of
+/// their methods.
+const FORBIDDEN_OWNERS: &[&str] = &[
+    "SrvFileState",
+    "CalmState",
+    "FileTable",
+    "Cluster",
+    "Server",
+    "TraceSink",
+    "VecSink",
+];
+
+/// Types a worker-plane fn may not mention at all (signature or body).
+const FORBIDDEN_TYPES: &[&str] =
+    &["SrvFileState", "CalmState", "FileTable", "TraceSink"];
+
+/// Coordinator-owned fields a worker-plane fn may not access.
+const FORBIDDEN_FIELDS: &[&str] =
+    &["servers", "sink", "conflict_epoch", "fastpath"];
+
+/// Method names shared with the std containers. When such a name's only
+/// in-crate candidates are coordinator-owned, the receiver is almost
+/// certainly a std type the analysis cannot see (`Vec`, `FastMap`), so
+/// the edge is dropped; genuinely holding the coordinator type is still
+/// caught by the mention check, because the receiver's type must be
+/// named somewhere in the function.
+const NEUTRAL_METHODS: &[&str] = &[
+    "new", "default", "len", "is_empty", "iter", "iter_mut", "get",
+    "get_mut", "insert", "remove", "push", "pop", "clear", "clone",
+    "contains_key", "entry", "drain", "take", "extend",
+];
+
+/// BFS from the worker-plane roots with the method-call narrowing
+/// described in the module docs. Returns reached node indices.
+fn reach(g: &graph::Graph) -> BTreeSet<usize> {
+    let mut reached: BTreeSet<usize> = BTreeSet::new();
+    let mut frontier: Vec<usize> = Vec::new();
+    for (i, f) in g.fns.iter().enumerate() {
+        if ROOTS.contains(&f.name.as_str()) && !f.in_test && !f.coordinator_only
+        {
+            reached.insert(i);
+            frontier.push(i);
+        }
+    }
+    while let Some(i) = frontier.pop() {
+        for call in &g.fns[i].calls {
+            let Some(cands) = g.by_name.get(&call.name) else {
+                continue;
+            };
+            // `Self::name(..)` resolves to the caller's own impl type.
+            let qual: Option<&str> = match call.qual.as_deref() {
+                Some("Self") => g.fns[i].owner.as_deref(),
+                other => other,
+            };
+            let live: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| !g.fns[c].coordinator_only && !g.fns[c].in_test)
+                .filter(|&c| match qual {
+                    // A qualified call binds only to defs of that type
+                    // (or to free fns, for module qualifiers).
+                    Some(q) => match g.fns[c].owner.as_deref() {
+                        Some(o) => o == q,
+                        None => true,
+                    },
+                    None => true,
+                })
+                .collect();
+            let benign: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    !g.fns[c]
+                        .owner
+                        .as_deref()
+                        .is_some_and(|o| FORBIDDEN_OWNERS.contains(&o))
+                })
+                .collect();
+            let targets = if call.method && !benign.is_empty() {
+                benign
+            } else if call.method
+                && NEUTRAL_METHODS.contains(&call.name.as_str())
+            {
+                // All candidates coordinator-owned, but the name is a
+                // std-container method: receiver is a std type.
+                Vec::new()
+            } else {
+                live
+            };
+            for t in targets {
+                if reached.insert(t) {
+                    frontier.push(t);
+                }
+            }
+        }
+    }
+    reached
+}
+
+/// Runs the plane analysis over one crate's files (intended for
+/// `spritefs`). Returns violations sorted by `(file, line)`. A file
+/// set without any root function yields no findings.
+pub fn check(files: &[SourceFile]) -> Vec<Violation> {
+    let g = graph::build(files);
+
+    // plane_allows are per file; key allow lookups by (file, subject, line).
+    let allowed = |file: &str, subject: &str, line: u32| -> bool {
+        files
+            .iter()
+            .find(|f| f.rel == file)
+            .is_some_and(|f| {
+                f.parsed
+                    .plane_allows
+                    .contains(&(subject.to_string(), line))
+            })
+    };
+
+    // Worker-plane reachability.
+    let reached = reach(&g);
+
+    // Ownership checks on every reached fn.
+    let mut out: Vec<Violation> = Vec::new();
+    let mut seen: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    let mut push = |file: &str, line: u32, subject: &str, detail: String| {
+        if allowed(file, subject, line) {
+            return;
+        }
+        if seen.insert((file.to_string(), line, detail.clone())) {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: Rule::PlaneSafety,
+                detail: Some(detail),
+            });
+        }
+    };
+    for &i in &reached {
+        let f = &g.fns[i];
+        if let Some(owner) = f.owner.as_deref() {
+            if FORBIDDEN_OWNERS.contains(&owner) {
+                push(
+                    &f.file,
+                    f.line,
+                    owner,
+                    format!(
+                        "worker-plane code reaches `{}::{}`, a method of \
+                         coordinator-owned `{}`",
+                        owner, f.name, owner
+                    ),
+                );
+            }
+        }
+        for (name, line) in &f.mentions {
+            if FORBIDDEN_TYPES.contains(&name.as_str()) {
+                push(
+                    &f.file,
+                    *line,
+                    name,
+                    format!(
+                        "worker-plane fn `{}` mentions coordinator-owned \
+                         `{}`",
+                        f.name, name
+                    ),
+                );
+            }
+        }
+        for (name, line) in &f.fields {
+            if FORBIDDEN_FIELDS.contains(&name.as_str()) {
+                push(
+                    &f.file,
+                    *line,
+                    name,
+                    format!(
+                        "worker-plane fn `{}` accesses coordinator-owned \
+                         field `.{}`",
+                        f.name, name
+                    ),
+                );
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (&a.file, a.line, &a.detail).cmp(&(&b.file, b.line, &b.detail))
+    });
+    out
+}
+
+/// The worker-plane function set, as `(file, line, name)` sorted —
+/// exposed for the `repro lint` summary and for tests.
+pub fn worker_plane(files: &[SourceFile]) -> Vec<(String, u32, String)> {
+    let g = graph::build(files);
+    reach(&g)
+        .into_iter()
+        .map(|i| {
+            let f = &g.fns[i];
+            (f.file.clone(), f.line, f.name.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_src(src: &str) -> Vec<Violation> {
+        check(&[SourceFile::new("crates/spritefs/src/x.rs", src)])
+    }
+
+    const CLEAN_WORKER: &str = r#"
+        fn worker_main(cfg: &Config) { run_client_task(cfg); }
+        fn run_client_task(cfg: &Config) { data_read(cfg); }
+        fn data_read(cfg: &Config) { let _ = cfg; }
+    "#;
+
+    #[test]
+    fn clean_worker_plane_passes() {
+        assert!(check_src(CLEAN_WORKER).is_empty());
+    }
+
+    #[test]
+    fn no_roots_no_findings() {
+        let src = "fn coordinator(t: &FileTable) { let _ = t; }";
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn seeded_srv_file_state_read_is_caught_with_line() {
+        let src = r#"
+            fn worker_main() { run_client_task(); }
+            fn run_client_task() { data_read(); }
+            fn data_read() {
+                let st: &SrvFileState = state();
+                let _ = st;
+            }
+        "#;
+        let v = check_src(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::PlaneSafety);
+        assert_eq!(v[0].file, "crates/spritefs/src/x.rs");
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].detail.as_deref().is_some_and(|d| d.contains("SrvFileState")));
+    }
+
+    #[test]
+    fn reaching_a_coordinator_owned_method_is_caught() {
+        let src = r#"
+            fn worker_main() { frob(); }
+            fn frob() { x.file_state(); }
+            impl Server {
+                fn file_state(&mut self) {}
+            }
+        "#;
+        let v = check_src(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.as_deref().is_some_and(|d| d.contains("Server")));
+    }
+
+    #[test]
+    fn method_calls_prefer_data_plane_candidates() {
+        // `.len()` exists on both the coordinator-owned FileTable and
+        // the worker-owned BlockCache: the benign binding wins.
+        let src = r#"
+            fn worker_main() { c.len(); }
+            impl FileTable { fn len(&self) -> usize { 0 } }
+            impl BlockCache { fn len(&self) -> usize { 0 } }
+        "#;
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn coordinator_only_annotation_cuts_the_edge() {
+        let src = r#"
+            fn worker_main() { s.serve_read(); }
+            // plane:coordinator-only — inline path, never on a worker
+            impl ServerAccess for DirectServers {
+                fn serve_read(&mut self) { self.servers.read(); }
+            }
+            impl ServerAccess for EventLog {
+                fn serve_read(&mut self) { self.events.push(1); }
+            }
+        "#;
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn plane_allow_silences_one_finding() {
+        let src = r#"
+            fn worker_main() { data_read(); }
+            fn data_read() {
+                // plane:allow(FileTable) — size mirror, reviewed
+                let t: &FileTable = table();
+                let _ = t;
+            }
+        "#;
+        let v = check_src(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn forbidden_field_access_is_caught() {
+        let src = r#"
+            fn worker_main() { let x = self.sink; }
+        "#;
+        let v = check_src(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.as_deref().is_some_and(|d| d.contains(".sink")));
+    }
+
+    #[test]
+    fn test_region_definitions_are_ignored() {
+        let src = r#"
+            fn worker_main() { helper(); }
+            fn helper() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper(t: &FileTable) { let _ = t; }
+            }
+        "#;
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let src = r#"
+            fn worker_main() { a(); b(); }
+            fn a(t: &FileTable) {}
+            fn b(s: &SrvFileState) {}
+        "#;
+        let one: Vec<String> = check_src(src).iter().map(|v| v.to_string()).collect();
+        let two: Vec<String> = check_src(src).iter().map(|v| v.to_string()).collect();
+        assert_eq!(one, two);
+        assert_eq!(one.len(), 2);
+    }
+
+    #[test]
+    fn worker_plane_set_lists_reachable_fns() {
+        let wp = worker_plane(&[SourceFile::new("x.rs", CLEAN_WORKER)]);
+        let names: Vec<&str> = wp.iter().map(|(_, _, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["worker_main", "run_client_task", "data_read"]);
+    }
+}

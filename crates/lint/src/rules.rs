@@ -41,18 +41,34 @@ pub enum Rule {
     /// `std::thread::scope` (whose `s.spawn` is allowed) so every
     /// worker provably joins before results are read.
     UnscopedThread,
+    /// Worker-plane code (statically reachable from `ClientTask`
+    /// execution in the parallel engine) may not touch
+    /// coordinator-owned state. Produced by the [`crate::planes`]
+    /// analysis, not by the per-file token scan.
+    PlaneSafety,
+    /// A `lint:allow(<name>)` / `lint:allow-file(<name>)` directive
+    /// names a rule that does not exist: the suppression silently does
+    /// nothing, which is worse than no suppression at all.
+    UnknownAllow,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 8] = [
         Rule::WallClock,
         Rule::OsEntropy,
         Rule::DefaultHasher,
         Rule::Unwrap,
         Rule::FloatStats,
         Rule::UnscopedThread,
+        Rule::PlaneSafety,
+        Rule::UnknownAllow,
     ];
+
+    /// Looks a rule up by its report name.
+    pub fn by_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
 
     /// The rule's name as used in reports and `lint:allow(...)`.
     pub fn name(self) -> &'static str {
@@ -63,20 +79,31 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::FloatStats => "float-stats",
             Rule::UnscopedThread => "unscoped-thread",
+            Rule::PlaneSafety => "plane-safety",
+            Rule::UnknownAllow => "unknown-allow",
         }
     }
 
-    /// The crates the rule applies to.
+    /// The crates the rule applies to. The bench harness may read the
+    /// wall clock (it times itself) and, as binary code, may `.unwrap()`
+    /// on startup errors — but entropy, order-leaking hashers, and
+    /// detached threads would corrupt its reports just as surely as the
+    /// simulator's, so those rules bind it too.
     pub fn scope(self) -> &'static [&'static str] {
         const DETERMINISM: &[&str] = &["simkit", "spritefs", "core", "trace", "workload"];
+        const DETERMINISM_AND_BENCH: &[&str] =
+            &["simkit", "spritefs", "core", "trace", "workload", "bench"];
         const STATISTICS: &[&str] = &["simkit", "core"];
+        const WORKSPACE: &[&str] =
+            &["simkit", "spritefs", "core", "trace", "workload", "bench", "lint"];
         match self {
-            Rule::WallClock
-            | Rule::OsEntropy
-            | Rule::DefaultHasher
-            | Rule::Unwrap
-            | Rule::UnscopedThread => DETERMINISM,
+            Rule::WallClock | Rule::Unwrap => DETERMINISM,
+            Rule::OsEntropy | Rule::DefaultHasher | Rule::UnscopedThread => {
+                DETERMINISM_AND_BENCH
+            }
             Rule::FloatStats => STATISTICS,
+            Rule::PlaneSafety => &["spritefs"],
+            Rule::UnknownAllow => WORKSPACE,
         }
     }
 
@@ -96,6 +123,8 @@ impl Rule {
             Rule::Unwrap => &[], // matched as `.unwrap`, not a bare ident
             Rule::FloatStats => &["f32"],
             Rule::UnscopedThread => &[], // matched as `thread::spawn`, not a bare ident
+            Rule::PlaneSafety => &[],    // produced by the planes analysis
+            Rule::UnknownAllow => &[],   // produced by the allow-directive parse
         }
     }
 
@@ -127,6 +156,14 @@ impl Rule {
                 "detached thread::spawn; use std::thread::scope so every worker \
                  joins before results are merged"
             }
+            Rule::PlaneSafety => {
+                "worker-plane code touches coordinator-owned state; route the \
+                 effect through the logged SrvEvent channel (DESIGN.md \u{a7}14)"
+            }
+            Rule::UnknownAllow => {
+                "lint:allow names an unknown rule, so it suppresses nothing; \
+                 fix the name or remove the directive"
+            }
         }
     }
 }
@@ -146,6 +183,9 @@ pub struct Violation {
     pub line: u32,
     /// The rule violated.
     pub rule: Rule,
+    /// Finding-specific detail (plane-safety and unknown-allow findings
+    /// name their subject here); `None` for plain token-scan findings.
+    pub detail: Option<String>,
 }
 
 impl fmt::Display for Violation {
@@ -157,45 +197,144 @@ impl fmt::Display for Violation {
             self.line,
             self.rule.name(),
             self.rule.message()
+        )?;
+        if let Some(detail) = &self.detail {
+            write!(f, " \u{2014} {detail}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One `lint:allow` / `lint:allow-file` suppression site, with the
+/// staleness verdict the audit reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// Path of the file carrying the directive.
+    pub file: String,
+    /// 1-based line of the directive's comment.
+    pub line: u32,
+    /// The suppressed rule.
+    pub rule: Rule,
+    /// Whether the directive is file-wide (`lint:allow-file`).
+    pub file_wide: bool,
+    /// `true` when the rule no longer fires on the guarded range (the
+    /// directive's line and the next for line allows; anywhere in the
+    /// file for file allows): the suppression suppresses nothing.
+    pub stale: bool,
+}
+
+impl fmt::Display for AllowSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: lint:allow{}({}){}",
+            self.file,
+            self.line,
+            if self.file_wide { "-file" } else { "" },
+            self.rule.name(),
+            if self.stale { " STALE: rule no longer fires here" } else { "" }
         )
     }
+}
+
+/// Full scan output: findings plus every suppression site.
+#[derive(Debug, Default)]
+pub struct ScanOutput {
+    /// Lint findings, sorted by line.
+    pub violations: Vec<Violation>,
+    /// Allow directives seen, sorted by line.
+    pub allows: Vec<AllowSite>,
 }
 
 /// Scans one lexed file. `crate_name` selects which rules apply (the
 /// `sdfs-` prefix and any path decoration must already be stripped,
 /// e.g. `"spritefs"`).
 pub fn scan(events: &[Event], crate_name: &str, rel_path: &str) -> Vec<Violation> {
+    scan_full(events, crate_name, rel_path).violations
+}
+
+/// Scans one lexed file, also reporting every suppression site with
+/// its staleness verdict (`repro lint --audit`).
+pub fn scan_full(events: &[Event], crate_name: &str, rel_path: &str) -> ScanOutput {
     let active: Vec<Rule> = Rule::ALL
         .into_iter()
         .filter(|r| r.scope().contains(&crate_name))
         .collect();
-    if active.is_empty() {
-        return Vec::new();
-    }
 
-    // Pass 1: collect allow directives from comments.
+    // Pass 1: collect allow directives from comments. A directive
+    // naming a rule that does not exist is itself a violation — a typo
+    // here would otherwise disable nothing while looking like it
+    // disables something.
     let mut allowed_lines: BTreeSet<(Rule, u32)> = BTreeSet::new();
     let mut allowed_file: BTreeSet<Rule> = BTreeSet::new();
+    let mut allow_sites: Vec<(Rule, u32, bool)> = Vec::new();
+    let mut unknown: Vec<(u32, String)> = Vec::new();
     for ev in events {
         let (line, text) = match ev {
             Event::Comment { line, text } | Event::Doc { line, text } => (*line, text.as_str()),
             _ => continue,
         };
-        for rule in Rule::ALL {
-            if text.contains(&format!("lint:allow({})", rule.name())) {
-                allowed_lines.insert((rule, line));
-                allowed_lines.insert((rule, line + 1));
+        for name in crate::parse::directive_names(text, "lint:allow-file(") {
+            match Rule::by_name(name) {
+                Some(rule) => {
+                    allowed_file.insert(rule);
+                    allow_sites.push((rule, line, true));
+                }
+                None => unknown.push((line, name.to_string())),
             }
-            if text.contains(&format!("lint:allow-file({})", rule.name())) {
-                allowed_file.insert(rule);
+        }
+        for name in crate::parse::directive_names(text, "lint:allow(") {
+            match Rule::by_name(name) {
+                Some(rule) => {
+                    allowed_lines.insert((rule, line));
+                    allowed_lines.insert((rule, line + 1));
+                    allow_sites.push((rule, line, false));
+                }
+                None => unknown.push((line, name.to_string())),
             }
         }
     }
 
+    let mut output = ScanOutput::default();
+    if active.is_empty() && allow_sites.is_empty() {
+        return output;
+    }
+
+    // Rules whose triggers must be tracked: the active set, plus any
+    // rule named by an allow directive (so staleness can be judged
+    // even for a directive outside the rule's crate scope — which is
+    // stale by definition unless the rule fires).
+    let mut checked: Vec<Rule> = active.clone();
+    for (rule, _, _) in &allow_sites {
+        if !checked.contains(rule) {
+            checked.push(*rule);
+        }
+    }
+
+    // Unknown-allow findings (suppressible like any other rule).
+    if active.contains(&Rule::UnknownAllow) {
+        for (line, name) in &unknown {
+            if allowed_file.contains(&Rule::UnknownAllow)
+                || allowed_lines.contains(&(Rule::UnknownAllow, *line))
+            {
+                continue;
+            }
+            output.violations.push(Violation {
+                file: rel_path.to_string(),
+                line: *line,
+                rule: Rule::UnknownAllow,
+                detail: Some(format!("unknown rule `{name}`")),
+            });
+        }
+    }
+
+    // Raw trigger hits, recorded before suppression so the audit can
+    // tell a working allow from a stale one.
+    let mut raw_hits: Vec<(Rule, u32)> = Vec::new();
+
     // Pass 2: walk the token stream tracking brace depth and test
     // regions (`#[cfg(test)]`, `#[test]`, `mod tests`): code inside them
     // is exempt from every rule.
-    let mut out = Vec::new();
     let mut depth: i64 = 0;
     let mut test_until: Option<i64> = None;
     let mut pending_test = false;
@@ -225,18 +364,20 @@ pub fn scan(events: &[Event], crate_name: &str, rel_path: &str) -> Vec<Violation
                 // compile unless marked `text`/`sh`; being strict here
                 // is fine for this codebase).
                 if in_fence && test_until.is_none() {
-                    for &rule in &active {
-                        if allowed_file.contains(&rule)
-                            || allowed_lines.contains(&(rule, *line))
-                        {
-                            continue;
-                        }
+                    for &rule in &checked {
                         if rule.doc_triggers().iter().any(|t| text.contains(t)) {
-                            out.push(Violation {
-                                file: rel_path.to_string(),
-                                line: *line,
-                                rule,
-                            });
+                            raw_hits.push((rule, *line));
+                            if active.contains(&rule)
+                                && !allowed_file.contains(&rule)
+                                && !allowed_lines.contains(&(rule, *line))
+                            {
+                                output.violations.push(Violation {
+                                    file: rel_path.to_string(),
+                                    line: *line,
+                                    rule,
+                                    detail: None,
+                                });
+                            }
                         }
                     }
                 }
@@ -290,10 +431,7 @@ pub fn scan(events: &[Event], crate_name: &str, rel_path: &str) -> Vec<Violation
                     prev_significant = Some(ev);
                     continue;
                 }
-                for &rule in &active {
-                    if allowed_file.contains(&rule) || allowed_lines.contains(&(rule, *line)) {
-                        continue;
-                    }
+                for &rule in &checked {
                     let hit = if rule == Rule::Unwrap {
                         text == "unwrap"
                             && matches!(prev_significant, Some(Event::Punct { ch: '.', .. }))
@@ -307,18 +445,47 @@ pub fn scan(events: &[Event], crate_name: &str, rel_path: &str) -> Vec<Violation
                         rule.trigger_idents().contains(&text.as_str())
                     };
                     if hit {
-                        out.push(Violation {
-                            file: rel_path.to_string(),
-                            line: *line,
-                            rule,
-                        });
+                        raw_hits.push((rule, *line));
+                        if active.contains(&rule)
+                            && !allowed_file.contains(&rule)
+                            && !allowed_lines.contains(&(rule, *line))
+                        {
+                            output.violations.push(Violation {
+                                file: rel_path.to_string(),
+                                line: *line,
+                                rule,
+                                detail: None,
+                            });
+                        }
                     }
                 }
                 prev_significant = Some(ev);
             }
         }
     }
-    out
+
+    output.violations.sort_by_key(|v| v.line);
+
+    // Staleness: a line allow must have a raw hit on its own line or
+    // the next; a file allow must have one somewhere in the file.
+    for (rule, line, file_wide) in allow_sites {
+        let stale = if file_wide {
+            !raw_hits.iter().any(|&(r, _)| r == rule)
+        } else {
+            !raw_hits
+                .iter()
+                .any(|&(r, l)| r == rule && (l == line || l == line + 1))
+        };
+        output.allows.push(AllowSite {
+            file: rel_path.to_string(),
+            line,
+            rule,
+            file_wide,
+            stale,
+        });
+    }
+    output.allows.sort_by_key(|a| (a.line, a.file_wide));
+    output
 }
 
 #[cfg(test)]
@@ -495,8 +662,89 @@ mod tests {
     }
 
     #[test]
-    fn detached_spawn_ignored_outside_scope() {
+    fn detached_spawn_flagged_in_bench_too() {
+        // The bench harness merges worker results just like the
+        // simulator; a detached thread would corrupt its reports.
         let src = "fn f() { std::thread::spawn(|| 1); }";
-        assert!(scan_src(src, "bench").is_empty());
+        assert_eq!(scan_src(src, "bench").len(), 1);
+        assert!(scan_src(src, "lint").is_empty());
+    }
+
+    #[test]
+    fn unknown_allow_name_is_reported() {
+        let src = "// lint:allow(wall-time)\nfn f() {}\n";
+        let v = scan_src(src, "simkit");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnknownAllow);
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].detail.as_deref().is_some_and(|d| d.contains("wall-time")));
+    }
+
+    #[test]
+    fn unknown_allow_file_name_is_reported() {
+        let src = "//! lint:allow-file(hashmap)\n";
+        let v = scan_src(src, "lint");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnknownAllow);
+    }
+
+    #[test]
+    fn unknown_allow_is_itself_suppressible() {
+        let src = "// lint:allow(unknown-allow) lint:allow(wall-time)\nfn f() {}\n";
+        assert!(scan_src(src, "simkit").is_empty());
+    }
+
+    #[test]
+    fn doc_prose_allow_placeholder_not_reported() {
+        // `<rule>` is not a directive name — prose describing the
+        // grammar must not trip the unknown-allow rule.
+        let src = "//! Use `lint:allow(<rule>)` to suppress a finding.\nfn f() {}\n";
+        assert!(scan_src(src, "lint").is_empty());
+    }
+
+    #[test]
+    fn live_allow_is_not_stale() {
+        let src = "// lint:allow(default-hasher)\nuse std::collections::HashMap;\n";
+        let out = scan_full(&lex(src), "simkit", "x.rs");
+        assert!(out.violations.is_empty());
+        assert_eq!(out.allows.len(), 1);
+        assert!(!out.allows[0].stale);
+        assert!(!out.allows[0].file_wide);
+    }
+
+    #[test]
+    fn stale_allow_is_flagged() {
+        let src = "// lint:allow(default-hasher)\nfn f() {}\n";
+        let out = scan_full(&lex(src), "simkit", "x.rs");
+        assert_eq!(out.allows.len(), 1);
+        assert!(out.allows[0].stale);
+        assert!(out.allows[0].to_string().contains("STALE"));
+    }
+
+    #[test]
+    fn file_allow_staleness_judged_file_wide() {
+        let live = "//! lint:allow-file(unwrap)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let out = scan_full(&lex(live), "core", "x.rs");
+        assert_eq!(out.allows.len(), 1);
+        assert!(out.allows[0].file_wide);
+        assert!(!out.allows[0].stale);
+
+        let stale = "//! lint:allow-file(unwrap)\nfn f() {}\n";
+        let out = scan_full(&lex(stale), "core", "x.rs");
+        assert!(out.allows[0].stale || out.allows.is_empty());
+        assert_eq!(out.allows.len(), 1);
+        assert!(out.allows[0].stale);
+    }
+
+    #[test]
+    fn out_of_scope_allow_judged_by_trigger_presence() {
+        // wall-clock does not bind the bench crate, so the directive
+        // suppresses nothing — but the audit still reports the site,
+        // stale only when the trigger is absent.
+        let src = "// lint:allow(wall-clock)\nlet t = Instant::now();\n";
+        let out = scan_full(&lex(src), "bench", "x.rs");
+        assert!(out.violations.is_empty());
+        assert_eq!(out.allows.len(), 1);
+        assert!(!out.allows[0].stale);
     }
 }

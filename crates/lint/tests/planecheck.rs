@@ -1,0 +1,133 @@
+//! Fixture tests for the PlaneCheck static analyzer: the seeded
+//! mutation is caught with file/line, the real `spritefs` tree passes
+//! clean, and reports are byte-deterministic.
+
+use std::path::Path;
+
+use sdfs_lint::{graph::SourceFile, planes, Rule};
+
+fn repo_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// Reads the real `spritefs` sources into analyzer input.
+fn real_spritefs() -> Vec<SourceFile> {
+    let src = repo_root().join("crates/spritefs/src");
+    let mut paths: Vec<_> = std::fs::read_dir(&src)
+        .expect("read spritefs src")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| {
+            let rel = format!(
+                "crates/spritefs/src/{}",
+                p.file_name().expect("file name").to_string_lossy()
+            );
+            let source = std::fs::read_to_string(p).expect("read source");
+            SourceFile::new(&rel, &source)
+        })
+        .collect()
+}
+
+#[test]
+fn real_spritefs_tree_is_plane_clean() {
+    let files = real_spritefs();
+    let v = planes::check(&files);
+    assert!(
+        v.is_empty(),
+        "plane violations on main:\n{}",
+        v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn real_worker_plane_is_nonempty_and_rooted() {
+    let files = real_spritefs();
+    let wp = planes::worker_plane(&files);
+    let names: Vec<&str> = wp.iter().map(|(_, _, n)| n.as_str()).collect();
+    for root in planes::ROOTS {
+        assert!(
+            names.contains(root),
+            "root `{root}` missing from worker plane: {names:?}"
+        );
+    }
+    // The data-plane cache path must be in the worker plane — if it is
+    // not, the analysis is vacuously passing.
+    assert!(
+        names.contains(&"data_cached_read"),
+        "data_cached_read not reached: {names:?}"
+    );
+    assert!(wp.len() >= 5, "implausibly small worker plane: {wp:?}");
+}
+
+#[test]
+fn seeded_mutation_is_caught_with_file_and_line() {
+    // The acceptance fixture: the real tree, plus one seeded mutation
+    // that moves a SrvFileState read into a worker-reachable fn.
+    let mut files = real_spritefs();
+    files.push(SourceFile::new(
+        "crates/spritefs/src/seeded.rs",
+        "pub fn run_client_task_probe() {}\n\
+         pub fn worker_main_seeded() { run_client_task(); }\n\
+         pub fn run_client_task() { peek_state(); }\n\
+         pub fn peek_state() {\n\
+             let st: &SrvFileState = coordinator_state();\n\
+             let _ = st.opens;\n\
+         }\n",
+    ));
+    let v = planes::check(&files);
+    assert!(!v.is_empty(), "seeded mutation not caught");
+    let hit = v
+        .iter()
+        .find(|x| x.file == "crates/spritefs/src/seeded.rs" && x.line == 5)
+        .unwrap_or_else(|| panic!("no finding at seeded.rs:5: {v:?}"));
+    assert_eq!(hit.rule, Rule::PlaneSafety);
+    assert!(
+        hit.detail.as_deref().is_some_and(|d| d.contains("SrvFileState")),
+        "{hit:?}"
+    );
+}
+
+#[test]
+fn report_bytes_are_deterministic() {
+    let render = || {
+        let mut files = real_spritefs();
+        files.push(SourceFile::new(
+            "crates/spritefs/src/seeded.rs",
+            "pub fn worker_main_x() { run_client_task(); }\n\
+             pub fn bad(t: &FileTable, s: &SrvFileState) {}\n\
+             pub fn run_client_task() { bad(); }\n",
+        ));
+        planes::check(&files)
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let a = render();
+    let b = render();
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn workspace_audit_has_no_stale_allows() {
+    let sites = sdfs_lint::audit_workspace(repo_root()).expect("audit");
+    assert!(!sites.is_empty(), "expected known allow sites in simkit");
+    let stale: Vec<_> = sites.iter().filter(|s| s.stale).collect();
+    assert!(stale.is_empty(), "stale allows on main: {stale:?}");
+}
+
+#[test]
+fn full_workspace_lint_is_clean() {
+    let v = sdfs_lint::lint_workspace(repo_root()).expect("lint");
+    assert!(
+        v.is_empty(),
+        "lint violations on main:\n{}",
+        v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -272,6 +272,10 @@ pub struct Cluster<S: TraceSink> {
     /// [`CounterSet`]: counters are byte-compared between fast-path-on
     /// and fast-path-off runs, and these necessarily differ.
     pub(crate) fastpath: FastPathStats,
+    /// PlaneCheck dynamic race checker verdict, accumulated across runs
+    /// ([`Config::racecheck`]). Boxed so the disabled (default) case
+    /// costs one pointer.
+    pub(crate) race: Option<Box<crate::racecheck::RaceStats>>,
 }
 
 /// Hit/miss counts for the control-plane consistency fast path
@@ -348,6 +352,9 @@ impl<S: TraceSink> Cluster<S> {
             .observe
             .then(|| Box::new(Obs::with_capacity(cfg.obs_ring_capacity)));
         let fault = cfg.faults.as_ref().map(FaultState::new);
+        let race = cfg
+            .racecheck
+            .then(|| Box::new(crate::racecheck::RaceStats::default()));
         let n = cfg.num_servers as usize;
         Cluster {
             cfg,
@@ -372,6 +379,7 @@ impl<S: TraceSink> Cluster<S> {
             last_parallel: None,
             conflict_epoch: 0,
             fastpath: FastPathStats::default(),
+            race,
         }
     }
 
@@ -401,11 +409,28 @@ impl<S: TraceSink> Cluster<S> {
     /// Executes an operation stream to completion, then advances internal
     /// daemons to `end` so trailing delayed writes and samples happen.
     pub fn run<I: IntoIterator<Item = AppOp>>(&mut self, ops: I, end: SimTime) {
+        // Under the race checker this thread is the coordinator plane:
+        // guards on coordinator-owned state count (and would flag a
+        // worker context; here they never do).
+        let checking = self.race.is_some();
+        if checking {
+            crate::racecheck::install(crate::racecheck::Plane::Coordinator);
+        }
         for op in ops {
             self.advance_to(op.time);
             self.apply(&op);
         }
         self.advance_to(end);
+        if checking {
+            let (checks, violations, first) = crate::racecheck::uninstall();
+            if let Some(race) = self.race.as_deref_mut() {
+                race.accesses_checked += checks;
+                race.plane_violations += violations;
+                if race.first_violation.is_none() {
+                    race.first_violation = first;
+                }
+            }
+        }
     }
 
     /// Current simulated time.
@@ -447,6 +472,18 @@ impl<S: TraceSink> Cluster<S> {
     /// checking afterwards). `None` unless [`Config::sanitize`] was set.
     pub fn take_sanitizer_stats(&mut self) -> Option<SanitizerStats> {
         self.san.take().map(|s| s.into_stats())
+    }
+
+    /// The race checker's verdict so far, when [`Config::racecheck`]
+    /// is set.
+    pub fn race_stats(&self) -> Option<&crate::racecheck::RaceStats> {
+        self.race.as_deref()
+    }
+
+    /// Removes and returns the race checker's verdict (checking stops
+    /// afterwards). `None` unless [`Config::racecheck`] was set.
+    pub fn take_race_stats(&mut self) -> Option<crate::racecheck::RaceStats> {
+        self.race.take().map(|r| *r)
     }
 
     /// The live sdfs-obs collector, when [`Config::observe`] is set.
@@ -1177,6 +1214,7 @@ impl<S: TraceSink> Cluster<S> {
     }
 
     fn emit(&mut self, server: ServerId, op: &AppOp, kind: RecordKind) {
+        crate::racecheck::guard(crate::racecheck::Resource::TraceEmit);
         self.sink.emit(
             server,
             Record {
@@ -2255,6 +2293,8 @@ pub(crate) struct DirectServers<'a> {
     pub servers: &'a mut [Server],
 }
 
+// plane:coordinator-only — the inline path runs on the coordinator
+// thread only; shard workers always get the deferred `EventLog`.
 impl ServerAccess for DirectServers<'_> {
     fn serve_read(&mut self, si: usize, key: BlockKey, bytes: u64, now: SimTime) -> bool {
         self.servers[si].serve_read(key, bytes, now)

@@ -204,6 +204,14 @@ pub struct Config {
     /// latency histograms. Off by default; when off, output is
     /// byte-identical to builds that predate the layer.
     pub observe: bool,
+    /// Run the PlaneCheck dynamic race checker alongside the
+    /// simulation: plane-guard hooks on coordinator-owned state plus
+    /// happens-before verification of the parallel engine's
+    /// dispatch/replay ordering. Unlike the sanitizer, race checking
+    /// runs *on* the parallel engine (that is the point); bookkeeping
+    /// stays outside every counter set, so output is byte-identical to
+    /// a plain run and the verdict is reported out of band.
+    pub racecheck: bool,
     /// Capacity of the sdfs-obs structured event ring. Only the newest
     /// `obs_ring_capacity` events are retained; earlier ones are counted
     /// as dropped in the report. Irrelevant unless `observe` is set.
@@ -257,6 +265,7 @@ impl Default for Config {
             },
             sanitize: false,
             observe: false,
+            racecheck: false,
             obs_ring_capacity: crate::obs::RING_CAPACITY,
             fault_skip_invalidate: false,
             faults: None,

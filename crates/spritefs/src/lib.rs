@@ -41,6 +41,7 @@ pub mod metrics;
 pub mod obs;
 pub mod ops;
 pub mod parallel;
+pub mod racecheck;
 pub mod rpc;
 pub mod sanitizer;
 pub mod server;
@@ -52,3 +53,4 @@ pub use metrics::SanitizerStats;
 pub use obs::{Obs, ObsEventKind, ObsReport, SpanKind};
 pub use ops::{AppOp, OpKind, PageClass};
 pub use parallel::ParallelStats;
+pub use racecheck::RaceStats;

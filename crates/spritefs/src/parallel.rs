@@ -448,14 +448,23 @@ struct WorkerResult {
     datas: Vec<Option<Box<ClientData>>>,
     /// Server-cache effects in dispatch order.
     events: Vec<SrvEvent>,
+    /// Happens-before verdict (`None` unless [`Config::racecheck`]).
+    race: Option<crate::racecheck::RaceStats>,
 }
 
 /// A shard worker: drains its queue in order, running each task against
-/// the owned client's data plane with deferred server access.
+/// the owned client's data plane with deferred server access. Under
+/// [`Config::racecheck`] the worker carries a [`Plane::Worker`] guard
+/// context and a [`RaceLog`] verifying the dispatch-order contract.
+///
+/// [`Plane::Worker`]: crate::racecheck::Plane::Worker
+/// [`RaceLog`]: crate::racecheck::RaceLog
 fn worker_main(
     queue: &TaskQueue,
     mut datas: Vec<Option<Box<ClientData>>>,
     cfg: &Config,
+    shard: u16,
+    nworkers: usize,
 ) -> WorkerResult {
     let nservers = cfg.num_servers as usize;
     // Parallel runs never carry faults (forced sequential), so servers
@@ -469,6 +478,10 @@ fn worker_main(
         cur_id: 0,
         subseq: 0,
     };
+    let mut race = cfg.racecheck.then(|| {
+        crate::racecheck::install(crate::racecheck::Plane::Worker(shard));
+        crate::racecheck::RaceLog::new(shard, nworkers)
+    });
     let run_sub = |ci: usize,
                        sub: &SubTask,
                        datas: &mut Vec<Option<Box<ClientData>>>,
@@ -503,6 +516,17 @@ fn worker_main(
     while let Some(batch) = queue.pop_batch() {
         for task in &batch {
             let ci = task.ci as usize;
+            if let Some(rl) = race.as_mut() {
+                rl.begin_round(task.ci);
+                match &task.kind {
+                    TaskKind::One(sub) => rl.observe(task.ci, sub.id, sub.now),
+                    TaskKind::Round(subs) => {
+                        for sub in subs {
+                            rl.observe(task.ci, sub.id, sub.now);
+                        }
+                    }
+                }
+            }
             match &task.kind {
                 TaskKind::One(sub) => run_sub(ci, sub, &mut datas, &mut sizes, &mut log),
                 TaskKind::Round(subs) => {
@@ -513,9 +537,20 @@ fn worker_main(
             }
         }
     }
+    let race = race.map(|rl| {
+        let (checks, violations, first) = crate::racecheck::uninstall();
+        let mut stats = rl.into_stats();
+        stats.accesses_checked += checks;
+        stats.plane_violations += violations;
+        if stats.first_violation.is_none() {
+            stats.first_violation = first;
+        }
+        stats
+    });
     WorkerResult {
         datas,
         events: log.events,
+        race,
     }
 }
 
@@ -528,7 +563,10 @@ impl<S: TraceSink> Cluster<S> {
     /// Falls back to the sequential engine when `threads <= 1` or when
     /// the sanitizer, the observer, or fault injection is active (those
     /// modes read cross-client state at arbitrary points and are not
-    /// the measured fast path).
+    /// the measured fast path). The race checker
+    /// ([`crate::Config::racecheck`]) deliberately does *not* force the
+    /// fallback — its whole purpose is to check the parallel engine
+    /// while it runs.
     pub fn run_parallel<I: IntoIterator<Item = AppOp>>(
         &mut self,
         ops: I,
@@ -563,10 +601,11 @@ impl<S: TraceSink> Cluster<S> {
             let handles: Vec<_> = shards
                 .into_iter()
                 .zip(&queues)
-                .map(|(shard, queue)| {
+                .enumerate()
+                .map(|(w, (shard, queue))| {
                     let queue = Arc::clone(queue);
                     let cfg = &cfg;
-                    s.spawn(move || worker_main(&queue, shard, cfg))
+                    s.spawn(move || worker_main(&queue, shard, cfg, w as u16, nworkers))
                 })
                 .collect();
             // The unchanged sequential control loop; data-plane work and
@@ -593,6 +632,9 @@ impl<S: TraceSink> Cluster<S> {
                 if let Some(data) = slot {
                     self.clients[ci].attach_data(data);
                 }
+            }
+            if let (Some(acc), Some(worker)) = (self.race.as_deref_mut(), result.race.as_ref()) {
+                acc.merge(worker);
             }
             streams.push(result.events);
         }
@@ -628,18 +670,44 @@ impl<S: TraceSink> Cluster<S> {
             }
         }
         let block_size = self.cfg.block_size;
-        std::thread::scope(|s| {
-            for (server, streams) in self.servers.iter_mut().zip(per_server) {
-                s.spawn(move || replay_server(server, streams, block_size));
-            }
+        let checking = self.race.is_some();
+        let replay_verdicts = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .servers
+                .iter_mut()
+                .zip(per_server)
+                .map(|(server, streams)| {
+                    s.spawn(move || replay_server(server, streams, block_size, checking))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replay worker panicked"))
+                .collect::<Vec<_>>()
         });
+        if let Some(acc) = self.race.as_deref_mut() {
+            for verdict in replay_verdicts.into_iter().flatten() {
+                acc.merge(&verdict);
+            }
+        }
     }
 }
 
-/// Replays one server's merged event stream against its cache.
-fn replay_server(server: &mut Server, streams: Vec<Vec<SrvEvent>>, block_size: u64) {
+/// Replays one server's merged event stream against its cache. With
+/// `racecheck` set, verifies the merged keys are strictly monotonic
+/// and returns the verdict.
+fn replay_server(
+    server: &mut Server,
+    streams: Vec<Vec<SrvEvent>>,
+    block_size: u64,
+    racecheck: bool,
+) -> Option<crate::racecheck::RaceStats> {
+    let mut check = racecheck.then(crate::racecheck::ReplayCheck::default);
     let events = merge_sorted_by(streams, |e: &SrvEvent| (e.id, e.subseq));
     for ev in events {
+        if let Some(c) = check.as_mut() {
+            c.observe(ev.si, ev.id, ev.subseq);
+        }
         match ev.kind {
             SrvEventKind::Read { key, bytes } => {
                 server.serve_read(key, bytes, ev.now);
@@ -649,4 +717,5 @@ fn replay_server(server: &mut Server, streams: Vec<Vec<SrvEvent>>, block_size: u
             SrvEventKind::TickFlush { cutoff } => server.flush_dirty_before(cutoff, block_size),
         }
     }
+    check.map(crate::racecheck::ReplayCheck::into_stats)
 }

@@ -1,0 +1,435 @@
+//! PlaneCheck's dynamic companion: a happens-before checker for the
+//! parallel engine ([`crate::parallel`]).
+//!
+//! The static analyzer (`sdfs-lint`) proves at the source level that no
+//! worker-plane function can reach coordinator-owned state. This module
+//! re-checks the same ownership rule at runtime and additionally
+//! verifies the ordering contract the deterministic merge relies on:
+//!
+//! * **Plane guards** — the coordinator-owned chokepoints (per-file
+//!   server consistency state, the global file table, trace-record
+//!   emission) call [`guard`]. During a race-checked run every
+//!   participating thread carries a [`Plane`] context; a guard firing
+//!   under a [`Plane::Worker`] context is a violation. Without a
+//!   context (the default), a guard is a single thread-local read.
+//! * **Dispatch order** — each shard worker keeps a [`RaceLog`]: its
+//!   per-shard epoch (dispatch rounds processed) is the worker's
+//!   vector-clock component, and the global dispatch id stamped on
+//!   every [`crate::parallel::SubTask`] is the shared component. Along
+//!   a worker's queue the ids must be strictly increasing (the
+//!   coordinator hands work over in dispatch order), per client the
+//!   ids must be strictly increasing (program order is preserved), the
+//!   dispatch times must be nondecreasing (simulated time only moves
+//!   forward), and every task must be routed to the owning shard
+//!   (`ci % nworkers`).
+//! * **Replay order** — after the join, each server replays its merged
+//!   event stream; [`ReplayCheck`] asserts the merged `(dispatch id,
+//!   subseq)` keys are strictly increasing, i.e. the k-way merge
+//!   reconstructed one global order.
+//!
+//! All bookkeeping lives outside every [`sdfs_simkit::CounterSet`], so
+//! a race-checked run is byte-identical to a plain one; the verdict
+//! ([`RaceStats`]) is reported out of band, exactly like the SpriteSan
+//! sanitizer ([`crate::metrics::SanitizerStats`]).
+
+use std::cell::RefCell;
+
+use sdfs_simkit::{FastMap, SimTime};
+
+/// Which execution plane the current thread belongs to while a
+/// race-checked run is in progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plane {
+    /// The coordinator thread: owns all control-plane state.
+    Coordinator,
+    /// Shard worker `.0`: owns its clients' data planes and nothing
+    /// else.
+    Worker(u16),
+}
+
+/// A coordinator-owned resource guarded at runtime. Mirrors the
+/// forbidden-owner set of the static analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// Per-file server consistency state (`SrvFileState`).
+    SrvFileState,
+    /// The global file table (`FileTable`).
+    FileTable,
+    /// Trace-record emission (`TraceSink`).
+    TraceEmit,
+}
+
+impl Resource {
+    fn name(self) -> &'static str {
+        match self {
+            Resource::SrvFileState => "SrvFileState",
+            Resource::FileTable => "FileTable",
+            Resource::TraceEmit => "trace emission",
+        }
+    }
+}
+
+/// Per-thread guard context: the thread's plane plus its tallies.
+struct Ctx {
+    plane: Plane,
+    checks: u64,
+    violations: u64,
+    first: Option<String>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Installs a plane context on the current thread. Guards on this
+/// thread start counting (and, under a worker plane, flagging) until
+/// [`uninstall`] is called.
+pub fn install(plane: Plane) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            plane,
+            checks: 0,
+            violations: 0,
+            first: None,
+        });
+    });
+}
+
+/// Removes the current thread's plane context, returning its tallies:
+/// `(guarded accesses checked, plane violations, first violation)`.
+/// All zeros/`None` if no context was installed.
+pub fn uninstall() -> (u64, u64, Option<String>) {
+    CTX.with(|c| match c.borrow_mut().take() {
+        Some(ctx) => (ctx.checks, ctx.violations, ctx.first),
+        None => (0, 0, None),
+    })
+}
+
+/// Guard hook at a coordinator-owned chokepoint. A no-op (one
+/// thread-local read) unless a plane context is installed; under a
+/// [`Plane::Worker`] context the access is a violation.
+#[inline]
+pub fn guard(res: Resource) {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            ctx.checks += 1;
+            if let Plane::Worker(shard) = ctx.plane {
+                ctx.violations += 1;
+                if ctx.first.is_none() {
+                    ctx.first = Some(format!(
+                        "shard worker {shard} touched coordinator-owned {}",
+                        res.name()
+                    ));
+                }
+            }
+        }
+    });
+}
+
+/// The race checker's verdict for one (or many merged) cluster runs.
+///
+/// Kept out of [`sdfs_simkit::CounterSet`] on purpose — like the
+/// sanitizer's verdict, this bookkeeping must never perturb the
+/// counters behind the published tables, so a race-checked run stays
+/// byte-identical to a plain one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RaceStats {
+    /// Guarded coordinator-state accesses observed under a plane
+    /// context (nonzero proves the guards actually fired).
+    pub accesses_checked: u64,
+    /// Happens-before edges verified: dispatch ids, dispatch times,
+    /// shard routing, and replay-merge keys.
+    pub orderings_checked: u64,
+    /// Coordinator-owned state touched from a worker plane.
+    pub plane_violations: u64,
+    /// Dispatch- or replay-ordering contract breaches.
+    pub ordering_violations: u64,
+    /// Human-readable description of the first violation seen.
+    pub first_violation: Option<String>,
+}
+
+impl RaceStats {
+    /// Total violations across both invariant families.
+    pub fn violations(&self) -> u64 {
+        self.plane_violations + self.ordering_violations
+    }
+
+    /// `true` when every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations() == 0
+    }
+
+    /// Folds another run's (or worker's) verdict into this one.
+    pub fn merge(&mut self, other: &RaceStats) {
+        self.accesses_checked += other.accesses_checked;
+        self.orderings_checked += other.orderings_checked;
+        self.plane_violations += other.plane_violations;
+        self.ordering_violations += other.ordering_violations;
+        if self.first_violation.is_none() {
+            self.first_violation = other.first_violation.clone();
+        }
+    }
+
+    /// One-line summary for reports.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            format!(
+                "racecheck: clean ({} accesses, {} orderings)",
+                self.accesses_checked, self.orderings_checked
+            )
+        } else {
+            format!(
+                "racecheck: {} violation(s) in {} checks \
+                 (plane {}, ordering {}){}",
+                self.violations(),
+                self.accesses_checked + self.orderings_checked,
+                self.plane_violations,
+                self.ordering_violations,
+                self.first_violation
+                    .as_deref()
+                    .map(|d| format!("\n  first: {d}"))
+                    .unwrap_or_default(),
+            )
+        }
+    }
+}
+
+/// One shard worker's happens-before log: verifies the dispatch-order
+/// contract while the worker drains its queue.
+#[derive(Debug)]
+pub struct RaceLog {
+    shard: u16,
+    nworkers: usize,
+    /// Per-shard epoch: dispatch rounds processed so far (this worker's
+    /// vector-clock component).
+    epoch: u64,
+    /// Last global dispatch id observed on this worker's queue.
+    last_id: Option<u64>,
+    /// Last dispatch time observed on this worker's queue.
+    last_now: SimTime,
+    /// Last dispatch id observed per client (program order).
+    per_client: FastMap<u16, u64>,
+    checked: u64,
+    violations: u64,
+    first: Option<String>,
+}
+
+impl RaceLog {
+    /// Creates the log for shard `shard` of `nworkers`.
+    pub fn new(shard: u16, nworkers: usize) -> Self {
+        RaceLog {
+            shard,
+            nworkers,
+            epoch: 0,
+            last_id: None,
+            last_now: SimTime::ZERO,
+            per_client: FastMap::default(),
+            checked: 0,
+            violations: 0,
+            first: None,
+        }
+    }
+
+    /// Marks the start of one dispatched round for client `ci`,
+    /// advancing this shard's epoch and checking the routing rule.
+    pub fn begin_round(&mut self, ci: u16) {
+        self.epoch += 1;
+        self.checked += 1;
+        if self.nworkers > 0 && (ci as usize) % self.nworkers != self.shard as usize {
+            let expected = (ci as usize) % self.nworkers;
+            self.violate(format!(
+                "epoch {}: client {ci} round on shard {} (owner is shard {expected})",
+                self.epoch, self.shard
+            ));
+        }
+    }
+
+    /// Observes one sub-task dispatch for client `ci`: the global
+    /// dispatch id must be strictly increasing along the queue and per
+    /// client, and dispatch time must be nondecreasing.
+    pub fn observe(&mut self, ci: u16, id: u64, now: SimTime) {
+        self.checked += 1;
+        if self.last_id.is_some_and(|last| id <= last) {
+            self.violate(format!(
+                "epoch {}: shard {} queue id {} after {}",
+                self.epoch,
+                self.shard,
+                id,
+                self.last_id.unwrap_or(0)
+            ));
+        }
+        self.last_id = Some(id);
+        if now < self.last_now {
+            self.violate(format!(
+                "epoch {}: shard {} dispatch time moved backwards",
+                self.epoch, self.shard
+            ));
+        }
+        self.last_now = now;
+        if let Some(&last) = self.per_client.get(&ci) {
+            if id <= last {
+                self.violate(format!(
+                    "epoch {}: client {ci} id {id} after {last} (program order broken)",
+                    self.epoch
+                ));
+            }
+        }
+        self.per_client.insert(ci, id);
+    }
+
+    fn violate(&mut self, msg: String) {
+        self.violations += 1;
+        if self.first.is_none() {
+            self.first = Some(msg);
+        }
+    }
+
+    /// Folds the log into a verdict at worker join.
+    pub fn into_stats(self) -> RaceStats {
+        RaceStats {
+            accesses_checked: 0,
+            orderings_checked: self.checked,
+            plane_violations: 0,
+            ordering_violations: self.violations,
+            first_violation: self.first,
+        }
+    }
+}
+
+/// Replay-side merge verifier: asserts the merged `(dispatch id,
+/// subseq)` stream one server replays is strictly monotonic — the
+/// k-way merge reconstructed a single global order.
+#[derive(Debug, Default)]
+pub struct ReplayCheck {
+    last: Option<(u64, u32)>,
+    checked: u64,
+    violations: u64,
+    first: Option<String>,
+}
+
+impl ReplayCheck {
+    /// Observes one replayed event's merge key for server `si`.
+    pub fn observe(&mut self, si: u16, id: u64, subseq: u32) {
+        self.checked += 1;
+        if let Some(prev) = self.last {
+            if (id, subseq) <= prev {
+                self.violations += 1;
+                if self.first.is_none() {
+                    self.first = Some(format!(
+                        "server {si} replay out of order: ({id},{subseq}) after ({},{})",
+                        prev.0, prev.1
+                    ));
+                }
+            }
+        }
+        self.last = Some((id, subseq));
+    }
+
+    /// Folds the check into a verdict after the replay.
+    pub fn into_stats(self) -> RaceStats {
+        RaceStats {
+            accesses_checked: 0,
+            orderings_checked: self.checked,
+            plane_violations: 0,
+            ordering_violations: self.violations,
+            first_violation: self.first,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_is_noop_without_context() {
+        guard(Resource::FileTable);
+        let (checks, violations, first) = uninstall();
+        assert_eq!((checks, violations), (0, 0));
+        assert!(first.is_none());
+    }
+
+    #[test]
+    fn coordinator_guard_counts_without_flagging() {
+        install(Plane::Coordinator);
+        guard(Resource::SrvFileState);
+        guard(Resource::TraceEmit);
+        let (checks, violations, first) = uninstall();
+        assert_eq!((checks, violations), (2, 0));
+        assert!(first.is_none());
+    }
+
+    #[test]
+    fn worker_guard_is_a_violation() {
+        install(Plane::Worker(3));
+        guard(Resource::SrvFileState);
+        let (checks, violations, first) = uninstall();
+        assert_eq!((checks, violations), (1, 1));
+        let msg = first.expect("violation recorded");
+        assert!(msg.contains("SrvFileState"), "{msg}");
+        assert!(msg.contains("worker 3"), "{msg}");
+    }
+
+    #[test]
+    fn race_log_accepts_increasing_ids() {
+        let mut log = RaceLog::new(1, 4);
+        log.begin_round(5); // 5 % 4 == 1
+        log.observe(5, 10, SimTime::from_micros(1));
+        log.observe(5, 11, SimTime::from_micros(2));
+        log.begin_round(9); // 9 % 4 == 1
+        log.observe(9, 12, SimTime::from_micros(2));
+        let st = log.into_stats();
+        assert!(st.is_clean(), "{}", st.render());
+        assert_eq!(st.orderings_checked, 5);
+    }
+
+    #[test]
+    fn race_log_flags_misrouted_client() {
+        let mut log = RaceLog::new(0, 4);
+        log.begin_round(5); // 5 % 4 == 1, not 0
+        let st = log.into_stats();
+        assert_eq!(st.ordering_violations, 1);
+        assert!(st.first_violation.expect("msg").contains("owner is shard 1"));
+    }
+
+    #[test]
+    fn race_log_flags_program_order_break() {
+        let mut log = RaceLog::new(0, 1);
+        log.observe(0, 10, SimTime::from_micros(1));
+        log.observe(0, 10, SimTime::from_micros(1));
+        let st = log.into_stats();
+        assert_eq!(st.ordering_violations, 2, "queue and per-client checks");
+    }
+
+    #[test]
+    fn replay_check_flags_merge_inversion() {
+        let mut check = ReplayCheck::default();
+        check.observe(0, 1, 0);
+        check.observe(0, 1, 1);
+        check.observe(0, 1, 0);
+        let st = check.into_stats();
+        assert_eq!(st.orderings_checked, 3);
+        assert_eq!(st.ordering_violations, 1);
+        assert!(st.first_violation.expect("msg").contains("out of order"));
+    }
+
+    #[test]
+    fn stats_merge_and_render() {
+        let mut a = RaceStats {
+            accesses_checked: 5,
+            orderings_checked: 7,
+            ..RaceStats::default()
+        };
+        assert!(a.render().contains("clean"));
+        let b = RaceStats {
+            plane_violations: 1,
+            first_violation: Some("boom".into()),
+            ..RaceStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.violations(), 1);
+        assert!(!a.is_clean());
+        assert!(a.render().contains("boom"));
+        assert_eq!(a.accesses_checked, 5);
+    }
+}

@@ -14,8 +14,12 @@ cargo build --release --offline
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline
 
-echo "==> static: repro lint"
+echo "==> static: repro lint (determinism + plane safety)"
 ./target/release/repro lint
+
+echo "==> static: repro lint --audit (no stale suppressions)"
+./target/release/repro lint --audit > /dev/null 2> /tmp/verify_audit.txt
+grep -q ", 0 stale" /tmp/verify_audit.txt
 
 echo "==> static: cargo clippy -D warnings"
 cargo clippy --workspace --offline --all-targets -- -D warnings
@@ -38,6 +42,14 @@ grep -q "obs.events.recorded" /tmp/verify_obs_stderr.txt
 echo "==> parallel engine: repro --quick --threads 4 all (byte-identical to threads=1)"
 ./target/release/repro --quick --threads 4 all > /tmp/verify_report_par.txt
 cmp /tmp/verify_report.txt /tmp/verify_report_par.txt
+
+echo "==> racecheck: repro --quick --racecheck all at threads 1 and 4 (clean, byte-identical)"
+./target/release/repro --quick --racecheck all > /tmp/verify_report_rc1.txt 2> /tmp/verify_rc1_stderr.txt
+cmp /tmp/verify_report.txt /tmp/verify_report_rc1.txt
+grep -q "racecheck: clean" /tmp/verify_rc1_stderr.txt
+./target/release/repro --quick --racecheck --threads 4 all > /tmp/verify_report_rc4.txt 2> /tmp/verify_rc4_stderr.txt
+cmp /tmp/verify_report.txt /tmp/verify_report_rc4.txt
+grep -q "racecheck: clean" /tmp/verify_rc4_stderr.txt
 
 echo "==> fast path off: repro --quick --no-fastpath all (byte-identical to fast path on)"
 ./target/release/repro --quick --no-fastpath all > /tmp/verify_report_nofp.txt
