@@ -298,7 +298,8 @@ fn main() {
     if what == "faults" {
         // `repro faults [--sanitize]`: the availability study — one day
         // under a deterministic fault plan, plus the loss-vs-delay and
-        // storm-vs-cluster-size sweeps.
+        // storm-vs-cluster-size sweeps, the partition/lease comparison
+        // with its duration × TTL sweep, and the NVRAM ablation.
         use sdfs_core::recovery;
         let mut cfg = study.config().clone();
         cfg.workload.activity_scale = cfg.workload.activity_scale.min(0.5);
@@ -310,15 +311,43 @@ fn main() {
             "{}",
             recovery::render_availability(&plan, &outcome, &loss, &storm)
         );
+        let n = cfg.cluster.num_clients;
+        let part_plan = recovery::partition_plan(n);
+        let lease = recovery::run_partition_day(&cfg, &part_plan, sanitize, false);
+        let mut cons_plan = part_plan.clone();
+        cons_plan.conservative_recovery = true;
+        let cons = recovery::run_partition_day(&cfg, &cons_plan, false, false);
+        let sweep = recovery::lease_ttl_sweep(&cfg, &[120, 600, 1800], &[60, 900]);
+        println!(
+            "{}",
+            recovery::render_partition(&part_plan, &lease, &cons, &sweep)
+        );
+        println!(
+            "{}",
+            recovery::render_nvram(&recovery::nvram_ablation(
+                &cfg,
+                &plan,
+                &[0, 1 << 16, 1 << 20, 1 << 30],
+            ))
+        );
         if sanitize {
+            let mut clean = true;
             match &outcome.sanitizer {
                 Some(san) => {
                     eprintln!("{}", san.render());
-                    if !san.is_clean() {
-                        std::process::exit(1);
-                    }
+                    clean &= san.is_clean();
                 }
                 None => eprintln!("sanitizer: no verdict collected"),
+            }
+            match &lease.sanitizer {
+                Some(san) => {
+                    eprintln!("{}", san.render());
+                    clean &= san.is_clean();
+                }
+                None => eprintln!("sanitizer: no partition verdict collected"),
+            }
+            if !clean {
+                std::process::exit(1);
             }
         }
         if observe {

@@ -295,6 +295,55 @@ pub fn scorecard(results: &mut StudyResults) -> Scorecard {
         0.0,
     );
 
+    // --- Partition/lease subsystem ---
+    // A mid-day partition at the same fixed quick scale, run once per
+    // heal protocol: the lease heal must draw strictly less traffic than
+    // the conservative per-file revalidation storm, leases must actually
+    // lapse and revoke during the ten-minute cut, and the oracle must
+    // stay clean across the cut and the heal.
+    let part = crate::recovery::partition_probe();
+    add(
+        "lease heal beats conservative storm",
+        "renewal replaces per-file revalidation",
+        (part.conservative_storm_rpcs as f64) - (part.lease_storm_rpcs as f64),
+        1.0,
+        1e9,
+    );
+    add(
+        "lease-expiry recalls during partition",
+        "a 600 s cut outlives the 60 s TTL",
+        part.lease_recalls as f64,
+        1.0,
+        1e9,
+    );
+    add(
+        "SpriteSan violations across partition",
+        "revocation keeps the oracle clean",
+        part.violations as f64,
+        0.0,
+        0.0,
+    );
+
+    // --- NVRAM durability ablation ---
+    // The same crash with and without a battery-backed write buffer:
+    // unbuffered the crash destroys dirty cache, and a buffer sized past
+    // the dirty exposure drives the loss to exactly zero.
+    let nv = crate::recovery::nvram_probe();
+    add(
+        "crash loss without NVRAM, bytes",
+        "delayed writes are exposed",
+        nv.lost_without as f64,
+        1.0,
+        1e12,
+    );
+    add(
+        "crash loss with 1 GiB NVRAM, bytes",
+        "the buffer absorbs the exposure",
+        nv.lost_with as f64,
+        0.0,
+        0.0,
+    );
+
     // --- Self-trace cross-check ---
     // The simulator writes its own Sprite-format trace, re-analyzes it,
     // and compares the analysis against its own RPC counters. Like the

@@ -231,12 +231,20 @@ mod tests {
             assert!(o.server_bytes > 0);
             assert!(o.rpc_messages > 0);
         }
-        // Token mode never disables caching.
+        // Token mode recalls caching privileges under *concurrent*
+        // write sharing (tokens are enforced at open granularity, so a
+        // reader admitted alongside a live writer must fall through to
+        // the server), but it still shares strictly less traffic than
+        // Sprite, which also disables caching on sequential sharing.
         let token = outcomes
             .iter()
             .find(|o| o.policy == ConsistencyPolicy::Token)
             .expect("token outcome");
-        assert_eq!(token.shared_bytes, 0);
+        let sprite = outcomes
+            .iter()
+            .find(|o| o.policy == ConsistencyPolicy::Sprite)
+            .expect("sprite outcome");
+        assert!(token.shared_bytes < sprite.shared_bytes);
         let render = render_policy_matrix(&outcomes);
         assert!(render.contains("Sprite"));
     }

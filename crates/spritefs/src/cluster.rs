@@ -116,13 +116,23 @@ impl CleanReason {
 
 /// What a scheduled fault transition does. `Reboot` sorts before
 /// `Crash` so back-to-back outages of one server (reboot at `t`, next
-/// crash also at `t`) stay well-formed.
+/// crash also at `t`) stay well-formed; partition heals likewise sort
+/// before same-instant cuts so a window that ends exactly when another
+/// begins never sees both active at once.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum FaultEventKind {
     Reboot,
+    PartitionHeal {
+        /// Index into [`FaultPlan::partitions`].
+        idx: usize,
+    },
     Crash {
         /// Scheduled reboot time of this outage.
         until: SimTime,
+    },
+    PartitionStart {
+        /// Index into [`FaultPlan::partitions`].
+        idx: usize,
     },
 }
 
@@ -145,17 +155,39 @@ pub(crate) struct FaultState {
     plan: FaultPlan,
     /// Seeded RNG driving per-RPC message drops (never OS entropy).
     rng: SimRng,
-    /// Crash/reboot transitions, sorted by (time, kind, server).
+    /// Crash/reboot/partition transitions, sorted by (time, kind,
+    /// server).
     events: Vec<FaultEvent>,
     /// Index of the next unfired event.
     next_event: usize,
     /// Cached [`FaultPlan::retry_budget`]: the longest a client stalls
     /// on an unresponsive server before giving up.
     retry_budget: SimDuration,
+    /// Number of servers: the stride of the per-edge vectors below
+    /// (edge index = `ci * num_servers + si`).
+    num_servers: usize,
+    /// Whether the plan schedules any partitions. All per-edge
+    /// bookkeeping below is skipped when false, so crash-only plans
+    /// behave byte-identically to before partitions existed.
+    has_partitions: bool,
+    /// Per-edge cut depth (overlapping partitions may cut one edge
+    /// more than once; the edge heals when the depth returns to zero).
+    cut: Vec<u32>,
+    /// Per-edge latest scheduled heal time among the active cuts:
+    /// how long an RPC issued now would have to wait.
+    cut_until: Vec<SimTime>,
+    /// Per-edge lease expiry: the server trusts the client's cached
+    /// grants on this edge until this instant. Renewed implicitly by
+    /// every RPC that reaches the server, frozen while the edge is cut.
+    lease_until: Vec<SimTime>,
+    /// Per-edge files whose grants the server unilaterally revoked
+    /// during the current partition; the client reasserts each on heal
+    /// ([`RpcKind::Reassert`]) under the lease protocol.
+    revoked: Vec<Vec<FileId>>,
 }
 
 impl FaultState {
-    fn new(plan: &FaultPlan) -> Self {
+    fn new(plan: &FaultPlan, num_clients: usize, num_servers: usize) -> Self {
         let mut events: Vec<FaultEvent> = plan
             .outages
             .iter()
@@ -176,14 +208,75 @@ impl FaultState {
                 ]
             })
             .collect();
+        for (idx, p) in plan.partitions.iter().enumerate() {
+            events.push(FaultEvent {
+                at: p.at,
+                kind: FaultEventKind::PartitionStart { idx },
+                server: 0,
+            });
+            events.push(FaultEvent {
+                at: p.heal_at(),
+                kind: FaultEventKind::PartitionHeal { idx },
+                server: 0,
+            });
+        }
         events.sort_by_key(|e| (e.at, e.kind, e.server));
+        let has_partitions = !plan.partitions.is_empty();
+        let edges = if has_partitions {
+            num_clients * num_servers
+        } else {
+            0
+        };
+        let lease_ttl = plan.lease_ttl;
         FaultState {
             plan: plan.clone(),
             rng: SimRng::seed_from_u64(plan.drop_seed),
             events,
             next_event: 0,
             retry_budget: plan.retry_budget(),
+            num_servers,
+            has_partitions,
+            cut: vec![0; edges],
+            cut_until: vec![SimTime::ZERO; edges],
+            lease_until: vec![SimTime::ZERO + lease_ttl; edges],
+            revoked: vec![Vec::new(); edges],
         }
+    }
+
+    /// The per-edge index of the (client, server) pair.
+    #[inline]
+    fn edge(&self, ci: u16, si: usize) -> usize {
+        ci as usize * self.num_servers + si
+    }
+
+    /// Whether the client↔server edge is currently cut by a partition.
+    #[inline]
+    pub(crate) fn edge_cut(&self, ci: u16, si: usize) -> bool {
+        self.has_partitions && self.cut[self.edge(ci, si)] > 0
+    }
+
+    /// Whether the plan schedules any partitions at all.
+    #[inline]
+    pub(crate) fn any_partitions(&self) -> bool {
+        self.has_partitions
+    }
+
+    /// Whether any client's grant on `file` at server `si` is
+    /// currently revoked (lease lapsed behind a still-open cut). The
+    /// server can no longer account for that client's operations — it
+    /// keeps running behind the cut and its writes land synchronously
+    /// when the overlay delivers them — so the file loses caching
+    /// privileges for *everyone* until the heal drains the revocation
+    /// list and the grant is reasserted or abandoned.
+    fn file_revoked(&self, si: usize, file: FileId) -> bool {
+        if !self.has_partitions {
+            return false;
+        }
+        self.revoked
+            .iter()
+            .skip(si)
+            .step_by(self.num_servers)
+            .any(|files| files.contains(&file))
     }
 }
 
@@ -351,7 +444,10 @@ impl<S: TraceSink> Cluster<S> {
         let obs = cfg
             .observe
             .then(|| Box::new(Obs::with_capacity(cfg.obs_ring_capacity)));
-        let fault = cfg.faults.as_ref().map(FaultState::new);
+        let fault = cfg
+            .faults
+            .as_ref()
+            .map(|p| FaultState::new(p, cfg.num_clients as usize, cfg.num_servers as usize));
         let race = cfg
             .racecheck
             .then(|| Box::new(crate::racecheck::RaceStats::default()));
@@ -815,15 +911,27 @@ impl<S: TraceSink> Cluster<S> {
         // Stamp what reached disk before the volatile state vanishes.
         self.drain_disk_flush_logs();
         let mut lost_blocks = Vec::new();
-        let lost = self.servers[si].crash(&mut lost_blocks);
+        let mut saved_blocks = Vec::new();
+        let lost = self.servers[si].crash(
+            &mut lost_blocks,
+            self.cfg.server_nvram_bytes,
+            &mut saved_blocks,
+        );
+        let saved: u64 = saved_blocks.iter().map(|&(_, b)| b).sum();
         if let Some(san) = self.san.as_deref_mut() {
             for &(key, _) in &lost_blocks {
                 san.on_server_crash_lost(key);
+            }
+            // NVRAM-protected blocks survive the crash exactly as if
+            // they had reached disk in time.
+            for &(key, _) in &saved_blocks {
+                san.on_server_disk_flush(key);
             }
         }
         let c = &mut self.servers[si].counters;
         c.bump(fault::SRV_CRASHES);
         c.add(fault::SRV_LOST_BYTES, lost);
+        c.add(fault::NVRAM_SAVED_BYTES, saved);
         self.server_down[si] = true;
         self.down_until[si] = until;
         self.crashed_at[si] = self.now;
@@ -1049,7 +1157,7 @@ impl<S: TraceSink> Cluster<S> {
     /// a down server (bounded by the retry budget; the op itself is
     /// queued and delivered at recovery) and seeded message drops with
     /// retransmission/backoff cost. No-op without a [`FaultPlan`].
-    fn fault_rpc(&mut self, ci: usize, si: usize) {
+    fn fault_rpc(&mut self, ci: usize, si: usize, kind: RpcKind) {
         let Some(fstate) = self.fault.as_mut() else {
             return;
         };
@@ -1060,6 +1168,7 @@ impl<S: TraceSink> Cluster<S> {
             &mut self.clients[ci].metrics.counters,
             ci as u16,
             si,
+            kind,
             self.now,
             self.obs.as_deref_mut(),
         );
@@ -1081,6 +1190,366 @@ impl<S: TraceSink> Cluster<S> {
             FaultEventKind::Reboot => {
                 self.recover_server(ServerId(ev.server));
             }
+            FaultEventKind::PartitionStart { idx } => {
+                self.partition_start(idx);
+            }
+            FaultEventKind::PartitionHeal { idx } => {
+                self.partition_heal(idx);
+            }
+        }
+    }
+
+    /// Cuts every edge of partition `idx`. RPCs on a cut edge stall
+    /// (and can exhaust their retry budget) until the heal; consistency
+    /// actions *toward* a cut client go through
+    /// [`Cluster::partition_action`] instead.
+    fn partition_start(&mut self, idx: usize) {
+        // Any calm summary may be invalidated by lease revocations that
+        // follow from this cut; force every decision onto the slow path
+        // for the duration.
+        self.conflict_epoch += 1;
+        let (edges, heal_at) = {
+            let f = self.fault.as_ref().expect("partition without plan");
+            let p = &f.plan.partitions[idx];
+            (p.edges.clone(), p.heal_at())
+        };
+        for (c, s) in edges {
+            {
+                let f = self.fault.as_mut().expect("plan in force");
+                let e = f.edge(c, s as usize);
+                f.cut[e] += 1;
+                if f.cut_until[e] < heal_at {
+                    f.cut_until[e] = heal_at;
+                }
+            }
+            self.servers[s as usize]
+                .counters
+                .bump(fault::PART_CUT_EDGES);
+            self.obs_event(ObsEventKind::PartitionCut, c, s, heal_at.as_micros());
+        }
+    }
+
+    /// Heals every edge of partition `idx`. A fully healed edge runs
+    /// the recovery protocol selected by
+    /// [`FaultPlan::conservative_recovery`]: the conservative baseline
+    /// treats the healed edge like a rebooted server (Reregister plus
+    /// one Reopen per live handle), the lease protocol sends one
+    /// renewal plus one [`RpcKind::Reassert`] per revoked grant.
+    fn partition_heal(&mut self, idx: usize) {
+        self.conflict_epoch += 1;
+        let (edges, cut_at) = {
+            let f = self.fault.as_ref().expect("partition without plan");
+            let p = &f.plan.partitions[idx];
+            (p.edges.clone(), p.at)
+        };
+        for (c, s) in edges {
+            let (healed, conservative) = {
+                let f = self.fault.as_mut().expect("plan in force");
+                let e = f.edge(c, s as usize);
+                f.cut[e] -= 1;
+                // The lease clock restarts from the heal: the client
+                // talks to the server again from this instant on.
+                if f.cut[e] == 0 {
+                    f.lease_until[e] = self.now + f.plan.lease_ttl;
+                }
+                (f.cut[e] == 0, f.plan.conservative_recovery)
+            };
+            if !healed {
+                continue; // Still cut by an overlapping partition.
+            }
+            let dur = self.now.since(cut_at);
+            self.servers[s as usize]
+                .counters
+                .add(fault::PART_CUT_US, dur.as_micros());
+            self.obs_event(ObsEventKind::PartitionHeal, c, s, dur.as_micros());
+            if conservative {
+                self.conservative_heal(c as usize, s as usize);
+            } else {
+                self.lease_heal(c as usize, s as usize);
+            }
+        }
+    }
+
+    /// Client `ci`'s stake on server `si` at heal time: live handles
+    /// (which a conservative heal reopens, mirroring the
+    /// [`Cluster::recover_server`] rule), cached files with no live
+    /// handle (which a conservative heal must revalidate one by one —
+    /// see [`Cluster::conservative_heal`]), and whether the client has
+    /// any stake at all.
+    fn edge_stake(&self, ci: usize, si: usize) -> (u64, u64, bool) {
+        let sid = self.servers[si].id;
+        let mut reopens = 0u64;
+        for f in self.clients[ci].fds.values() {
+            if self.files.get(f.file).is_some_and(|m| m.server == sid) {
+                reopens += 1;
+            }
+        }
+        let mut revalidations = 0u64;
+        let mut indices: Vec<u64> = Vec::new();
+        for (file, meta) in self.files.iter() {
+            if meta.server != sid {
+                continue;
+            }
+            if self.clients[ci].fds.values().any(|f| f.file == file) {
+                continue; // counted as a reopen above
+            }
+            self.clients[ci].cache.blocks_of_into(file, &mut indices);
+            if !indices.is_empty() {
+                revalidations += 1;
+            }
+        }
+        (reopens, revalidations, reopens > 0 || revalidations > 0)
+    }
+
+    /// Conservative heal storm for one edge: the client cannot tell a
+    /// partition from a server reboot (both look like timeouts), so it
+    /// re-registers and reopens every live handle — the full
+    /// crash-recovery protocol. But a heal is *worse* than a reboot for
+    /// the cache: while a crashed server was down nobody could write
+    /// anything, so cached blocks are trivially still valid at
+    /// recovery; across a partition the server kept serving the
+    /// reachable clients, so every file this client has cached may
+    /// have changed behind its back and must be revalidated with its
+    /// own round trip. The lease protocol exists to collapse exactly
+    /// this per-file revalidation into one renewal.
+    fn conservative_heal(&mut self, ci: usize, si: usize) {
+        let (reopens, revalidations, involved) = self.edge_stake(ci, si);
+        if !involved {
+            return;
+        }
+        let roundtrips = reopens + revalidations;
+        let c = &mut self.clients[ci].metrics.counters;
+        count_rpc(c, RpcKind::Reregister, 0);
+        for _ in 0..roundtrips {
+            count_rpc(c, RpcKind::Reopen, 0);
+        }
+        let sc = &mut self.servers[si].counters;
+        count_rpc(sc, RpcKind::Reregister, 0);
+        for _ in 0..roundtrips {
+            count_rpc(sc, RpcKind::Reopen, 0);
+        }
+        sc.add(fault::HEAL_REREGISTERS, 1);
+        sc.add(fault::HEAL_REOPENS, roundtrips);
+        sc.add(fault::HEAL_STORM_RPCS, 1 + roundtrips);
+        self.obs_event(ObsEventKind::Reregister, ci as u16, si as u16, roundtrips);
+    }
+
+    /// Lease-protocol heal storm for one edge: one lease renewal if the
+    /// client has any stake on the server, plus one Reassert per
+    /// revoked grant the client still holds open. Grants whose lease
+    /// never lapsed need nothing (the server kept them), and revoked
+    /// grants on files the client has since closed need nothing either
+    /// (both sides already agree the grant is gone) — which is why this
+    /// storm is strictly smaller than the conservative one.
+    fn lease_heal(&mut self, ci: usize, si: usize) {
+        let mut revoked: Vec<FileId> = {
+            let f = self.fault.as_mut().expect("plan in force");
+            let e = f.edge(ci as u16, si);
+            std::mem::take(&mut f.revoked[e])
+        };
+        revoked.retain(|&file| self.clients[ci].fds.values().any(|f| f.file == file));
+        let (_, _, involved) = self.edge_stake(ci, si);
+        if !involved && revoked.is_empty() {
+            return;
+        }
+        count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::LeaseRenew, 0);
+        count_rpc(&mut self.servers[si].counters, RpcKind::LeaseRenew, 0);
+        {
+            let sc = &mut self.servers[si].counters;
+            sc.add(fault::HEAL_RENEWALS, 1);
+            sc.add(fault::HEAL_STORM_RPCS, 1);
+        }
+        self.obs_rpc(RpcKind::LeaseRenew, ci, si, 0, false);
+        for file in revoked {
+            count_rpc(&mut self.clients[ci].metrics.counters, RpcKind::Reassert, 0);
+            count_rpc(&mut self.servers[si].counters, RpcKind::Reassert, 0);
+            {
+                let sc = &mut self.servers[si].counters;
+                sc.add(fault::HEAL_REASSERTS, 1);
+                sc.add(fault::HEAL_STORM_RPCS, 1);
+            }
+            self.obs_rpc(RpcKind::Reassert, ci, si, 0, false);
+            self.obs_event(ObsEventKind::Reassert, ci as u16, si as u16, file.raw());
+            self.reassert_file(ci, si, file);
+        }
+    }
+
+    /// Re-registers client `ci`'s surviving state on `file` with server
+    /// `si` after a lease revocation: live handles come back as opens
+    /// (the per-file slice of [`Cluster::rebuild_server_state`]).
+    /// Cached blocks were invalidated at revocation, so no reader token
+    /// or writer-of-record state comes back.
+    fn reassert_file(&mut self, ci: usize, si: usize, file: FileId) {
+        let client = self.clients[ci].id;
+        let mut opens: Vec<(Handle, OpenMode)> = self.clients[ci]
+            .fds
+            .iter()
+            .filter(|(_, f)| f.file == file)
+            .map(|(&h, f)| (h, f.mode))
+            .collect();
+        opens.sort_unstable_by_key(|&(h, _)| h);
+        if opens.is_empty() {
+            return;
+        }
+        let st = self.servers[si].file_state(file);
+        for &(handle, mode) in &opens {
+            // Handles opened *after* the revocation registered normally
+            // (the overlay delivers the Open); don't double-register.
+            if st.opens.iter().any(|o| o.client == client && o.handle == handle) {
+                continue;
+            }
+            st.opens.push(OpenEntry {
+                client,
+                handle,
+                mode,
+            });
+        }
+        let strong = matches!(
+            self.cfg.consistency,
+            ConsistencyPolicy::Sprite | ConsistencyPolicy::SpriteModified | ConsistencyPolicy::Token
+        );
+        if strong && st.write_shared() {
+            // The reasserted opens may re-create write sharing.
+            st.uncacheable = true;
+        }
+    }
+
+    /// Gate for a server→client consistency action (recall, token
+    /// recall, cache-disable invalidate) whose target may be behind a
+    /// cut edge. Returns `true` when the action should proceed as
+    /// usual (charging any wait to the requesting client), `false`
+    /// when the lease protocol revoked the target's grant instead — in
+    /// that case the target's state is already torn down and the
+    /// caller must skip the action entirely.
+    fn partition_action(
+        &mut self,
+        target: usize,
+        si: usize,
+        requester: usize,
+        file: FileId,
+    ) -> bool {
+        if target == requester {
+            // Self-directed actions ride the requester's own RPC reply,
+            // which already paid the partition stall.
+            return true;
+        }
+        let now = self.now;
+        enum Verdict {
+            Deliver,
+            Wait(SimDuration),
+            Revoke(SimDuration),
+        }
+        let verdict = {
+            let Some(f) = self.fault.as_ref() else {
+                return true;
+            };
+            if !f.has_partitions {
+                return true;
+            }
+            let e = f.edge(target as u16, si);
+            if f.cut[e] == 0 {
+                Verdict::Deliver
+            } else if f.plan.conservative_recovery || f.lease_until[e] >= f.cut_until[e] {
+                // Conservative baseline, or a lease that outlives the
+                // cut: the action is queued for the heal and the
+                // requester waits, bounded by its retry budget.
+                // Semantics are unchanged — the simulator models the
+                // eventual delivery by executing the action now and
+                // charging the wait.
+                Verdict::Wait(f.cut_until[e].since(now).min(f.retry_budget))
+            } else {
+                // Lease protocol and the target's lease lapses before
+                // the heal: wait out whatever remains of the lease,
+                // then revoke the grant unilaterally.
+                Verdict::Revoke(f.lease_until[e].since(now).min(f.retry_budget))
+            }
+        };
+        match verdict {
+            Verdict::Deliver => true,
+            Verdict::Wait(stall) => {
+                let c = &mut self.clients[requester].metrics.counters;
+                c.bump(fault::PART_UNDELIVERED);
+                c.add(fault::PART_STALL_US, stall.as_micros());
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.span(SpanKind::Stall, stall);
+                }
+                true
+            }
+            Verdict::Revoke(wait) => {
+                let c = &mut self.clients[requester].metrics.counters;
+                c.add(fault::LEASE_WAIT_US, wait.as_micros());
+                if wait > SimDuration::ZERO {
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        obs.span(SpanKind::Stall, wait);
+                    }
+                }
+                self.revoke_client_file(target, si, file, requester);
+                false
+            }
+        }
+    }
+
+    /// Unilaterally revokes client `ci`'s grant on `file`: its lease
+    /// lapsed during a partition, so the server stops waiting for it.
+    /// Dirty data under the lapsed lease is lost exactly like a client
+    /// crash; the client's cached copy, opens, writer-of-record, and
+    /// token state are torn down. The grant is remembered per edge so
+    /// the client reasserts it on heal.
+    ///
+    /// The revoked client keeps running behind the cut, and the server
+    /// has just forgotten every open it held — so from here until the
+    /// heal the server cannot see conflicts involving it. Caching on
+    /// the file is therefore disabled for everyone: surviving holders
+    /// are flushed and invalidated through the ordinary write-sharing
+    /// machinery ([`Cluster::disable_caching`], charged to
+    /// `requester`, whose conflicting action triggered the
+    /// revocation), and [`FaultState::file_revoked`] keeps the data
+    /// path synchronous until the heal drains the revocation list.
+    fn revoke_client_file(&mut self, ci: usize, si: usize, file: FileId, requester: usize) {
+        self.conflict_epoch += 1;
+        let client = self.clients[ci].id;
+        // Roll the oracle back before dropping the blocks, exactly as
+        // a client crash does — the server's copy is the truth again.
+        let mut lost = 0u64;
+        for index in self.clients[ci].cache.dirty_blocks_of(file) {
+            let key = BlockKey { file, index };
+            if let Some(entry) = self.clients[ci].cache.get(key) {
+                lost += entry.dirty_app_bytes;
+            }
+            if let Some(san) = self.san.as_deref_mut() {
+                san.on_crash_lost(client, key);
+            }
+        }
+        invalidate_file(&mut self.clients[ci].data, file, false, self.san.as_deref_mut());
+        {
+            let c = &mut self.servers[si].counters;
+            c.bump(fault::LEASE_EXPIRY_RECALLS);
+            c.add(fault::LEASE_LOST_BYTES, lost);
+        }
+        // Server side: the grant is forgotten until reasserted on heal.
+        let st = self.servers[si].file_state(file);
+        st.opens.retain(|o| o.client != client);
+        if st.last_writer == Some(client) {
+            st.last_writer = None;
+        }
+        if st.tokens.writer == Some(client) {
+            st.tokens.writer = None;
+        }
+        st.tokens.readers.remove(&client);
+        let needs_disable = !st.uncacheable;
+        if needs_disable {
+            // Idempotence guard doubles as the recursion bound:
+            // `disable_caching` marks the file uncacheable *before*
+            // walking holders, so revocations it triggers in turn
+            // (holders behind other lapsed cuts) skip this branch.
+            self.disable_caching(file, si, requester);
+        }
+        self.servers[si].gc_file(file);
+        self.obs_event(ObsEventKind::LeaseRevoke, ci as u16, si as u16, file.raw());
+        let f = self.fault.as_mut().expect("revocation requires a plan");
+        let e = f.edge(ci as u16, si);
+        if !f.revoked[e].contains(&file) {
+            f.revoked[e].push(file);
         }
     }
 
@@ -1146,6 +1615,7 @@ impl<S: TraceSink> Cluster<S> {
                 &self.clients,
                 &self.files,
                 &self.server_down,
+                self.fault.as_ref(),
                 &self.cfg,
                 now,
             );
@@ -1252,7 +1722,7 @@ impl<S: TraceSink> Cluster<S> {
         let version = meta.version;
         let si = server_id.raw() as usize;
 
-        self.fault_rpc(ci, si);
+        self.fault_rpc(ci, si, RpcKind::Open);
         count_rpc(self.ctl(ci), RpcKind::Open, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Open, 0);
         self.obs_rpc(RpcKind::Open, ci, si, 0, false);
@@ -1347,16 +1817,23 @@ impl<S: TraceSink> Cluster<S> {
                 mode,
             });
 
-            // Concurrent write-sharing: detect and, under the Sprite
-            // policies, disable caching.
+            // Concurrent write-sharing: detect and, under the strongly
+            // consistent policies, disable caching. Sprite does so by
+            // design; token mode must as well, because tokens are
+            // enforced at open granularity here — once a writer and a
+            // reader hold the file open together, only pass-through
+            // I/O keeps every interleaving of their ops coherent
+            // (found by SpriteSan under the partition fuzzer).
             if !is_dir && st.write_shared() {
                 self.ctl(ci).bump(consist::CWS_OPENS);
-                let sprite_family = matches!(
+                let strong = matches!(
                     self.cfg.consistency,
-                    ConsistencyPolicy::Sprite | ConsistencyPolicy::SpriteModified
+                    ConsistencyPolicy::Sprite
+                        | ConsistencyPolicy::SpriteModified
+                        | ConsistencyPolicy::Token
                 );
-                if sprite_family && !self.servers[si].file_state(file).uncacheable {
-                    self.disable_caching(file, si);
+                if strong && !self.servers[si].file_state(file).uncacheable {
+                    self.disable_caching(file, si, ci);
                 }
             }
 
@@ -1417,20 +1894,24 @@ impl<S: TraceSink> Cluster<S> {
         let last_writer = self.servers[si].file_state(file).last_writer;
         if let Some(w) = last_writer {
             if w != op.client {
-                self.ctl(ci).bump(consist::RECALL_OPENS);
                 let wi = w.raw() as usize;
-                count_rpc(&mut self.servers[si].counters, RpcKind::Recall, 0);
-                count_rpc(self.ctl(wi), RpcKind::Recall, 0);
-                self.obs_rpc(RpcKind::Recall, wi, si, 0, false);
-                self.obs_event(ObsEventKind::Recall, wi as u16, si as u16, file.raw());
-                self.dispatch(
-                    wi,
-                    ClientTask::FlushFile {
-                        file,
-                        reason: CleanReason::Recall,
-                    },
-                );
-                self.servers[si].file_state(file).last_writer = None;
+                // A writer behind a cut edge may lose its grant to
+                // lease expiry instead of answering the recall.
+                if self.partition_action(wi, si, ci, file) {
+                    self.ctl(ci).bump(consist::RECALL_OPENS);
+                    count_rpc(&mut self.servers[si].counters, RpcKind::Recall, 0);
+                    count_rpc(self.ctl(wi), RpcKind::Recall, 0);
+                    self.obs_rpc(RpcKind::Recall, wi, si, 0, false);
+                    self.obs_event(ObsEventKind::Recall, wi as u16, si as u16, file.raw());
+                    self.dispatch(
+                        wi,
+                        ClientTask::FlushFile {
+                            file,
+                            reason: CleanReason::Recall,
+                        },
+                    );
+                    self.servers[si].file_state(file).last_writer = None;
+                }
             }
         }
     }
@@ -1453,27 +1934,37 @@ impl<S: TraceSink> Cluster<S> {
             if !already {
                 if let Some(w) = writer {
                     // Recall the write token: the holder flushes and
-                    // invalidates.
+                    // invalidates (unless its lease lapsed behind a cut
+                    // edge, in which case the revocation did the work).
                     let wi = w.raw() as usize;
-                    count_rpc(self.ctl(wi), RpcKind::TokenRecall, 0);
-                    self.dispatch(
-                        wi,
-                        ClientTask::FlushFile {
-                            file,
-                            reason: CleanReason::Recall,
-                        },
-                    );
-                    self.dispatch(wi, ClientTask::Invalidate { file, stale: false });
-                    self.obs_rpc(RpcKind::TokenRecall, wi, si, 0, false);
-                    self.obs_event(ObsEventKind::Recall, wi as u16, si as u16, file.raw());
+                    if self.partition_action(wi, si, ci, file) {
+                        count_rpc(self.ctl(wi), RpcKind::TokenRecall, 0);
+                        self.dispatch(
+                            wi,
+                            ClientTask::FlushFile {
+                                file,
+                                reason: CleanReason::Recall,
+                            },
+                        );
+                        self.dispatch(wi, ClientTask::Invalidate { file, stale: false });
+                        self.obs_rpc(RpcKind::TokenRecall, wi, si, 0, false);
+                        self.obs_event(ObsEventKind::Recall, wi as u16, si as u16, file.raw());
+                    }
                 }
                 for &r in &readers {
                     if r != me {
                         let ri = r.raw() as usize;
-                        count_rpc(self.ctl(ri), RpcKind::TokenRecall, 0);
-                        self.dispatch(ri, ClientTask::Invalidate { file, stale: false });
-                        self.obs_rpc(RpcKind::TokenRecall, ri, si, 0, false);
-                        self.obs_event(ObsEventKind::Invalidate, ri as u16, si as u16, file.raw());
+                        if self.partition_action(ri, si, ci, file) {
+                            count_rpc(self.ctl(ri), RpcKind::TokenRecall, 0);
+                            self.dispatch(ri, ClientTask::Invalidate { file, stale: false });
+                            self.obs_rpc(RpcKind::TokenRecall, ri, si, 0, false);
+                            self.obs_event(
+                                ObsEventKind::Invalidate,
+                                ri as u16,
+                                si as u16,
+                                file.raw(),
+                            );
+                        }
                     }
                 }
                 let st = self.servers[si].file_state(file);
@@ -1532,7 +2023,7 @@ impl<S: TraceSink> Cluster<S> {
             None => true,
         };
         if due {
-            self.fault_rpc(ci, si);
+            self.fault_rpc(ci, si, RpcKind::GetAttr);
             count_rpc(self.ctl(ci), RpcKind::GetAttr, 0);
             count_rpc(&mut self.servers[si].counters, RpcKind::GetAttr, 0);
             self.obs_rpc(RpcKind::GetAttr, ci, si, 0, false);
@@ -1623,7 +2114,9 @@ impl<S: TraceSink> Cluster<S> {
 
     /// Disables client caching for a write-shared file: every client with
     /// an open flushes dirty data and invalidates its cache.
-    fn disable_caching(&mut self, file: FileId, si: usize) {
+    /// `requester` is the client whose open triggered the disable (it
+    /// absorbs any partition wait for unreachable holders).
+    fn disable_caching(&mut self, file: FileId, si: usize, requester: usize) {
         // The flip invalidates every open handle's pass-through memo.
         self.conflict_epoch += 1;
         let mut holders = std::mem::take(&mut self.scratch_clients);
@@ -1637,6 +2130,9 @@ impl<S: TraceSink> Cluster<S> {
         }
         for &c in &holders {
             let ci = c.raw() as usize;
+            if !self.partition_action(ci, si, requester, file) {
+                continue; // Lease revoked: the holder's cache is gone.
+            }
             count_rpc(self.ctl(ci), RpcKind::Invalidate, 0);
             self.dispatch(
                 ci,
@@ -1667,7 +2163,7 @@ impl<S: TraceSink> Cluster<S> {
         let size = meta.size;
         let version = meta.version;
         let si = server_id.raw() as usize;
-        self.fault_rpc(ci, si);
+        self.fault_rpc(ci, si, RpcKind::Close);
         count_rpc(self.ctl(ci), RpcKind::Close, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Close, 0);
         self.obs_rpc(RpcKind::Close, ci, si, 0, false);
@@ -1715,13 +2211,16 @@ impl<S: TraceSink> Cluster<S> {
                         re_enabled = true;
                     }
                 }
-                ConsistencyPolicy::SpriteModified => {
+                // Token re-grants caching once the conflicting open
+                // ends, like a delegation returned and re-issued — the
+                // same condition Modified Sprite uses.
+                ConsistencyPolicy::SpriteModified | ConsistencyPolicy::Token => {
                     if st.uncacheable && !st.write_shared() {
                         st.uncacheable = false;
                         re_enabled = true;
                     }
                 }
-                ConsistencyPolicy::Token | ConsistencyPolicy::Polling { .. } => {}
+                ConsistencyPolicy::Polling { .. } => {}
             }
             if re_enabled {
                 // Open handles may hold a pass-through memo for this
@@ -1756,10 +2255,12 @@ impl<S: TraceSink> Cluster<S> {
     // ------------------------------------------------------------------
 
     /// Whether data ops on `fd` bypass the client cache (the file is
-    /// uncacheable). With the fast path on, the answer is memoized on
-    /// the [`FdState`] and trusted while the conflict epoch is unchanged
-    /// — every `uncacheable` flip bumps the epoch — saving one server
-    /// file-state lookup on the hottest ops in the simulator.
+    /// uncacheable, or a lease revocation on it is outstanding). With
+    /// the fast path on, the answer is memoized on the [`FdState`] and
+    /// trusted while the conflict epoch is unchanged — every
+    /// `uncacheable` flip, lease revocation, partition cut, and heal
+    /// bumps the epoch — saving one server file-state lookup on the
+    /// hottest ops in the simulator.
     fn fd_pass_through(&mut self, ci: usize, fd: Handle, fdst: &FdState, file: FileId, si: usize) -> bool {
         if self.cfg.consistency_fast_path && fdst.pass_epoch == self.conflict_epoch {
             return fdst.pass_through;
@@ -1767,7 +2268,11 @@ impl<S: TraceSink> Cluster<S> {
         let uncacheable = self.servers[si]
             .files
             .get(&file)
-            .is_some_and(|st| st.uncacheable);
+            .is_some_and(|st| st.uncacheable)
+            || self
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.file_revoked(si, file));
         if self.cfg.consistency_fast_path {
             if let Some(f) = self.clients[ci].fds.get_mut(&fd) {
                 f.pass_epoch = self.conflict_epoch;
@@ -1798,7 +2303,7 @@ impl<S: TraceSink> Cluster<S> {
 
         if uncacheable {
             // Pass-through read on a write-shared file.
-            self.fault_rpc(ci, si);
+            self.fault_rpc(ci, si, RpcKind::SharedRead);
             let c = self.ctl(ci);
             c.add(raw::SHARED_READ, eff);
             c.add(srv::SHARED_READ, eff);
@@ -1881,7 +2386,7 @@ impl<S: TraceSink> Cluster<S> {
         let new_size = meta.size;
 
         if uncacheable {
-            self.fault_rpc(ci, si);
+            self.fault_rpc(ci, si, RpcKind::SharedWrite);
             let c = self.ctl(ci);
             c.add(raw::SHARED_WRITE, len);
             c.add(srv::SHARED_WRITE, len);
@@ -1959,7 +2464,7 @@ impl<S: TraceSink> Cluster<S> {
         count_rpc(self.ctl(ci), RpcKind::Fsync, 0);
         if let Some(meta) = self.files.get(file) {
             let si = meta.server.raw() as usize;
-            self.fault_rpc(ci, si);
+            self.fault_rpc(ci, si, RpcKind::Fsync);
             self.obs_rpc(RpcKind::Fsync, ci, si, 0, false);
         }
         self.dispatch(
@@ -1978,8 +2483,28 @@ impl<S: TraceSink> Cluster<S> {
     fn do_create(&mut self, op: &AppOp, file: FileId, is_dir: bool) {
         let ci = op.client.raw() as usize;
         let server = assign_server(file, self.cfg.num_servers);
+        // Creating over a live file is an overwrite-truncate: every
+        // cached copy (dirty included) belongs to the old incarnation
+        // and is dropped everywhere, exactly as in `do_truncate` —
+        // otherwise a stale dirty block out-versions the reborn file
+        // and resurfaces through a later write-back (found by
+        // SpriteSan under the partition fuzzer).
+        let overwrite = self.files.get(file).is_some();
+        if overwrite {
+            let si = server.raw() as usize;
+            if let Some(st) = self.servers[si].files.get_mut(&file) {
+                st.calm.live = false;
+            }
+            for c in 0..self.clients.len() {
+                self.dispatch(c, ClientTask::DropFile { file });
+            }
+            if let Some(san) = self.san.as_deref_mut() {
+                san.on_file_erased(file);
+            }
+            self.server_drop_file(si, file);
+        }
         self.files.create(file, server, is_dir, self.now);
-        self.fault_rpc(ci, server.raw() as usize);
+        self.fault_rpc(ci, server.raw() as usize, RpcKind::Create);
         count_rpc(self.ctl(ci), RpcKind::Create, 0);
         count_rpc(
             &mut self.servers[server.raw() as usize].counters,
@@ -1993,8 +2518,13 @@ impl<S: TraceSink> Cluster<S> {
         // without ever running the slow walk. Only the Sprite policies
         // qualify: polling must still pay its first GetAttr and token
         // mode its first acquire, so their first opens stay slow.
+        // An overwrite-create does NOT qualify: other clients may still
+        // hold open handles on the reborn file (their `st.opens` entries
+        // survive the truncate), so the first open must run the slow
+        // walk to detect write sharing.
         if self.cfg.consistency_fast_path
             && !is_dir
+            && !overwrite
             && matches!(
                 self.cfg.consistency,
                 ConsistencyPolicy::Sprite | ConsistencyPolicy::SpriteModified
@@ -2027,7 +2557,7 @@ impl<S: TraceSink> Cluster<S> {
             return;
         };
         let si = meta.server.raw() as usize;
-        self.fault_rpc(ci, si);
+        self.fault_rpc(ci, si, RpcKind::Delete);
         count_rpc(self.ctl(ci), RpcKind::Delete, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Delete, 0);
         self.obs_rpc(RpcKind::Delete, ci, si, 0, false);
@@ -2087,7 +2617,7 @@ impl<S: TraceSink> Cluster<S> {
         if let Some(st) = self.servers[si].files.get_mut(&file) {
             st.calm.live = false;
         }
-        self.fault_rpc(ci, si);
+        self.fault_rpc(ci, si, RpcKind::Truncate);
         count_rpc(self.ctl(ci), RpcKind::Truncate, 0);
         count_rpc(&mut self.servers[si].counters, RpcKind::Truncate, 0);
         self.obs_rpc(RpcKind::Truncate, ci, si, 0, false);
@@ -2120,7 +2650,7 @@ impl<S: TraceSink> Cluster<S> {
         meta.size = meta.size.max(bytes);
         let server_id = meta.server;
         let si = server_id.raw() as usize;
-        self.fault_rpc(ci, si);
+        self.fault_rpc(ci, si, RpcKind::ReadDir);
         let c = self.ctl(ci);
         c.add(raw::DIR_READ, bytes);
         c.add(srv::DIR_READ, bytes);
@@ -2181,7 +2711,7 @@ impl<S: TraceSink> Cluster<S> {
         let si = meta.server.raw() as usize;
         let bs = self.cfg.block_size;
         if read {
-            self.fault_rpc(ci, si);
+            self.fault_rpc(ci, si, RpcKind::PageIn);
             let c = self.ctl(ci);
             c.add(raw::PAGING_BACKING_READ, bytes);
             c.add(srv::PAGING_READ, bytes);
@@ -2198,7 +2728,7 @@ impl<S: TraceSink> Cluster<S> {
                 meta.size = offset + bytes;
             }
             meta.note_write(self.now, was_empty);
-            self.fault_rpc(ci, si);
+            self.fault_rpc(ci, si, RpcKind::PageOut);
             let c = self.ctl(ci);
             c.add(raw::PAGING_BACKING_WRITE, bytes);
             c.add(srv::PAGING_WRITE, bytes);
@@ -2231,8 +2761,9 @@ fn fault_rpc_account(
     counters: &mut CounterSet,
     ci: u16,
     si: usize,
+    kind: RpcKind,
     now: SimTime,
-    obs: Option<&mut Obs>,
+    mut obs: Option<&mut Obs>,
 ) {
     if server_down[si] {
         let remaining = down_until[si].since(now);
@@ -2241,12 +2772,42 @@ fn fault_rpc_account(
         counters.add(fault::STALL_US, stall.as_micros());
         if remaining > fstate.retry_budget {
             counters.bump(fault::FAILED_RPCS);
+            if let Some(obs) = obs.as_deref_mut() {
+                obs.exhaust(kind);
+            }
         }
         if let Some(obs) = obs {
             obs.span(SpanKind::Stall, stall);
             obs.retry(now, ci, si as u16, 0, stall);
         }
         return;
+    }
+    if fstate.has_partitions {
+        let e = fstate.edge(ci, si);
+        if fstate.cut[e] > 0 {
+            // The edge is cut: the RPC times out and is retried until
+            // the heal or the retry budget runs out. Like outage
+            // stalls, the operation itself still executes — the cost
+            // is time, not data (DESIGN.md §15).
+            let remaining = fstate.cut_until[e].since(now);
+            let stall = remaining.min(fstate.retry_budget);
+            counters.bump(fault::PART_STALLED_RPCS);
+            counters.add(fault::PART_STALL_US, stall.as_micros());
+            if remaining > fstate.retry_budget {
+                counters.bump(fault::PART_FAILED_RPCS);
+                if let Some(obs) = obs.as_deref_mut() {
+                    obs.exhaust(kind);
+                }
+            }
+            if let Some(obs) = obs {
+                obs.span(SpanKind::Stall, stall);
+                obs.retry(now, ci, si as u16, 0, stall);
+            }
+            return;
+        }
+        // An RPC that reaches the server implicitly renews the
+        // client's lease on this edge.
+        fstate.lease_until[e] = now + fstate.plan.lease_ttl;
     }
     if fstate.plan.drop_prob > 0.0 {
         let mut tries = 0u32;
@@ -2259,6 +2820,9 @@ fn fault_rpc_account(
             counters.add(fault::STALL_US, stall.as_micros());
             if tries == fstate.plan.max_retries {
                 counters.bump(fault::FAILED_RPCS);
+                if let Some(obs) = obs.as_deref_mut() {
+                    obs.exhaust(kind);
+                }
             }
             if let Some(obs) = obs {
                 obs.retry(now, ci, si as u16, u64::from(tries), stall);
@@ -2496,7 +3060,7 @@ fn data_cached_read<A: ServerAccess, M: SizeView>(
                 &mut data.metrics.counters,
                 ci,
                 si,
-                now,
+                RpcKind::ReadBlock,now,
                 obs.as_deref_mut(),
             );
         }
@@ -2613,7 +3177,7 @@ fn data_cached_write<A: ServerAccess, M: SizeView>(
                         &mut data.metrics.counters,
                         ci,
                         si,
-                        now,
+                        RpcKind::ReadBlock,now,
                         obs.as_deref_mut(),
                     );
                 }
@@ -2662,7 +3226,7 @@ fn data_cached_write<A: ServerAccess, M: SizeView>(
                     &mut data.metrics.counters,
                     ci,
                     si,
-                    now,
+                    RpcKind::WriteBlock,now,
                     obs.as_deref_mut(),
                 );
             }
@@ -2697,7 +3261,7 @@ fn data_cached_write<A: ServerAccess, M: SizeView>(
                     &mut data.metrics.counters,
                     ci,
                     si,
-                    now,
+                    RpcKind::WriteBlock,now,
                     obs.as_deref_mut(),
                 );
             }
@@ -2934,7 +3498,7 @@ fn data_proc_start<A: ServerAccess, M: SizeView>(
                         &mut data.metrics.counters,
                         ci,
                         si,
-                        now,
+                        RpcKind::PageIn,now,
                         obs.as_deref_mut(),
                     );
                 }
@@ -3060,13 +3624,33 @@ fn data_daemon_flush<A: ServerAccess, M: SizeView>(
     mut obs: Option<&mut Obs>,
 ) {
     let any_down = server_down.iter().any(|&d| d);
+    let any_cut = fstate.as_deref().is_some_and(|f| f.has_partitions);
     let mut files = std::mem::take(&mut data.scratch_files);
     data.cache.files_with_dirty_before_into(cutoff, &mut files);
     for &file in &files {
-        if any_down {
+        if any_down || any_cut {
             let down_si = assign_server(file, cfg.num_servers).raw() as usize;
             if server_down[down_si] {
                 data.metrics.counters.bump(fault::QUEUED_WRITEBACKS);
+                if let Some(obs) = obs.as_deref_mut() {
+                    obs.event(
+                        ObsEventKind::QueuedWriteBack,
+                        now,
+                        data.id.raw(),
+                        down_si as u16,
+                        file.raw(),
+                    );
+                }
+                continue;
+            }
+            // A cut edge queues the write-back just like a down
+            // server: the blocks stay dirty until the heal (or until a
+            // lapsed lease revokes them).
+            if fstate
+                .as_deref()
+                .is_some_and(|f| f.edge_cut(data.id.raw(), down_si))
+            {
+                data.metrics.counters.bump(fault::PART_QUEUED_WRITEBACKS);
                 if let Some(obs) = obs.as_deref_mut() {
                     obs.event(
                         ObsEventKind::QueuedWriteBack,
@@ -3161,7 +3745,7 @@ fn writeback_block<A: ServerAccess, M: SizeView>(
             &mut data.metrics.counters,
             data.id.raw(),
             si,
-            now,
+            RpcKind::WriteBlock,now,
             obs.as_deref_mut(),
         );
     }

@@ -93,6 +93,29 @@ impl ServerOutage {
     }
 }
 
+/// One scheduled network partition: a set of client↔server edges is cut
+/// at `at` and heals `heal_after` later. Both endpoints stay alive — the
+/// server keeps serving reachable clients, the cut clients keep running
+/// against their caches — but RPCs on a cut edge time out, and
+/// consistency actions (recalls, invalidations) aimed across the cut
+/// cannot be delivered until the heal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// When the edges are cut.
+    pub at: SimTime,
+    /// How long the partition lasts before the network heals.
+    pub heal_after: SimDuration,
+    /// The `(client, server)` edges cut by this partition.
+    pub edges: Vec<(u16, u16)>,
+}
+
+impl Partition {
+    /// When the partition heals and the cut edges reconnect.
+    pub fn heal_at(&self) -> SimTime {
+        self.at + self.heal_after
+    }
+}
+
 /// A deterministic fault-injection plan.
 ///
 /// Everything here is driven by the simulation clock and a seeded
@@ -104,8 +127,10 @@ impl ServerOutage {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Scheduled server crashes and reboots. Outages of the same server
-    /// must not overlap.
+    /// must be chronological and must not overlap.
     pub outages: Vec<ServerOutage>,
+    /// Scheduled network partitions (edges cut, both ends alive).
+    pub partitions: Vec<Partition>,
     /// Probability that any single client→server RPC transmission is
     /// dropped and must be retransmitted after a timeout. `0.0` disables
     /// the drop machinery (and its RNG draws) entirely.
@@ -120,17 +145,32 @@ pub struct FaultPlan {
     /// Retransmissions attempted before the client declares the server
     /// unreachable and queues the operation for recovery.
     pub max_retries: u32,
+    /// Lease TTL for cached-state grants. Every successful RPC on a
+    /// client↔server edge implicitly renews the edge's lease; once a
+    /// partition has kept the edge silent past the TTL, the server may
+    /// unilaterally revoke the client's grants (and the client — whose
+    /// clock agrees — discards them). Only consulted while a partition
+    /// plan is active.
+    pub lease_ttl: SimDuration,
+    /// Run the pre-lease conservative recovery protocol instead: the
+    /// server keeps state for unreachable clients and, on heal,
+    /// re-validates everything with a crash-style Reregister/Reopen
+    /// storm. Kept as the comparison baseline for the lease protocol.
+    pub conservative_recovery: bool,
 }
 
 impl Default for FaultPlan {
     fn default() -> Self {
         FaultPlan {
             outages: Vec::new(),
+            partitions: Vec::new(),
             drop_prob: 0.0,
             drop_seed: 0x5350_5249_5445_4653, // "SPRITEFS"
             rpc_timeout: SimDuration::from_secs(1),
             retry_backoff: SimDuration::from_secs(1),
             max_retries: 5,
+            lease_ttl: SimDuration::from_secs(60),
+            conservative_recovery: false,
         }
     }
 }
@@ -220,11 +260,18 @@ pub struct Config {
     /// that Sprite consistency performs when an open detects a stale
     /// cached version. Never enable outside tests.
     pub fault_skip_invalidate: bool,
-    /// Deterministic fault-injection plan (server crash/reboot schedule
-    /// and per-RPC message drops). `None` — the default — runs the
-    /// cluster fault-free with byte-identical output to builds that
-    /// predate the fault subsystem.
+    /// Deterministic fault-injection plan (server crash/reboot schedule,
+    /// network partitions, and per-RPC message drops). `None` — the
+    /// default — runs the cluster fault-free with byte-identical output
+    /// to builds that predate the fault subsystem.
     pub faults: Option<FaultPlan>,
+    /// Size of a battery-backed (NVRAM) server write buffer, in bytes.
+    /// On a crash, the newest-dirty-first `server_nvram_bytes` of
+    /// not-yet-on-disk data survive as if flushed — Section 5.4's
+    /// proposed fix for delayed-write loss. `0` (the default) disables
+    /// the buffer; delayed-write traffic savings are unaffected either
+    /// way because the buffer only matters at crash time.
+    pub server_nvram_bytes: u64,
     /// Control-plane consistency fast path: epoch-guarded per-file
     /// "calm" summaries let opens and closes of unshared files take an
     /// O(1) decision instead of the full consistency walk. Pure
@@ -269,6 +316,7 @@ impl Default for Config {
             obs_ring_capacity: crate::obs::RING_CAPACITY,
             fault_skip_invalidate: false,
             faults: None,
+            server_nvram_bytes: 0,
             consistency_fast_path: true,
         }
     }
@@ -337,7 +385,12 @@ impl Config {
             if plan.drop_prob > 0.0 && plan.max_retries == 0 {
                 return Err("drop_prob > 0 requires max_retries >= 1".into());
             }
-            let mut spans: Vec<(u16, SimTime, SimTime)> = Vec::new();
+            // Outages of one server must be listed chronologically and
+            // must not overlap: the fault scheduler fires them in plan
+            // order, so an out-of-order (or overlapping) pair would make
+            // behavior depend on event order rather than the plan.
+            let mut last_window: Vec<Option<(SimTime, SimTime)>> =
+                vec![None; self.num_servers as usize];
             for o in &plan.outages {
                 if o.server >= self.num_servers {
                     return Err(format!(
@@ -348,13 +401,44 @@ impl Config {
                 if o.down_for == SimDuration::ZERO {
                     return Err("outage down_for must be nonzero".into());
                 }
-                spans.push((o.server, o.at, o.reboot_at()));
-            }
-            spans.sort_unstable();
-            for w in spans.windows(2) {
-                if w[0].0 == w[1].0 && w[1].1 < w[0].2 {
-                    return Err(format!("server {} has overlapping outages", w[0].0));
+                let slot = &mut last_window[o.server as usize];
+                if let Some((prev_at, prev_end)) = *slot {
+                    if o.at < prev_at {
+                        return Err(format!(
+                            "server {} outages out of order: {} listed after {}",
+                            o.server, o.at, prev_at
+                        ));
+                    }
+                    if o.at < prev_end {
+                        return Err(format!("server {} has overlapping outages", o.server));
+                    }
                 }
+                *slot = Some((o.at, o.reboot_at()));
+            }
+            for p in &plan.partitions {
+                if p.heal_after == SimDuration::ZERO {
+                    return Err("partition heal_after must be nonzero".into());
+                }
+                if p.edges.is_empty() {
+                    return Err("partition cuts no edges".into());
+                }
+                for &(c, s) in &p.edges {
+                    if c >= self.num_clients {
+                        return Err(format!(
+                            "partition cuts client {} of {}",
+                            c, self.num_clients
+                        ));
+                    }
+                    if s >= self.num_servers {
+                        return Err(format!(
+                            "partition cuts server {} of {}",
+                            s, self.num_servers
+                        ));
+                    }
+                }
+            }
+            if !plan.partitions.is_empty() && plan.lease_ttl == SimDuration::ZERO {
+                return Err("partitions require a nonzero lease_ttl".into());
             }
         }
         Ok(())
@@ -464,10 +548,91 @@ mod tests {
         };
         assert!(c.validate().is_err());
 
+        // Out-of-order outages of one server: non-overlapping, but the
+        // later window is listed first. Previously accepted silently.
+        let c = Config {
+            faults: Some(FaultPlan {
+                outages: vec![outage(1, 300, 60), outage(1, 100, 60)],
+                ..FaultPlan::default()
+            }),
+            ..Config::default()
+        };
+        let err = c.validate().expect_err("out-of-order outages rejected");
+        assert!(err.contains("out of order"), "{err}");
+
+        // Back-to-back windows (reboot exactly at the next crash) are fine.
+        let c = Config {
+            faults: Some(FaultPlan {
+                outages: vec![outage(1, 100, 60), outage(1, 160, 60)],
+                ..FaultPlan::default()
+            }),
+            ..Config::default()
+        };
+        c.validate().expect("touching windows valid");
+
         // Bad drop probability.
         let c = Config {
             faults: Some(FaultPlan {
                 drop_prob: 1.5,
+                ..FaultPlan::default()
+            }),
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn partition_plan_validation() {
+        let part = |at, heal, edges: Vec<(u16, u16)>| Partition {
+            at: SimTime::from_secs(at),
+            heal_after: SimDuration::from_secs(heal),
+            edges,
+        };
+        // A sane partition plan validates.
+        let c = Config {
+            faults: Some(FaultPlan {
+                partitions: vec![part(100, 300, vec![(0, 0), (5, 1)])],
+                ..FaultPlan::default()
+            }),
+            ..Config::default()
+        };
+        c.validate().expect("partition plan valid");
+
+        // Edge endpoints out of range.
+        for bad in [vec![(99, 0)], vec![(0, 9)]] {
+            let c = Config {
+                faults: Some(FaultPlan {
+                    partitions: vec![part(100, 300, bad)],
+                    ..FaultPlan::default()
+                }),
+                ..Config::default()
+            };
+            assert!(c.validate().is_err());
+        }
+
+        // Zero-length partitions and empty edge sets are rejected.
+        let c = Config {
+            faults: Some(FaultPlan {
+                partitions: vec![part(100, 0, vec![(0, 0)])],
+                ..FaultPlan::default()
+            }),
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
+        let c = Config {
+            faults: Some(FaultPlan {
+                partitions: vec![part(100, 300, vec![])],
+                ..FaultPlan::default()
+            }),
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
+
+        // Partitions demand a usable lease TTL.
+        let c = Config {
+            faults: Some(FaultPlan {
+                partitions: vec![part(100, 300, vec![(0, 0)])],
+                lease_ttl: SimDuration::ZERO,
                 ..FaultPlan::default()
             }),
             ..Config::default()

@@ -48,7 +48,7 @@ pub mod server;
 pub mod vm;
 
 pub use cluster::{Cluster, FastPathStats, TraceSink, VecSink};
-pub use config::{Config, ConsistencyPolicy, FaultPlan, ServerOutage};
+pub use config::{Config, ConsistencyPolicy, FaultPlan, Partition, ServerOutage};
 pub use metrics::SanitizerStats;
 pub use obs::{Obs, ObsEventKind, ObsReport, SpanKind};
 pub use ops::{AppOp, OpKind, PageClass};

@@ -184,6 +184,47 @@ pub mod fault {
     pub const STORM_REOPENS: &str = "fault.recovery.reopen.rpcs";
     /// Client re-registration RPCs issued during recovery storms.
     pub const STORM_REREGISTERS: &str = "fault.recovery.reregister.rpcs";
+    /// RPCs that stalled because the client↔server edge was cut by a
+    /// network partition (the server itself was up).
+    pub const PART_STALLED_RPCS: &str = "fault.partition.stalled.rpcs";
+    /// Microseconds of client stall attributed to cut edges.
+    pub const PART_STALL_US: &str = "fault.partition.stall.us";
+    /// RPCs abandoned on a cut edge after exhausting the retry budget.
+    pub const PART_FAILED_RPCS: &str = "fault.partition.failed.rpcs";
+    /// Write-backs the daemon deferred because the edge was cut.
+    pub const PART_QUEUED_WRITEBACKS: &str = "fault.partition.queued.writebacks";
+    /// Edge-cut events (counted on the server end of each cut edge).
+    pub const PART_CUT_EDGES: &str = "fault.partition.cut.edges";
+    /// Microseconds of cut-edge unavailability, summed over edges
+    /// (counted on the server at heal time).
+    pub const PART_CUT_US: &str = "fault.partition.cut.us";
+    /// Consistency actions (recalls, invalidations, token recalls) the
+    /// server could not deliver across a cut edge.
+    pub const PART_UNDELIVERED: &str = "fault.partition.undelivered";
+    /// Grants the server unilaterally revoked after a client's lease
+    /// lapsed during a partition (one per file per client).
+    pub const LEASE_EXPIRY_RECALLS: &str = "fault.lease.expiry.recalls";
+    /// Dirty client bytes discarded when a lapsed lease revoked the
+    /// writer's grant (the partition-era analogue of crash loss).
+    pub const LEASE_LOST_BYTES: &str = "fault.lease.lost.bytes";
+    /// Microseconds openers spent waiting for an unreachable holder's
+    /// lease to lapse before the server could revoke and proceed.
+    pub const LEASE_WAIT_US: &str = "fault.lease.wait.us";
+    /// Total RPCs in heal storms (lease renews + reasserts under the
+    /// lease protocol; reregisters + reopens under the conservative
+    /// baseline). Counted on the server.
+    pub const HEAL_STORM_RPCS: &str = "fault.heal.storm.rpcs";
+    /// Lease-renew RPCs issued when a partition healed.
+    pub const HEAL_RENEWALS: &str = "fault.heal.renew.rpcs";
+    /// Reassert RPCs issued at heal for revoked grants.
+    pub const HEAL_REASSERTS: &str = "fault.heal.reassert.rpcs";
+    /// Conservative-baseline reregister RPCs issued at heal.
+    pub const HEAL_REREGISTERS: &str = "fault.heal.reregister.rpcs";
+    /// Conservative-baseline reopen RPCs issued at heal.
+    pub const HEAL_REOPENS: &str = "fault.heal.reopen.rpcs";
+    /// Dirty server-cache bytes the battery-backed NVRAM buffer carried
+    /// across a crash (they reach disk at reboot instead of vanishing).
+    pub const NVRAM_SAVED_BYTES: &str = "fault.nvram.saved.bytes";
 }
 
 /// Counter names for client restarts (crash vs. orderly reboot).
@@ -223,6 +264,9 @@ pub mod obs {
     pub const DWELL_SAMPLES: &str = "obs.writeback.dwell.samples";
     /// Recovery-storm reopen latency samples.
     pub const REOPEN_SAMPLES: &str = "obs.reopen.latency.samples";
+    /// RPCs that exhausted their retry budget, totalled across kinds
+    /// (the per-kind breakdown lives in the obs report).
+    pub const EXHAUSTED_RPCS: &str = "obs.retry.exhausted.rpcs";
 }
 
 /// The sanitizer section: SpriteSan's verdict for one cluster run.
@@ -416,6 +460,22 @@ mod tests {
             fault::STORM_RPCS,
             fault::STORM_REOPENS,
             fault::STORM_REREGISTERS,
+            fault::PART_STALLED_RPCS,
+            fault::PART_STALL_US,
+            fault::PART_FAILED_RPCS,
+            fault::PART_QUEUED_WRITEBACKS,
+            fault::PART_CUT_EDGES,
+            fault::PART_CUT_US,
+            fault::PART_UNDELIVERED,
+            fault::LEASE_EXPIRY_RECALLS,
+            fault::LEASE_LOST_BYTES,
+            fault::LEASE_WAIT_US,
+            fault::HEAL_STORM_RPCS,
+            fault::HEAL_RENEWALS,
+            fault::HEAL_REASSERTS,
+            fault::HEAL_REREGISTERS,
+            fault::HEAL_REOPENS,
+            fault::NVRAM_SAVED_BYTES,
             restart::CRASH_LOST_BYTES,
             restart::CRASH_COUNT,
             restart::REBOOT_COUNT,
@@ -429,6 +489,7 @@ mod tests {
             obs::RETRY_SAMPLES,
             obs::DWELL_SAMPLES,
             obs::REOPEN_SAMPLES,
+            obs::EXHAUSTED_RPCS,
         ];
         for k in crate::rpc::RpcKind::ALL {
             names.push(k.msgs_key());

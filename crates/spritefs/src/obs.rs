@@ -68,11 +68,22 @@ pub enum ObsEventKind {
     /// A client reopened a handle at a rebooted server (argument:
     /// modeled reopen latency in microseconds).
     Reopen,
+    /// A partition cut a client↔server edge (argument: heal time in
+    /// microseconds).
+    PartitionCut,
+    /// A cut edge healed (argument: cut duration in microseconds).
+    PartitionHeal,
+    /// The server revoked a grant after the holder's lease lapsed
+    /// behind a partition (argument: file id).
+    LeaseRevoke,
+    /// A client reasserted a revoked grant across a healed edge
+    /// (argument: file id).
+    Reassert,
 }
 
 impl ObsEventKind {
     /// Every event kind, exactly once, in code order.
-    pub const ALL: [ObsEventKind; 14] = [
+    pub const ALL: [ObsEventKind; 18] = [
         ObsEventKind::RpcIssue,
         ObsEventKind::RpcRetry,
         ObsEventKind::RpcComplete,
@@ -87,6 +98,10 @@ impl ObsEventKind {
         ObsEventKind::ServerRecover,
         ObsEventKind::Reregister,
         ObsEventKind::Reopen,
+        ObsEventKind::PartitionCut,
+        ObsEventKind::PartitionHeal,
+        ObsEventKind::LeaseRevoke,
+        ObsEventKind::Reassert,
     ];
 
     /// The `u8` code stored in [`ObsEvent::kind`].
@@ -112,6 +127,10 @@ impl ObsEventKind {
             ObsEventKind::ServerRecover => "fault.server.recover",
             ObsEventKind::Reregister => "recovery.reregister",
             ObsEventKind::Reopen => "recovery.reopen",
+            ObsEventKind::PartitionCut => "fault.partition.cut",
+            ObsEventKind::PartitionHeal => "fault.partition.heal",
+            ObsEventKind::LeaseRevoke => "fault.lease.revoke",
+            ObsEventKind::Reassert => "recovery.reassert",
         }
     }
 }
@@ -185,6 +204,10 @@ pub struct ObsReport {
     pub spans: Vec<SpanStat>,
     /// Event counts, indexed by [`ObsEventKind`] code.
     pub event_counts: Vec<u64>,
+    /// RPCs that exhausted their retry budget, indexed by
+    /// [`RpcKind::index`] — the per-kind breakdown of what the cluster
+    /// counters only report as aggregate unavailability.
+    pub retry_exhausted: Vec<u64>,
     /// Total events pushed into the ring (including overwritten).
     pub events_recorded: u64,
     /// Events lost to ring overwrite.
@@ -210,6 +233,7 @@ impl ObsReport {
             reopen_latency: LogHistogram::new(),
             spans: vec![SpanStat::default(); SpanKind::ALL.len()],
             event_counts: vec![0; ObsEventKind::ALL.len()],
+            retry_exhausted: vec![0; RpcKind::ALL.len()],
             events_recorded: 0,
             events_dropped: 0,
             ring_capacity: RING_CAPACITY as u64,
@@ -236,6 +260,16 @@ impl ObsReport {
         self.rpc.iter().map(|h| h.count()).sum()
     }
 
+    /// Retry-budget exhaustions recorded for one RPC kind.
+    pub fn exhausted(&self, kind: RpcKind) -> u64 {
+        self.retry_exhausted[kind.index()]
+    }
+
+    /// Total retry-budget exhaustions across all RPC kinds.
+    pub fn exhausted_total(&self) -> u64 {
+        self.retry_exhausted.iter().sum()
+    }
+
     /// Merges another report into this one (exact integer addition).
     pub fn merge(&mut self, other: &ObsReport) {
         for (a, b) in self.rpc.iter_mut().zip(other.rpc.iter()) {
@@ -248,6 +282,9 @@ impl ObsReport {
             a.merge(b);
         }
         for (a, b) in self.event_counts.iter_mut().zip(other.event_counts.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.retry_exhausted.iter_mut().zip(other.retry_exhausted.iter()) {
             *a += b;
         }
         self.events_recorded += other.events_recorded;
@@ -313,6 +350,17 @@ impl ObsReport {
                     h.p99(),
                     h.max()
                 ));
+            }
+        }
+        out.push_str(&format!(
+            "\n  retry-budget exhaustion ({} = {}):\n",
+            metrics::obs::EXHAUSTED_RPCS,
+            self.exhausted_total(),
+        ));
+        for k in RpcKind::ALL {
+            let n = self.exhausted(k);
+            if n > 0 {
+                out.push_str(&format!("    {:<14} {:>10}\n", k.name(), n));
             }
         }
         for (label, h) in [
@@ -385,6 +433,11 @@ impl ObsReport {
             self.reopen_latency.count(),
         ));
         out.push_str(&format!(
+            ",\"{}\":{}",
+            metrics::obs::EXHAUSTED_RPCS,
+            self.exhausted_total(),
+        ));
+        out.push_str(&format!(
             ",\"obs.ring.capacity\":{},\"obs.ring.drop_rate_pct\":{:.1}",
             self.ring_capacity,
             self.drop_rate_pct(),
@@ -400,6 +453,19 @@ impl ObsReport {
             }
             first = false;
             out.push_str(&format!("\"{}\":{}", k.name(), self.events(k)));
+        }
+        out.push_str("},\"retry_exhausted\":{");
+        let mut first = true;
+        for k in RpcKind::ALL {
+            let n = self.exhausted(k);
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{}", k.name(), n));
         }
         out.push_str("},\"rpc_latency_us\":{");
         let mut first = true;
@@ -529,6 +595,12 @@ impl Obs {
         self.report.writeback_dwell.record(dwell.as_micros());
     }
 
+    /// Records one RPC that exhausted its retry budget against an
+    /// unreachable server (down or behind a cut edge).
+    pub fn exhaust(&mut self, kind: RpcKind) {
+        self.report.retry_exhausted[kind.index()] += 1;
+    }
+
     /// Records one storm reopen with its modeled latency.
     pub fn reopen(&mut self, time: SimTime, client: u16, server: u16, latency: SimDuration) {
         self.event(
@@ -628,6 +700,25 @@ mod tests {
         let json = rep.to_json();
         assert!(json.contains("\"rpc_latency_us\""));
         assert!(json.contains("\"obs.span.file.open\":1"));
+    }
+
+    #[test]
+    fn exhaustion_counts_per_kind() {
+        let mut obs = Obs::new();
+        obs.exhaust(RpcKind::Open);
+        obs.exhaust(RpcKind::Open);
+        obs.exhaust(RpcKind::WriteBlock);
+        let rep = obs.into_report();
+        assert_eq!(rep.exhausted(RpcKind::Open), 2);
+        assert_eq!(rep.exhausted(RpcKind::WriteBlock), 1);
+        assert_eq!(rep.exhausted(RpcKind::Close), 0);
+        assert_eq!(rep.exhausted_total(), 3);
+        let txt = rep.render();
+        assert!(txt.contains("retry-budget exhaustion"));
+        assert!(txt.contains("obs.retry.exhausted.rpcs = 3"));
+        let json = rep.to_json();
+        assert!(json.contains("\"retry_exhausted\":{\"open\":2,\"write_block\":1}"));
+        assert!(json.contains("\"obs.retry.exhausted.rpcs\":3"));
     }
 
     #[test]

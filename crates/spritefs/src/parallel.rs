@@ -40,7 +40,12 @@
 //! sequential engine: those subsystems deliberately read cross-client
 //! state at arbitrary points (deep audits, ring buffers, crash
 //! teardown) and are verification/diagnostic modes, not the measured
-//! fast path.
+//! fast path. Partition plans in particular keep per-edge cut state,
+//! lease expiries, and deferred revocations on the coordinator
+//! (`FaultState`), which every RPC consults — sharding clients across
+//! workers would race that single clock, so `--threads N` with a fault
+//! plan silently runs sequentially (and stays byte-identical, which
+//! `scripts/verify.sh` gates).
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};

@@ -52,6 +52,13 @@ pub enum RpcKind {
     /// Client reopens a file handle after a server reboot (recovery
     /// protocol; the reopen burst is the "recovery storm").
     Reopen,
+    /// Client renews its per-server lease on cached-state grants
+    /// (lease-based recovery; also the first message across a healed
+    /// partition edge).
+    LeaseRenew,
+    /// Client reasserts a grant the server revoked at lease expiry
+    /// (lease-based recovery after a partition heals).
+    Reassert,
 }
 
 impl RpcKind {
@@ -60,7 +67,7 @@ impl RpcKind {
     /// is missing here fails to compile (the match arms in `name` et al.
     /// are exhaustive) or fails the accounting test — new kinds cannot
     /// silently skip accounting.
-    pub const ALL: [RpcKind; 20] = [
+    pub const ALL: [RpcKind; 22] = [
         RpcKind::Open,
         RpcKind::Close,
         RpcKind::ReadBlock,
@@ -81,6 +88,8 @@ impl RpcKind {
         RpcKind::TokenRecall,
         RpcKind::Reregister,
         RpcKind::Reopen,
+        RpcKind::LeaseRenew,
+        RpcKind::Reassert,
     ];
     /// Dense index of this kind within [`RpcKind::ALL`]; the
     /// observability layer uses it to address per-kind latency
@@ -113,6 +122,8 @@ impl RpcKind {
             RpcKind::TokenRecall => "token_recall",
             RpcKind::Reregister => "reregister",
             RpcKind::Reopen => "reopen",
+            RpcKind::LeaseRenew => "lease_renew",
+            RpcKind::Reassert => "reassert",
         }
     }
 
@@ -139,6 +150,8 @@ impl RpcKind {
             RpcKind::TokenRecall => "rpc.token_recall.msgs",
             RpcKind::Reregister => "rpc.reregister.msgs",
             RpcKind::Reopen => "rpc.reopen.msgs",
+            RpcKind::LeaseRenew => "rpc.lease_renew.msgs",
+            RpcKind::Reassert => "rpc.reassert.msgs",
         }
     }
 
@@ -165,6 +178,8 @@ impl RpcKind {
             RpcKind::TokenRecall => "rpc.token_recall.bytes",
             RpcKind::Reregister => "rpc.reregister.bytes",
             RpcKind::Reopen => "rpc.reopen.bytes",
+            RpcKind::LeaseRenew => "rpc.lease_renew.bytes",
+            RpcKind::Reassert => "rpc.reassert.bytes",
         }
     }
 }
@@ -244,7 +259,9 @@ mod tests {
         count_rpc(&mut c, RpcKind::Reregister, 0);
         count_rpc(&mut c, RpcKind::Reopen, 0);
         count_rpc(&mut c, RpcKind::Reopen, 128);
-        assert_eq!(total_msgs(&c), 3);
-        assert_eq!(total_bytes(&c), 128);
+        count_rpc(&mut c, RpcKind::LeaseRenew, 0);
+        count_rpc(&mut c, RpcKind::Reassert, 64);
+        assert_eq!(total_msgs(&c), 5);
+        assert_eq!(total_bytes(&c), 192);
     }
 }

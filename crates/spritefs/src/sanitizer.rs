@@ -306,23 +306,29 @@ impl Sanitizer {
     /// genuine violation on an up server, so when the oldest dirty block
     /// is excused the check falls back to a full scan of that client's
     /// overdue files.
-    pub fn check_writeback_window(
+    pub(crate) fn check_writeback_window(
         &mut self,
         clients: &[Client],
         files: &FileTable,
         down: &[bool],
+        fault: Option<&crate::cluster::FaultState>,
         cfg: &Config,
         now: SimTime,
     ) {
         self.stats.ops_checked += 1;
         let cutoff = now - cfg.writeback_delay;
-        let server_down =
-            |file: FileId| -> bool {
-                files
-                    .get(file)
-                    .is_some_and(|m| down.get(m.server.raw() as usize) == Some(&true))
-            };
-        let any_down = down.iter().any(|&d| d);
+        // A dirty block is excused from the window when its server is
+        // down *or* the client's edge to that server is cut by a
+        // partition: the daemon queues the write-back either way.
+        let excused = |client: &Client, file: FileId| -> bool {
+            files.get(file).is_some_and(|m| {
+                let si = m.server.raw() as usize;
+                down.get(si) == Some(&true)
+                    || fault.is_some_and(|f| f.edge_cut(client.id.raw(), si))
+            })
+        };
+        let any_excusable =
+            down.iter().any(|&d| d) || fault.is_some_and(|f| f.any_partitions());
         let mut scratch = std::mem::take(&mut self.scratch_files);
         for client in clients {
             let Some((since, key)) = client.cache.oldest_dirty() else {
@@ -332,13 +338,13 @@ impl Sanitizer {
                 continue;
             }
             let mut overdue = Some((since, key));
-            if any_down && server_down(key.file) {
+            if any_excusable && excused(client, key.file) {
                 // The O(1) witness is excused; look for an overdue block
-                // on an up server the slow way.
+                // on a reachable up server the slow way.
                 overdue = None;
                 client.cache.files_with_dirty_before_into(cutoff, &mut scratch);
                 for &file in &scratch {
-                    if !server_down(file) {
+                    if !excused(client, file) {
                         overdue = Some((since, BlockKey { file, index: 0 }));
                         break;
                     }

@@ -199,11 +199,25 @@ impl Server {
     /// accumulated application bytes — and the total lost bytes are
     /// returned. Counters survive (they model the tracing daemon's
     /// stable log, and wiping them would break campaign accounting).
-    pub fn crash(&mut self, lost: &mut Vec<(BlockKey, u64)>) -> u64 {
+    ///
+    /// `nvram_bytes` models a battery-backed write buffer
+    /// ([`crate::Config::server_nvram_bytes`]): the newest
+    /// `nvram_bytes` of dirty data survive the crash — appended to
+    /// `saved` instead of `lost` — and replay to disk at reboot, so
+    /// they are as durable as a disk flush. With a buffer at least as
+    /// large as the dirty working set, crash loss drops to zero while
+    /// the delayed-write traffic savings are untouched (the buffer only
+    /// matters at crash time).
+    pub fn crash(
+        &mut self,
+        lost: &mut Vec<(BlockKey, u64)>,
+        nvram_bytes: u64,
+        saved: &mut Vec<(BlockKey, u64)>,
+    ) -> u64 {
         let mut files = std::mem::take(&mut self.scratch_files);
         let mut blocks = std::mem::take(&mut self.scratch_blocks);
         self.cache.files_with_dirty_before_into(SimTime::MAX, &mut files);
-        let mut lost_bytes = 0;
+        let first_lost = lost.len();
         for &file in &files {
             self.cache.dirty_blocks_of_into(file, &mut blocks);
             for &index in &blocks {
@@ -213,10 +227,22 @@ impl Server {
                     .get(key)
                     .map(|e| e.dirty_app_bytes)
                     .unwrap_or(0);
-                lost_bytes += bytes;
                 lost.push((key, bytes));
             }
         }
+        // The scan runs oldest-dirty first, so the buffer's contents —
+        // the newest writes — sit at the tail: move entries from the
+        // tail to `saved` until the buffer budget runs out.
+        let mut budget = nvram_bytes;
+        while nvram_bytes > 0 && lost.len() > first_lost {
+            let &(_, bytes) = lost.last().expect("tail entry");
+            if bytes > budget {
+                break;
+            }
+            budget -= bytes;
+            saved.push(lost.pop().expect("tail entry"));
+        }
+        let lost_bytes = lost[first_lost..].iter().map(|&(_, b)| b).sum();
         files.clear();
         blocks.clear();
         self.scratch_files = files;
@@ -427,15 +453,43 @@ mod tests {
         srv.file_state(FileId(2)).last_writer = Some(ClientId(3));
 
         let mut lost = Vec::new();
-        let lost_bytes = srv.crash(&mut lost);
+        let mut saved = Vec::new();
+        let lost_bytes = srv.crash(&mut lost, 0, &mut saved);
         assert_eq!(lost, vec![(key(2, 0), 4096)], "unflushed block destroyed");
         assert_eq!(lost_bytes, 4096);
+        assert!(saved.is_empty(), "no NVRAM, nothing saved");
         assert!(srv.cache.is_empty(), "volatile cache gone");
         assert!(srv.files.is_empty(), "consistency state gone");
         // A second crash right after loses nothing.
         let mut lost2 = Vec::new();
-        assert_eq!(srv.crash(&mut lost2), 0);
+        assert_eq!(srv.crash(&mut lost2, 0, &mut saved), 0);
         assert!(lost2.is_empty());
+    }
+
+    #[test]
+    fn nvram_buffer_saves_newest_dirty_data() {
+        let mut srv = Server::new(ServerId(0), 1 << 20, 4096);
+        srv.accept_write(key(1, 0), 4096, t(0));
+        srv.accept_write(key(2, 0), 4096, t(50));
+        srv.accept_write(key(3, 0), 4096, t(90));
+
+        // A one-block buffer carries the newest write across the crash.
+        let mut lost = Vec::new();
+        let mut saved = Vec::new();
+        let lost_bytes = srv.crash(&mut lost, 4096, &mut saved);
+        assert_eq!(lost_bytes, 8192);
+        assert_eq!(lost.len(), 2);
+        assert_eq!(saved, vec![(key(3, 0), 4096)], "newest dirty block saved");
+
+        // A buffer bigger than the dirty set drops loss to zero.
+        srv.accept_write(key(1, 0), 4096, t(200));
+        srv.accept_write(key(2, 0), 4096, t(210));
+        let mut lost = Vec::new();
+        let mut saved = Vec::new();
+        let lost_bytes = srv.crash(&mut lost, 1 << 20, &mut saved);
+        assert_eq!(lost_bytes, 0);
+        assert!(lost.is_empty());
+        assert_eq!(saved.len(), 2);
     }
 
     #[test]

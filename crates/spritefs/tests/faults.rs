@@ -1,0 +1,322 @@
+//! Integration tests for the fault subsystem: network partitions, the
+//! lease protocol, and their interaction with crashes. Everything here
+//! is seeded through the workspace `SimRng`, so the suite is hermetic.
+
+use sdfs_simkit::{SimDuration, SimRng, SimTime};
+use sdfs_spritefs::metrics::fault;
+use sdfs_spritefs::{
+    AppOp, Cluster, Config, ConsistencyPolicy, FaultPlan, OpKind, Partition, ServerOutage, VecSink,
+};
+use sdfs_trace::{ClientId, FileId, Handle, OpenMode, Pid, Record, UserId};
+
+/// Builds a deterministic, well-formed op script: opens, reads, writes,
+/// closes, and the occasional fsync across `num_clients` clients and a
+/// small shared file set, one op every 250 ms. Small file ids collide
+/// across clients, so the script exercises sharing and recalls — the
+/// paths partitions gate.
+fn op_script(seed: u64, steps: u64, num_clients: u16) -> Vec<AppOp> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    // (fd, writable): writes and fsyncs only target writable handles,
+    // so the consistency protocol always sees the write intent and the
+    // oracle's multi-dirty check holds on the baseline.
+    let mut live: Vec<Vec<(Handle, bool)>> = vec![Vec::new(); num_clients as usize];
+    let mut exists = [false; 8];
+    let mut next_fd = 1u64;
+    for t in 1..=steps {
+        let now = SimTime::from_millis(t * 250);
+        let c = rng.below(num_clients as u64) as u16;
+        let mk = |kind| AppOp {
+            time: now,
+            client: ClientId(c),
+            user: UserId(c as u32),
+            pid: Pid(0),
+            migrated: false,
+            kind,
+        };
+        match rng.below(10) {
+            0 => {
+                let f = rng.below(8);
+                ops.push(mk(OpKind::Create {
+                    file: FileId(f),
+                    is_dir: false,
+                }));
+                exists[f as usize] = true;
+            }
+            1 | 2 => {
+                let f = rng.below(8);
+                if exists[f as usize] {
+                    let fd = Handle(next_fd);
+                    next_fd += 1;
+                    let mode = match rng.below(3) {
+                        0 => OpenMode::Read,
+                        1 => OpenMode::Write,
+                        _ => OpenMode::ReadWrite,
+                    };
+                    ops.push(mk(OpKind::Open {
+                        fd,
+                        file: FileId(f),
+                        mode,
+                    }));
+                    live[c as usize].push((fd, mode != OpenMode::Read));
+                }
+            }
+            3..=5 => {
+                if let Some(&(fd, _)) = live[c as usize].last() {
+                    ops.push(mk(OpKind::Read {
+                        fd,
+                        len: rng.range(1, 50_000),
+                    }));
+                }
+            }
+            6 | 7 => {
+                if let Some(&(fd, true)) = live[c as usize].last() {
+                    ops.push(mk(OpKind::Write {
+                        fd,
+                        len: rng.range(1, 50_000),
+                    }));
+                }
+            }
+            8 => {
+                if let Some(&(fd, true)) = live[c as usize].last() {
+                    ops.push(mk(OpKind::Fsync { fd }));
+                }
+            }
+            _ => {
+                if let Some((fd, _)) = live[c as usize].pop() {
+                    ops.push(mk(OpKind::Close { fd }));
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Runs `script` on a fresh cluster and returns the emitted trace
+/// records, every counter of every machine (canonically ordered), and
+/// whether the sanitizer (if enabled) came back clean.
+type ScriptOutcome = (
+    Vec<Vec<Record>>,
+    Vec<(&'static str, u64)>,
+    Option<sdfs_spritefs::SanitizerStats>,
+);
+
+fn run_script(cfg: Config, script: &[AppOp], end: SimTime) -> ScriptOutcome {
+    let sink = VecSink::new(cfg.num_servers);
+    let mut cl = Cluster::new(cfg, sink);
+    for op in script {
+        cl.apply(op);
+    }
+    cl.run(std::iter::empty(), end);
+    let mut counters: Vec<(&'static str, u64)> = Vec::new();
+    for c in cl.clients() {
+        counters.extend(c.metrics.counters.iter());
+    }
+    for s in cl.servers() {
+        counters.extend(s.counters.iter());
+    }
+    counters.sort_unstable();
+    let san = cl.take_sanitizer_stats();
+    (cl.into_sink().per_server, counters, san)
+}
+
+fn partition_plan(conservative: bool) -> FaultPlan {
+    FaultPlan {
+        partitions: vec![Partition {
+            at: SimTime::from_secs(30),
+            heal_after: SimDuration::from_secs(60),
+            edges: vec![(0, 0), (1, 0)],
+        }],
+        lease_ttl: SimDuration::from_secs(10),
+        conservative_recovery: conservative,
+        ..FaultPlan::default()
+    }
+}
+
+/// Same seed, same partition plan: two runs are byte-identical, and the
+/// partition actually bit (edges cut, RPCs stalled) while the oracle
+/// stayed clean across the cut, the revocations, and the heal.
+#[test]
+fn partitioned_day_is_byte_identical_across_runs() {
+    let script = op_script(0x504c_414e, 600, 4);
+    let end = SimTime::from_secs(300);
+    let mut cfg = Config::small();
+    cfg.sanitize = true;
+    cfg.faults = Some(partition_plan(false));
+    let (rec_a, cnt_a, san_a) = run_script(cfg.clone(), &script, end);
+    let (rec_b, cnt_b, _) = run_script(cfg, &script, end);
+    assert_eq!(rec_a, rec_b, "same seed, same plan: identical records");
+    assert_eq!(cnt_a, cnt_b, "same seed, same plan: identical counters");
+    let san = san_a.expect("sanitized run");
+    assert!(
+        san.is_clean(),
+        "oracle clean across the partition: {}",
+        san.render()
+    );
+    let total = |key: &str| -> u64 {
+        cnt_a
+            .iter()
+            .filter(|&&(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .sum()
+    };
+    assert_eq!(total(fault::PART_CUT_EDGES), 2, "both edges were cut");
+    assert!(total(fault::PART_CUT_US) > 0, "cut time accumulated");
+    assert!(
+        total(fault::PART_STALLED_RPCS) > 0,
+        "cut clients kept issuing RPCs"
+    );
+}
+
+/// An inert plan — faults enabled, but no outages, no partitions, no
+/// drops — moves nothing: records and every counter are identical to a
+/// run with the fault machinery compiled out of the configuration.
+#[test]
+fn inert_plan_leaves_every_counter_alone() {
+    let script = op_script(0x494e_4552, 600, 4);
+    let end = SimTime::from_secs(300);
+    let off = Config::small();
+    let mut inert = Config::small();
+    inert.faults = Some(FaultPlan::default());
+    let (rec_off, cnt_off, _) = run_script(off, &script, end);
+    let (rec_inert, cnt_inert, _) = run_script(inert, &script, end);
+    assert_eq!(rec_off, rec_inert, "inert plan: identical records");
+    assert_eq!(cnt_off, cnt_inert, "inert plan: identical counters");
+}
+
+/// Conservative partition recovery is a pure accounting overlay: the
+/// cut changes stall and heal-storm *counters*, but every operation
+/// still executes semantically, so the emitted trace records are
+/// byte-identical to a fault-free run of the same script.
+#[test]
+fn conservative_partition_is_pure_accounting() {
+    let script = op_script(0x4f56_4c59, 600, 4);
+    let end = SimTime::from_secs(300);
+    let off = Config::small();
+    let mut cut = Config::small();
+    cut.faults = Some(partition_plan(true));
+    let (rec_off, _, _) = run_script(off, &script, end);
+    let (rec_cut, cnt_cut, _) = run_script(cut, &script, end);
+    assert_eq!(
+        rec_off, rec_cut,
+        "conservative mode never changes data flow, only counters"
+    );
+    let total = |key: &str| -> u64 {
+        cnt_cut
+            .iter()
+            .filter(|&&(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .sum()
+    };
+    assert!(total(fault::PART_STALLED_RPCS) > 0, "the cut was charged");
+    assert_eq!(
+        total(fault::LEASE_EXPIRY_RECALLS),
+        0,
+        "conservative mode never revokes"
+    );
+}
+
+const POLICIES: [ConsistencyPolicy; 4] = [
+    ConsistencyPolicy::Sprite,
+    ConsistencyPolicy::SpriteModified,
+    ConsistencyPolicy::Token,
+    ConsistencyPolicy::Polling { interval_secs: 10 },
+];
+
+/// Property fuzz: random partition plans (random windows, edges, TTLs,
+/// both heal protocols) interleaved with scheduled server outages and
+/// imperative client crashes, under every consistency policy. The
+/// cluster must survive, keep its cache invariants, and — because
+/// revocation rolls the oracle's expectations back like a client crash
+/// does — SpriteSan must stay clean through every interleaving.
+#[test]
+fn fuzz_partitions_interleave_with_crashes() {
+    let mut rng = SimRng::seed_from_u64(0x4655_5a5a_5041_5254);
+    for case in 0..32u64 {
+        let mut cfg = Config::small();
+        cfg.consistency = POLICIES[case as usize % POLICIES.len()];
+        cfg.sanitize = true;
+
+        let mut plan = FaultPlan::default();
+        // 1-3 partitions with random windows inside the 150 s script.
+        for _ in 0..rng.range(1, 3) {
+            let at = rng.range(5, 100);
+            let heal_after = rng.range(5, 60);
+            let mut edges = Vec::new();
+            for c in 0..cfg.num_clients {
+                if rng.below(2) == 0 {
+                    edges.push((c, 0u16));
+                }
+            }
+            if edges.is_empty() {
+                edges.push((rng.below(cfg.num_clients as u64) as u16, 0));
+            }
+            plan.partitions.push(Partition {
+                at: SimTime::from_secs(at),
+                heal_after: SimDuration::from_secs(heal_after),
+                edges,
+            });
+        }
+        // Sometimes a server outage overlapping the partitions.
+        if rng.below(2) == 0 {
+            let at = rng.range(10, 80);
+            plan.outages.push(ServerOutage {
+                server: 0,
+                at: SimTime::from_secs(at),
+                down_for: SimDuration::from_secs(rng.range(5, 30)),
+            });
+        }
+        plan.lease_ttl = SimDuration::from_secs(rng.range(1, 30));
+        plan.conservative_recovery = rng.below(2) == 0;
+        cfg.faults = Some(plan);
+        cfg.validate().expect("fuzzed plan is well-formed");
+
+        let script = op_script(0x4655_5a5a ^ case, 600, cfg.num_clients);
+        let total_mem = cfg.client_mem_bytes;
+        let sink = VecSink::new(cfg.num_servers);
+        let mut cl = Cluster::new(cfg, sink);
+        // Handles die with their client: skip script ops that target an
+        // fd opened before that client's last crash (the kernel would
+        // have returned EBADF; do_fsync is strict about it).
+        let mut live_fds: Vec<std::collections::HashSet<Handle>> =
+            vec![std::collections::HashSet::new(); 4];
+        for (i, op) in script.iter().enumerate() {
+            let ci = op.client.raw() as usize;
+            let alive = match op.kind {
+                OpKind::Open { fd, .. } => {
+                    live_fds[ci].insert(fd);
+                    true
+                }
+                OpKind::Close { fd } => live_fds[ci].remove(&fd),
+                OpKind::Read { fd, .. }
+                | OpKind::Write { fd, .. }
+                | OpKind::Fsync { fd }
+                | OpKind::Seek { fd, .. } => live_fds[ci].contains(&fd),
+                _ => true,
+            };
+            if alive {
+                cl.apply(op);
+            }
+            // Imperative client crashes interleave with the scheduled
+            // partitions and outages.
+            if i % 97 == 96 {
+                let victim = rng.below(4) as usize;
+                cl.crash_client(ClientId(victim as u16));
+                live_fds[victim].clear();
+            }
+            for client in cl.clients() {
+                let cache_bytes = client.cache.len() as u64 * 4096;
+                assert!(cache_bytes <= total_mem, "cache exceeds physical memory");
+                assert!(client.cache.dirty_len() <= client.cache.len());
+            }
+        }
+        // Run far past every heal and reboot so queued work drains.
+        cl.run(std::iter::empty(), SimTime::from_secs(400));
+        let san = cl.take_sanitizer_stats().expect("sanitized run");
+        assert!(
+            san.is_clean(),
+            "case {case}: oracle dirty across partition/crash interleaving: {}",
+            san.render()
+        );
+    }
+}

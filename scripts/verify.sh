@@ -30,6 +30,9 @@ start_ms=$(date +%s%3N)
 end_ms=$(date +%s%3N)
 echo "    report: $(wc -c < /tmp/verify_report.txt) bytes in $((end_ms - start_ms)) ms"
 
+echo "==> golden: report byte-identical to scripts/golden/quick_all_stdout.txt"
+cmp scripts/golden/quick_all_stdout.txt /tmp/verify_report.txt
+
 echo "==> sanitizer: repro --quick --sanitize all (must be clean and byte-identical)"
 ./target/release/repro --quick --sanitize all > /tmp/verify_report_san.txt
 cmp /tmp/verify_report.txt /tmp/verify_report_san.txt
@@ -90,6 +93,23 @@ echo "==> fault matrix: repro --quick --sanitize faults (clean, deterministic, n
 cmp /tmp/verify_faults_1.txt /tmp/verify_faults_2.txt
 grep -q "recovery storm RPCs: [1-9]" /tmp/verify_faults_1.txt
 grep -q "data lost at server crash: [1-9]" /tmp/verify_faults_1.txt
+# Partition study: leases must recall state (TTL < cut) and beat the
+# conservative baseline's per-file revalidation heal storm.
+grep -q "lease-expiry recalls            [1-9]" /tmp/verify_faults_1.txt
+python3 - /tmp/verify_faults_1.txt <<'PYEOF'
+import re, sys
+txt = open(sys.argv[1]).read()
+m = re.search(r"heal-storm RPCs\s+(\d+)\s+(\d+)", txt)
+assert m, "heal-storm row missing from faults report"
+lease, conserv = int(m.group(1)), int(m.group(2))
+assert lease < conserv, f"lease storm {lease} must beat conservative {conserv}"
+PYEOF
+
+echo "==> fault matrix under racecheck and threads 4 (sequential fallback, byte-identical)"
+./target/release/repro --quick --racecheck faults > /tmp/verify_faults_rc.txt 2> /tmp/verify_faults_rc_err.txt
+cmp /tmp/verify_faults_1.txt /tmp/verify_faults_rc.txt
+./target/release/repro --quick --threads 4 faults > /tmp/verify_faults_t4.txt
+cmp /tmp/verify_faults_1.txt /tmp/verify_faults_t4.txt
 
 echo "==> bench smoke: repro bench"
 tmpdir=$(mktemp -d)
