@@ -1,0 +1,740 @@
+//! CausalProf analysis: critical paths, blame, and occupancy timelines
+//! over the causal DAG recorded by [`sdfs_spritefs::causal`].
+//!
+//! The recorded trace is engine-independent (byte-identical at any
+//! thread count), so the analyzer projects it onto a *canonical*
+//! machine with [`CANONICAL_LANES`] worker lanes rather than whatever
+//! `--threads` happened to be: reconstruction replays the parallel
+//! engine's exact round-sealing rule (consecutive same-client tasks
+//! coalesce, capped at [`ROUND_CAP`](sdfs_spritefs::causal::ROUND_CAP)),
+//! then schedules rounds onto lanes under the engine's real dependency
+//! structure — a round cannot start before the coordinator has walked
+//! up to the op that dispatched its last task, and lanes run rounds in
+//! dispatch order. The resulting virtual schedule yields:
+//!
+//! * **T_seq / T_crit** — total modeled work vs the longest dependency
+//!   chain (coordinator prefix → worker rounds → replay merge), i.e. a
+//!   sim-time-weighted speedup bound that refines BENCH_0003's purely
+//!   round-count-based bound.
+//! * **Critical-path decomposition** — a backward walk from the last
+//!   round on the critical lane splits T_crit exactly into
+//!   coordinator-serial, worker-parallel, and replay-merge components,
+//!   with per-`RpcKind` blame over the coordinator prefix actually on
+//!   the path and per-task-kind blame over the walked rounds.
+//! * **Occupancy timelines** — busy/idle intervals and utilization per
+//!   plane ([`sdfs_simkit::Timeline`]), the measurement the ROADMAP's
+//!   coordinator-lookahead follow-on asks for.
+//!
+//! Everything is integer arithmetic over recorded microseconds: the
+//! same trace always produces the same report, and the Perfetto export
+//! ([`to_perfetto`]) is byte-identical across runs and thread counts.
+
+use sdfs_simkit::Timeline;
+use sdfs_spritefs::causal::{CausalTrace, ROUND_CAP, TASK_NAMES};
+use sdfs_spritefs::rpc::RpcKind;
+
+/// Worker-lane count of the canonical machine the analyzer projects
+/// onto. Fixed (not `--threads`) so reports and exports from the same
+/// trace are comparable and byte-identical regardless of how the run
+/// was executed.
+pub const CANONICAL_LANES: usize = 8;
+
+/// One scheduled dispatch round on the canonical machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundSched {
+    /// Owning client.
+    pub ci: u16,
+    /// Global index of the round's first task in `CausalTrace::tasks`.
+    /// Members are *not* a contiguous global range — other lanes' tasks
+    /// interleave — but they are exactly the tasks with this round's
+    /// `ci` inside `[first_task, last_task]`.
+    pub first_task: u32,
+    /// Global index of the round's last task in `CausalTrace::tasks`.
+    pub last_task: u32,
+    /// Number of coalesced tasks.
+    pub tasks: u32,
+    /// Coordinator-prefix time the round depends on (ready time), µs.
+    pub ready_us: u64,
+    /// Scheduled start on its lane (`max(lane_free, ready)`), µs.
+    pub start_us: u64,
+    /// Scheduled end (`start + cost`), µs.
+    pub end_us: u64,
+}
+
+/// Blame-table row: total modeled cost attributed to one kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlameRow {
+    /// Kind name (an `RpcKind` or task-kind name).
+    pub name: &'static str,
+    /// Occurrences on the critical path.
+    pub count: u64,
+    /// Modeled microseconds on the critical path.
+    pub cost_us: u64,
+}
+
+/// The full CausalProf report for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CausalReport {
+    /// Worker lanes of the canonical machine.
+    pub lanes: usize,
+    /// Coordinator control-plane ops recorded.
+    pub ops: u64,
+    /// Data-plane task dispatches recorded.
+    pub tasks: u64,
+    /// Total coordinator serial cost `C`, µs.
+    pub coord_cost_us: u64,
+    /// Total worker task cost across all lanes, µs.
+    pub task_cost_us: u64,
+    /// Total replay cost across all server lanes, µs.
+    pub replay_cost_us: u64,
+    /// Longest single server replay lane, µs.
+    pub replay_max_us: u64,
+    /// Total modeled work (`C + tasks + replay`), µs.
+    pub t_seq_us: u64,
+    /// Longest dependency chain through the DAG, µs.
+    pub t_crit_us: u64,
+    /// Dispatch rounds reconstructed across all lanes.
+    pub rounds_total: u64,
+    /// Rounds on the most-loaded lane (the round-count bottleneck).
+    pub rounds_critical: u64,
+    /// Coordinator-serial share of the critical path, µs.
+    pub crit_coord_us: u64,
+    /// Worker-parallel share of the critical path, µs.
+    pub crit_worker_us: u64,
+    /// Replay-merge share of the critical path, µs.
+    pub crit_replay_us: u64,
+    /// Coordinator ops on the critical prefix (blame-table domain).
+    pub crit_ops: u64,
+    /// Coordinator busy timeline (`[0, C)` — the serial walk).
+    pub coord_timeline: Timeline,
+    /// Per-lane worker busy timelines.
+    pub worker_timelines: Vec<Timeline>,
+    /// Per-server replay lane costs, µs (all start at the join).
+    pub server_replay_us: Vec<u64>,
+    /// Per-`RpcKind` blame over the critical coordinator prefix,
+    /// heaviest first; zero-cost kinds omitted.
+    pub rpc_blame: Vec<BlameRow>,
+    /// Per-task-kind blame over the walked critical rounds, heaviest
+    /// first; zero-cost kinds omitted.
+    pub task_blame: Vec<BlameRow>,
+    /// The full round schedule per lane (for the Perfetto export).
+    pub schedule: Vec<Vec<RoundSched>>,
+}
+
+impl CausalReport {
+    /// Sim-time-weighted speedup bound: `T_seq / T_crit`.
+    pub fn speedup_bound_time(&self) -> f64 {
+        self.t_seq_us as f64 / self.t_crit_us.max(1) as f64
+    }
+
+    /// Round-count speedup bound (`total / critical`), the same
+    /// quantity BENCH_0003 computes from `ParallelStats`.
+    pub fn round_bound(&self) -> f64 {
+        self.rounds_total as f64 / self.rounds_critical.max(1) as f64
+    }
+
+    /// Coordinator utilization over the critical-path span, percent.
+    pub fn coord_utilization_pct(&self) -> f64 {
+        self.coord_timeline.utilization_pct(self.t_crit_us)
+    }
+
+    /// Mean worker-lane utilization over the critical-path span,
+    /// percent.
+    pub fn worker_utilization_pct(&self) -> f64 {
+        if self.worker_timelines.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_timelines.iter().map(|t| t.busy_us()).sum();
+        let span = self.t_crit_us.max(1) as f64 * self.worker_timelines.len() as f64;
+        busy as f64 * 100.0 / span
+    }
+}
+
+/// Computes the full CausalProf report from a recorded trace, projected
+/// onto `lanes` canonical worker lanes.
+pub fn analyze(trace: &CausalTrace, lanes: usize) -> CausalReport {
+    let lanes = lanes.max(1);
+
+    // Coordinator prefix cost: prefix[i] = modeled µs to walk ops[0..i].
+    let mut prefix = Vec::with_capacity(trace.ops.len() + 1);
+    let mut acc = 0u64;
+    prefix.push(0);
+    for op in &trace.ops {
+        acc += op.cost_us;
+        prefix.push(acc);
+    }
+    let coord_cost_us = acc;
+
+    // Reconstruct dispatch rounds with the engine's exact sealing rule,
+    // then schedule each lane's rounds in dispatch order: a round
+    // starts when its lane is free AND the coordinator has walked to
+    // the op that dispatched its last task.
+    let mut schedule: Vec<Vec<RoundSched>> = vec![Vec::new(); lanes];
+    let mut lane_free = vec![0u64; lanes];
+    struct Pending {
+        ci: u16,
+        first_task: u32,
+        last_task: u32,
+        tasks: u32,
+        cost_us: u64,
+        ready_us: u64,
+    }
+    let mut pending: Vec<Option<Pending>> = (0..lanes).map(|_| None).collect();
+    let seal = |w: usize,
+                    p: Pending,
+                    schedule: &mut Vec<Vec<RoundSched>>,
+                    lane_free: &mut Vec<u64>| {
+        let start = lane_free[w].max(p.ready_us);
+        let end = start + p.cost_us;
+        lane_free[w] = end;
+        schedule[w].push(RoundSched {
+            ci: p.ci,
+            first_task: p.first_task,
+            last_task: p.last_task,
+            tasks: p.tasks,
+            ready_us: p.ready_us,
+            start_us: start,
+            end_us: end,
+        });
+    };
+    let mut task_cost_us = 0u64;
+    for (ti, t) in trace.tasks.iter().enumerate() {
+        // The worker-side cost of a task includes the server events its
+        // execution logged (they replay later, but recording them is
+        // part of the task's modeled footprint only via replay lanes —
+        // here the task cost is the client-cache work alone).
+        task_cost_us += t.cost_us;
+        let w = t.ci as usize % lanes;
+        let ready = prefix[(t.ops_before as usize).min(prefix.len() - 1)];
+        match &mut pending[w] {
+            Some(p) if p.ci == t.ci && (p.tasks as usize) < ROUND_CAP => {
+                p.tasks += 1;
+                p.last_task = ti as u32;
+                p.cost_us += t.cost_us;
+                p.ready_us = ready;
+            }
+            slot => {
+                if let Some(p) = slot.take() {
+                    seal(w, p, &mut schedule, &mut lane_free);
+                }
+                *slot = Some(Pending {
+                    ci: t.ci,
+                    first_task: ti as u32,
+                    last_task: ti as u32,
+                    tasks: 1,
+                    cost_us: t.cost_us,
+                    ready_us: ready,
+                });
+            }
+        }
+    }
+    for (w, slot) in pending.iter_mut().enumerate() {
+        if let Some(p) = slot.take() {
+            seal(w, p, &mut schedule, &mut lane_free);
+        }
+    }
+
+    let rounds_total: u64 = schedule.iter().map(|s| s.len() as u64).sum();
+    let rounds_critical = schedule.iter().map(|s| s.len() as u64).max().unwrap_or(0);
+
+    // Join and replay: workers and the coordinator must both finish
+    // before the per-server replay lanes run (each server's lane is
+    // independent, so only the longest one extends the critical path).
+    let t_workers = lane_free.iter().copied().max().unwrap_or(0);
+    let t_join = coord_cost_us.max(t_workers);
+    let server_replay_us: Vec<u64> = trace.srv.iter().map(|s| s.cost_us).collect();
+    let replay_cost_us: u64 = server_replay_us.iter().sum();
+    let replay_max_us = server_replay_us.iter().copied().max().unwrap_or(0);
+    let t_crit_us = t_join + replay_max_us;
+    let t_seq_us = coord_cost_us + task_cost_us + replay_cost_us;
+
+    // Backward walk. If the coordinator itself is the join bottleneck,
+    // the pre-replay path is pure coordinator; otherwise walk the
+    // critical lane's rounds backwards while each round started the
+    // instant its predecessor ended (lane-bound), and charge the
+    // coordinator with the ready-prefix of the round that had to wait.
+    let mut crit_coord_us = coord_cost_us;
+    let mut crit_worker_us = 0u64;
+    let mut crit_ops = trace.ops.len() as u64;
+    let mut crit_rounds: Vec<(usize, usize)> = Vec::new(); // (lane, round idx)
+    if t_workers > coord_cost_us {
+        let lane = (0..lanes)
+            .max_by_key(|&w| schedule[w].last().map_or(0, |r| r.end_us))
+            .unwrap_or(0);
+        let rounds = &schedule[lane];
+        let mut i = rounds.len();
+        crit_coord_us = 0;
+        crit_ops = 0;
+        while i > 0 {
+            i -= 1;
+            let r = &rounds[i];
+            crit_worker_us += r.end_us - r.start_us;
+            crit_rounds.push((lane, i));
+            let lane_bound = i > 0 && rounds[i - 1].end_us == r.start_us;
+            if !lane_bound {
+                // Ready-bound (or the lane's first round): the chain
+                // enters the coordinator at this round's ready prefix.
+                crit_coord_us = r.start_us;
+                crit_ops = trace.tasks[r.last_task as usize].ops_before;
+                break;
+            }
+        }
+    }
+    let crit_replay_us = replay_max_us;
+
+    // Blame tables over the path actually walked.
+    let mut rpc_rows: Vec<BlameRow> = RpcKind::ALL
+        .iter()
+        .map(|k| BlameRow {
+            name: k.name(),
+            count: 0,
+            cost_us: 0,
+        })
+        .collect();
+    for op in trace.ops.iter().take(crit_ops as usize) {
+        let row = &mut rpc_rows[op.kind as usize];
+        row.count += 1;
+        row.cost_us += op.cost_us;
+    }
+    let mut task_rows: Vec<BlameRow> = TASK_NAMES
+        .iter()
+        .map(|name| BlameRow {
+            name,
+            count: 0,
+            cost_us: 0,
+        })
+        .collect();
+    if t_workers > coord_cost_us {
+        for &(lane, i) in &crit_rounds {
+            let r = &schedule[lane][i];
+            // Round members are the tasks of this round's client inside
+            // its global span (other lanes' tasks interleave).
+            for t in &trace.tasks[r.first_task as usize..=r.last_task as usize] {
+                if t.ci != r.ci {
+                    continue;
+                }
+                let row = &mut task_rows[t.kind as usize];
+                row.count += 1;
+                row.cost_us += t.cost_us;
+            }
+        }
+    }
+    let finish = |mut rows: Vec<BlameRow>| -> Vec<BlameRow> {
+        rows.retain(|r| r.count > 0);
+        // Heaviest first; name breaks ties so the order is total.
+        rows.sort_by(|a, b| b.cost_us.cmp(&a.cost_us).then(a.name.cmp(b.name)));
+        rows
+    };
+
+    // Occupancy timelines: the coordinator is busy for its whole serial
+    // walk; each worker lane is busy during its scheduled rounds.
+    let mut coord_timeline = Timeline::new();
+    coord_timeline.push_busy(0, coord_cost_us);
+    let worker_timelines: Vec<Timeline> = schedule
+        .iter()
+        .map(|rounds| {
+            let mut tl = Timeline::new();
+            for r in rounds {
+                tl.push_busy(r.start_us, r.end_us);
+            }
+            tl
+        })
+        .collect();
+
+    CausalReport {
+        lanes,
+        ops: trace.ops.len() as u64,
+        tasks: trace.tasks.len() as u64,
+        coord_cost_us,
+        task_cost_us,
+        replay_cost_us,
+        replay_max_us,
+        t_seq_us,
+        t_crit_us,
+        rounds_total,
+        rounds_critical,
+        crit_coord_us,
+        crit_worker_us,
+        crit_replay_us,
+        crit_ops,
+        coord_timeline,
+        worker_timelines,
+        server_replay_us,
+        rpc_blame: finish(rpc_rows),
+        task_blame: finish(task_rows),
+        schedule,
+    }
+}
+
+/// Aggregate of several runs' CausalProf reports — the scorecard's
+/// input when a study runs with `causal` set. Integer sums, so the
+/// aggregate is independent of trace order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CausalSummary {
+    /// Reports aggregated.
+    pub runs: u64,
+    /// Summed total modeled work, µs.
+    pub t_seq_us: u64,
+    /// Summed critical paths, µs.
+    pub t_crit_us: u64,
+    /// Summed coordinator-serial critical-path shares, µs.
+    pub crit_coord_us: u64,
+    /// Summed worker-parallel critical-path shares, µs.
+    pub crit_worker_us: u64,
+    /// Summed replay-merge critical-path shares, µs.
+    pub crit_replay_us: u64,
+    /// Summed reconstructed rounds.
+    pub rounds_total: u64,
+    /// Summed critical-lane rounds.
+    pub rounds_critical: u64,
+}
+
+impl CausalSummary {
+    /// Folds one report into the aggregate.
+    pub fn add(&mut self, r: &CausalReport) {
+        self.runs += 1;
+        self.t_seq_us += r.t_seq_us;
+        self.t_crit_us += r.t_crit_us;
+        self.crit_coord_us += r.crit_coord_us;
+        self.crit_worker_us += r.crit_worker_us;
+        self.crit_replay_us += r.crit_replay_us;
+        self.rounds_total += r.rounds_total;
+        self.rounds_critical += r.rounds_critical;
+    }
+
+    /// Aggregate sim-time-weighted speedup bound.
+    pub fn speedup_bound_time(&self) -> f64 {
+        self.t_seq_us as f64 / self.t_crit_us.max(1) as f64
+    }
+
+    /// Aggregate round-count speedup bound.
+    pub fn round_bound(&self) -> f64 {
+        self.rounds_total as f64 / self.rounds_critical.max(1) as f64
+    }
+
+    /// How far the summed decomposition components drift from the
+    /// summed critical paths, µs. The backward walk tiles each run's
+    /// critical path exactly, so this must be zero.
+    pub fn decomposition_gap_us(&self) -> u64 {
+        let parts = self.crit_coord_us + self.crit_worker_us + self.crit_replay_us;
+        parts.abs_diff(self.t_crit_us)
+    }
+}
+
+/// Renders the report as the `repro profile --causal` text block.
+pub fn render(report: &CausalReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let r = report;
+    let _ = writeln!(
+        s,
+        "CausalProf (canonical machine: coordinator + {} worker lanes + replay)",
+        r.lanes
+    );
+    let _ = writeln!(
+        s,
+        "  recorded: {} coordinator ops, {} task dispatches, {} rounds",
+        r.ops, r.tasks, r.rounds_total
+    );
+    let _ = writeln!(
+        s,
+        "  T_seq {:>12} us   T_crit {:>12} us   speedup bound (time) {:.2}x",
+        r.t_seq_us,
+        r.t_crit_us,
+        r.speedup_bound_time()
+    );
+    let _ = writeln!(
+        s,
+        "  rounds: total {} / critical lane {}   speedup bound (rounds) {:.2}x",
+        r.rounds_total,
+        r.rounds_critical,
+        r.round_bound()
+    );
+    let pct = |part: u64| part as f64 * 100.0 / r.t_crit_us.max(1) as f64;
+    let _ = writeln!(
+        s,
+        "  critical path: coordinator {:.1}% | workers {:.1}% | replay {:.1}%",
+        pct(r.crit_coord_us),
+        pct(r.crit_worker_us),
+        pct(r.crit_replay_us)
+    );
+    let _ = writeln!(
+        s,
+        "  occupancy over T_crit: coordinator {:.1}% busy; workers mean {:.1}% busy",
+        r.coord_utilization_pct(),
+        r.worker_utilization_pct()
+    );
+    for (w, tl) in r.worker_timelines.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    lane {w}: {:>5.1}% busy  ({} rounds, idle {} us)",
+            tl.utilization_pct(r.t_crit_us),
+            r.schedule[w].len(),
+            r.t_crit_us.saturating_sub(tl.busy_us()),
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  coordinator-serial blame (prefix of {} ops on the critical path):",
+        r.crit_ops
+    );
+    let _ = writeln!(s, "    {:<16} {:>10} {:>12} {:>7}", "rpc", "count", "us", "share");
+    for row in r.rpc_blame.iter().take(10) {
+        let _ = writeln!(
+            s,
+            "    {:<16} {:>10} {:>12} {:>6.1}%",
+            row.name,
+            row.count,
+            row.cost_us,
+            row.cost_us as f64 * 100.0 / r.crit_coord_us.max(1) as f64
+        );
+    }
+    if !r.task_blame.is_empty() {
+        let _ = writeln!(s, "  worker-parallel blame (tasks on the critical lane chain):");
+        let _ = writeln!(s, "    {:<16} {:>10} {:>12} {:>7}", "task", "count", "us", "share");
+        for row in r.task_blame.iter().take(10) {
+            let _ = writeln!(
+                s,
+                "    {:<16} {:>10} {:>12} {:>6.1}%",
+                row.name,
+                row.count,
+                row.cost_us,
+                row.cost_us as f64 * 100.0 / r.crit_worker_us.max(1) as f64
+            );
+        }
+    }
+    s
+}
+
+/// Ceiling of the slice count the exporter emits for the coordinator.
+const EXPORT_COORD_SLICES: usize = 2_000;
+
+/// Ceiling of the slice count per worker lane.
+const EXPORT_LANE_SLICES: usize = 1_000;
+
+/// Serializes the report as Chrome-trace-event ("Perfetto") JSON.
+///
+/// The export is a pure function of the trace and the canonical
+/// schedule — byte-identical across runs and thread counts (gated with
+/// `cmp` in `scripts/verify.sh`). To bound file size on long runs,
+/// coordinator ops and lane rounds are coalesced into at most
+/// [`EXPORT_COORD_SLICES`] / [`EXPORT_LANE_SLICES`] deterministic
+/// chunks; each chunk slice is named by its dominant member.
+pub fn to_perfetto(trace: &CausalTrace, report: &CausalReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: &mut String, ev: &str| {
+        if !std::mem::take(&mut first) {
+            s.push(',');
+        }
+        s.push_str(ev);
+    };
+
+    // Process / thread naming metadata.
+    let mut meta = String::new();
+    let _ = write!(
+        meta,
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"coordinator\"}}}}"
+    );
+    emit(&mut s, &meta);
+    emit(
+        &mut s,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"workers\"}}",
+    );
+    emit(
+        &mut s,
+        "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"servers\"}}",
+    );
+
+    // Coordinator: chunked prefix slices named by the chunk's dominant
+    // RpcKind (by cost).
+    let n = trace.ops.len();
+    if n > 0 {
+        let chunk = n.div_ceil(EXPORT_COORD_SLICES).max(1);
+        let mut ts = 0u64;
+        let mut i = 0;
+        while i < n {
+            let j = (i + chunk).min(n);
+            let mut dur = 0u64;
+            let mut per_kind = [0u64; RpcKind::ALL.len()];
+            let mut count = 0u64;
+            for op in &trace.ops[i..j] {
+                dur += op.cost_us;
+                per_kind[op.kind as usize] += op.cost_us;
+                count += 1;
+            }
+            let dominant = per_kind
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(k, _)| RpcKind::ALL[k].name())
+                .unwrap_or("idle");
+            let mut ev = String::new();
+            let _ = write!(
+                ev,
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":{ts},\"dur\":{dur},\"name\":\"{dominant} x{count}\"}}"
+            );
+            emit(&mut s, &ev);
+            ts += dur;
+            i = j;
+        }
+    }
+
+    // Worker lanes: rounds merged into bounded runs. A merged slice
+    // spans first-start → last-end (idle gaps inside a run are kept
+    // visible only between runs).
+    for (w, rounds) in report.schedule.iter().enumerate() {
+        let n = rounds.len();
+        if n == 0 {
+            continue;
+        }
+        let group = n.div_ceil(EXPORT_LANE_SLICES).max(1);
+        let mut i = 0;
+        while i < n {
+            let j = (i + group).min(n);
+            let ts = rounds[i].start_us;
+            let dur = rounds[j - 1].end_us - ts;
+            let tasks: u64 = rounds[i..j].iter().map(|r| u64::from(r.tasks)).sum();
+            let name = if j - i == 1 {
+                format!("c{} x{}", rounds[i].ci, tasks)
+            } else {
+                format!("rounds x{} ({} tasks)", j - i, tasks)
+            };
+            let mut ev = String::new();
+            let _ = write!(
+                ev,
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{w},\"ts\":{ts},\"dur\":{dur},\"name\":\"{name}\"}}"
+            );
+            emit(&mut s, &ev);
+            i = j;
+        }
+    }
+
+    // Server replay lanes: one slice each, starting at the join.
+    let t_join = report.t_crit_us - report.replay_max_us;
+    for (si, &cost) in report.server_replay_us.iter().enumerate() {
+        if cost == 0 {
+            continue;
+        }
+        let events = trace.srv[si].events;
+        let mut ev = String::new();
+        let _ = write!(
+            ev,
+            "{{\"ph\":\"X\",\"pid\":2,\"tid\":{si},\"ts\":{t_join},\"dur\":{cost},\"name\":\"replay s{si} x{events}\"}}"
+        );
+        emit(&mut s, &ev);
+    }
+
+    s.push_str("]}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfs_spritefs::Config;
+
+    /// Builds a tiny synthetic trace through the public recording
+    /// surface of a real cluster run — the analyzer contract tests use
+    /// the real pipeline so they exercise id mirroring end to end.
+    fn small_trace() -> CausalTrace {
+        use sdfs_spritefs::cluster::NullSink;
+        use sdfs_spritefs::Cluster;
+        use sdfs_workload::Generator;
+        let study = crate::StudyConfig::quick();
+        let wl = study.workload.for_trace(study.traces[0]);
+        let mut gen = Generator::new(wl);
+        let mut cfg: Config = study.cluster.clone();
+        cfg.causal = true;
+        let mut cluster = Cluster::new(cfg, NullSink);
+        cluster.preload(&gen.preload_list());
+        cluster.run_parallel(
+            gen.generate_day(0),
+            sdfs_simkit::SimTime::from_secs(86_400),
+            2,
+        );
+        *cluster.take_causal().expect("causal trace")
+    }
+
+    #[test]
+    fn decomposition_is_exact_and_bounds_are_sane() {
+        let trace = small_trace();
+        let r = analyze(&trace, CANONICAL_LANES);
+        assert!(r.ops > 0 && r.tasks > 0 && r.rounds_total > 0);
+        assert_eq!(
+            r.crit_coord_us + r.crit_worker_us + r.crit_replay_us,
+            r.t_crit_us,
+            "backward walk must tile the critical path exactly"
+        );
+        assert!(r.t_crit_us <= r.t_seq_us);
+        assert!(r.speedup_bound_time() >= 1.0);
+        assert!(r.round_bound() >= 1.0);
+        assert!(r.rounds_critical <= r.rounds_total);
+        // Busy time never exceeds the span it is measured against.
+        assert!(r.coord_utilization_pct() <= 100.0 + 1e-9);
+        for tl in &r.worker_timelines {
+            assert!(tl.busy_us() <= r.t_crit_us);
+        }
+        // Blame covers the decomposed components exactly.
+        let rpc_total: u64 = r.rpc_blame.iter().map(|b| b.cost_us).sum();
+        assert_eq!(rpc_total, r.crit_coord_us);
+        let task_total: u64 = r.task_blame.iter().map(|b| b.cost_us).sum();
+        assert_eq!(task_total, r.crit_worker_us);
+    }
+
+    #[test]
+    fn more_lanes_never_lengthen_the_critical_path() {
+        let trace = small_trace();
+        let r1 = analyze(&trace, 1);
+        let r8 = analyze(&trace, 8);
+        assert!(r8.t_crit_us <= r1.t_crit_us);
+        assert_eq!(r1.t_seq_us, r8.t_seq_us, "total work is lane-independent");
+    }
+
+    #[test]
+    fn perfetto_export_is_deterministic_and_bounded() {
+        let trace = small_trace();
+        let r = analyze(&trace, CANONICAL_LANES);
+        let a = to_perfetto(&trace, &r);
+        let b = to_perfetto(&trace, &r);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"displayTimeUnit\""));
+        assert!(a.ends_with("]}\n"));
+        assert!(a.contains("\"coordinator\""));
+        let slices = a.matches("\"ph\":\"X\"").count();
+        assert!(
+            slices <= EXPORT_COORD_SLICES + CANONICAL_LANES * EXPORT_LANE_SLICES + 16,
+            "export must stay bounded: {slices} slices"
+        );
+    }
+
+    #[test]
+    fn round_reconstruction_matches_the_engine() {
+        // At lanes == nworkers the reconstructed round counts must
+        // equal ParallelStats' exactly — same sealing rule, same
+        // routing.
+        use sdfs_spritefs::cluster::NullSink;
+        use sdfs_spritefs::Cluster;
+        use sdfs_workload::Generator;
+        let study = crate::StudyConfig::quick();
+        let wl = study.workload.for_trace(study.traces[0]);
+        let mut gen = Generator::new(wl);
+        let mut cfg: Config = study.cluster.clone();
+        cfg.causal = true;
+        let mut cluster = Cluster::new(cfg, NullSink);
+        cluster.preload(&gen.preload_list());
+        cluster.run_parallel(
+            gen.generate_day(0),
+            sdfs_simkit::SimTime::from_secs(86_400),
+            3,
+        );
+        let stats = cluster.parallel_stats().expect("parallel run").clone();
+        let trace = cluster.take_causal().expect("causal trace");
+        let r = analyze(&trace, stats.workers);
+        assert_eq!(r.rounds_total, stats.total_rounds());
+        assert_eq!(r.rounds_critical, stats.max_worker_rounds());
+        let per_lane: Vec<u64> = r.schedule.iter().map(|s| s.len() as u64).collect();
+        assert_eq!(per_lane, stats.rounds_per_worker);
+    }
+}

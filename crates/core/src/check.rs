@@ -386,6 +386,32 @@ pub fn scorecard(results: &mut StudyResults) -> Scorecard {
             f64::INFINITY,
         );
     }
+
+    // --- CausalProf critical-path analyzer ---
+    // Present only when the study ran with `causal` set, so a plain
+    // `repro check` renders the scorecard unchanged. The first row is
+    // an exactness invariant (the backward walk must tile T_crit); the
+    // second checks the analyzer's basic sanity: the critical path can
+    // never exceed the total work, so the time-weighted speedup bound
+    // is at least 1. (The 5% agreement between CausalProf's round
+    // bound and BENCH_0003's lives in verify.sh, where both numbers
+    // exist.)
+    if let Some(cp) = results.causal_summary() {
+        add(
+            "causal decomposition gap, us",
+            "coord + worker + replay tiles T_crit",
+            cp.decomposition_gap_us() as f64,
+            0.0,
+            0.0,
+        );
+        add(
+            "causal speedup bound (time-weighted)",
+            "T_seq / T_crit >= 1",
+            cp.speedup_bound_time(),
+            1.0,
+            f64::INFINITY,
+        );
+    }
     sc
 }
 

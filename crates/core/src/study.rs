@@ -125,6 +125,10 @@ pub struct TraceAnalysis {
     /// produced this trace (`None` unless the study ran with
     /// `racecheck` set).
     pub racecheck: Option<RaceStats>,
+    /// CausalProf report for the cluster run that produced this trace
+    /// (`None` unless the study ran with `causal` set), analyzed on the
+    /// canonical machine ([`crate::causal::CANONICAL_LANES`]).
+    pub causal: Option<crate::causal::CausalReport>,
 }
 
 /// Everything one trace run produces besides the analysis: the merged
@@ -140,6 +144,8 @@ pub struct TraceRun {
     pub obs: Option<ObsReport>,
     /// Race-checker verdict (`None` unless `cluster.racecheck` is set).
     pub racecheck: Option<RaceStats>,
+    /// CausalProf report (`None` unless `cluster.causal` is set).
+    pub causal: Option<crate::causal::CausalReport>,
     /// Final per-client counters.
     pub client_counters: Vec<CounterSet>,
     /// Final per-server counters.
@@ -252,12 +258,16 @@ impl Study {
         let sanitizer = cluster.take_sanitizer_stats();
         let obs = cluster.take_obs_report();
         let racecheck = cluster.take_race_stats();
+        let causal = cluster
+            .take_causal()
+            .map(|t| crate::causal::analyze(&t, crate::causal::CANONICAL_LANES));
         let (sink, clients, servers) = cluster.into_parts();
         TraceRun {
             records: merge_vecs(sink.per_server),
             sanitizer,
             obs,
             racecheck,
+            causal,
             client_counters: clients.into_iter().map(|c| c.data.metrics.counters).collect(),
             server_counters: servers.into_iter().map(|s| s.counters).collect(),
         }
@@ -282,6 +292,7 @@ impl Study {
             sanitizer: None,
             obs: None,
             racecheck: None,
+            causal: None,
         }
     }
 
@@ -301,6 +312,7 @@ impl Study {
             sanitizer: None,
             obs: None,
             racecheck: None,
+            causal: None,
         }
     }
 
@@ -335,6 +347,7 @@ impl Study {
                     analysis.sanitizer = run.sanitizer;
                     analysis.obs = run.obs;
                     analysis.racecheck = run.racecheck;
+                    analysis.causal = run.causal;
                     *slots[i].lock().expect("slot lock poisoned") = Some(analysis);
                 });
             }
@@ -489,6 +502,16 @@ impl StudyResults {
                 Some(a) => a.merge(o),
                 None => acc = Some(o.clone()),
             }
+        }
+        acc
+    }
+
+    /// Aggregated CausalProf summary across the trace campaign (`None`
+    /// unless the study ran with `causal` set).
+    pub fn causal_summary(&self) -> Option<crate::causal::CausalSummary> {
+        let mut acc: Option<crate::causal::CausalSummary> = None;
+        for r in self.traces.iter().filter_map(|t| t.causal.as_ref()) {
+            acc.get_or_insert_with(Default::default).add(r);
         }
         acc
     }

@@ -6,7 +6,8 @@
 //! reachable from `ClientTask` execution) must never read or write
 //! coordinator-owned state — per-file consistency state
 //! (`SrvFileState`/`CalmState`), the global `FileTable`, trace
-//! emission (`TraceSink`), or the server caches and counters — except
+//! emission (`TraceSink`), the CausalProf dependency trace
+//! (`CausalTrace`), or the server caches and counters — except
 //! through the logged-`SrvEvent` channel. This module checks that rule
 //! statically:
 //!
@@ -51,15 +52,16 @@ const FORBIDDEN_OWNERS: &[&str] = &[
     "Server",
     "TraceSink",
     "VecSink",
+    "CausalTrace",
 ];
 
 /// Types a worker-plane fn may not mention at all (signature or body).
 const FORBIDDEN_TYPES: &[&str] =
-    &["SrvFileState", "CalmState", "FileTable", "TraceSink"];
+    &["SrvFileState", "CalmState", "FileTable", "TraceSink", "CausalTrace"];
 
 /// Coordinator-owned fields a worker-plane fn may not access.
 const FORBIDDEN_FIELDS: &[&str] =
-    &["servers", "sink", "conflict_epoch", "fastpath"];
+    &["servers", "sink", "conflict_epoch", "fastpath", "causal"];
 
 /// Method names shared with the std containers. When such a name's only
 /// in-crate candidates are coordinator-owned, the receiver is almost

@@ -93,6 +93,36 @@ fn seeded_mutation_is_caught_with_file_and_line() {
 }
 
 #[test]
+fn seeded_causal_trace_touch_is_caught_statically() {
+    // The CausalProf plane fixture: worker-side event buffering must
+    // stay per-shard; a worker-plane helper that flushes straight into
+    // the coordinator-owned `CausalTrace` is the bug class PlaneCheck
+    // exists for (the runtime half of this fixture lives in
+    // `spritefs::causal`'s `--racecheck` test).
+    let mut files = real_spritefs();
+    files.push(SourceFile::new(
+        "crates/spritefs/src/seeded.rs",
+        "pub fn worker_main_seeded() { run_client_task(); }\n\
+         pub fn run_client_task() { flush_events(); }\n\
+         pub fn flush_events() {\n\
+             let c: &mut CausalTrace = trace();\n\
+             c.record_event(0, 0, 0);\n\
+         }\n",
+    ));
+    let v = planes::check(&files);
+    let hit = v
+        .iter()
+        .find(|x| x.file == "crates/spritefs/src/seeded.rs")
+        .unwrap_or_else(|| panic!("seeded CausalTrace touch not caught: {v:?}"));
+    assert_eq!(hit.rule, Rule::PlaneSafety);
+    assert_eq!(hit.line, 4, "{hit:?}");
+    assert!(
+        hit.detail.as_deref().is_some_and(|d| d.contains("CausalTrace")),
+        "{hit:?}"
+    );
+}
+
+#[test]
 fn report_bytes_are_deterministic() {
     let render = || {
         let mut files = real_spritefs();

@@ -34,7 +34,7 @@ pub mod time;
 pub use counters::CounterSet;
 pub use hash::{FastMap, FastSet};
 pub use merge::merge_sorted_by;
-pub use obs::{EventRing, ObsEvent, SpanStat};
+pub use obs::{EventRing, ObsEvent, SpanStat, Timeline};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, LogHistogram, Summary, WeightedCdf};

@@ -368,6 +368,16 @@ fn log_bucket_of(v: u64) -> usize {
 }
 
 /// Largest value that maps to bucket `idx` (inverse of [`log_bucket_of`]).
+///
+/// Top-octave overflow: for the very last bucket (`LOG_HIST_BUCKETS -
+/// 1`, the top sub-bucket of the 2^63 octave) the nominal upper bound
+/// `(top + 1) << shift` is exactly 2^64, which wraps to 0 — the
+/// `wrapping_sub(1)` then yields `u64::MAX`, the correct inclusive
+/// bound. So `u64::MAX` is representable (no observation is ever
+/// dropped or panics), it just shares its bucket with the rest of the
+/// top sub-bucket and relies on the exact `max` clamp in
+/// [`LogHistogram::quantile`] for exact reporting when it is the
+/// largest observation.
 fn log_bucket_upper(idx: usize) -> u64 {
     let idx = idx as u64;
     if idx < LOG_HIST_SUB {
@@ -706,6 +716,61 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn log_hist_empty_quantiles_are_zero_everywhere() {
+        // An empty histogram answers 0 for every quantile, including
+        // the endpoints and out-of-range inputs — it never panics or
+        // reports a stale min/max.
+        let h = LogHistogram::new();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0, 2.0, -1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!((h.p50(), h.p90(), h.p99()), (0, 0, 0));
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn log_hist_single_sample_is_exact_at_every_quantile() {
+        // One observation: the [min, max] clamp collapses every bucket
+        // upper bound onto the observed value, so all quantiles are
+        // exact — even though 6_000_000 lives in a coarse octave.
+        let mut h = LogHistogram::new();
+        h.record(6_000_000);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 6_000_000, "q={q}");
+        }
+        assert_eq!((h.min(), h.max(), h.count()), (6_000_000, 6_000_000, 1));
+    }
+
+    #[test]
+    fn log_hist_top_octave_overflow_bucket() {
+        // The last bucket's nominal upper bound is 2^64; the wrapping
+        // arithmetic in `log_bucket_upper` turns it into u64::MAX (see
+        // its doc comment). u64::MAX must map to the final bucket,
+        // round-trip through quantiles without panicking, and coexist
+        // with small values in one histogram.
+        assert_eq!(log_bucket_of(u64::MAX), LOG_HIST_BUCKETS - 1);
+        assert_eq!(log_bucket_upper(LOG_HIST_BUCKETS - 1), u64::MAX);
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        // Sum saturates rather than wrapping.
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        // Mixed with a small value, the median clamps to real data.
+        let mut m = LogHistogram::new();
+        m.record(1);
+        m.record(u64::MAX);
+        assert_eq!(m.quantile(0.5), 1);
+        assert_eq!(m.quantile(1.0), u64::MAX);
+        // The bucket walk is total: every bucket index inverts into a
+        // value that maps back to the same bucket.
+        for idx in [0, 15, 16, 975] {
+            assert_eq!(log_bucket_of(log_bucket_upper(idx)), idx, "idx={idx}");
+        }
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! CausalProf: deterministic causal tracing of the parallel engine.
+//!
+//! Off-by-default ([`crate::Config::causal`]) recording layer that turns
+//! one simulated run into an explicit dependency DAG keyed by the same
+//! global dispatch ids the parallel engine already stamps on every task
+//! and deferred server event ([`crate::parallel`]):
+//!
+//! * **Coordinator ops** — every control-plane RPC the coordinator walks
+//!   ([`CausalOp`]), in global operation order, weighted by the modeled
+//!   network time of its payload. These form the serial chain of the DAG.
+//! * **Task dispatches** — every data-plane [`ClientTask`] hand-off
+//!   ([`CausalTask`]), stamped with its dispatch id and with how many
+//!   coordinator ops preceded it (the op → task dependency edge).
+//! * **Server events** — deferred server-cache effects, aggregated per
+//!   dispatch id ([`EvAgg`], the task → replay edge) and per server
+//!   ([`SrvAgg`], the replay-merge lanes).
+//!
+//! Everything is recorded on the coordinator thread. Under the
+//! sequential engine, per-task server events are captured by a
+//! [`CausalSrv`] wrapper around the inline [`ServerAccess`]; under the
+//! parallel engine the workers' per-shard event buffers (which this
+//! layer never touches — PlaneCheck owns that invariant) are folded in
+//! by the coordinator after the join. Because the coordinator walks
+//! operations in the same order in both engines and the dispatch-id
+//! counter here is bumped at exactly the chokepoints that bump
+//! [`crate::parallel::QueuedState`]'s, the recorded trace is
+//! byte-identical at any thread count — the property `scripts/verify.sh`
+//! gates with `cmp` on the Perfetto export.
+//!
+//! Weights are *modeled sim time*, not wall clock: an op costs
+//! `net.rpc_time(bytes)`; a task costs a small per-task base plus a
+//! per-block term for client-cache handling; a replayed server event
+//! costs `net.rpc_time(bytes)` of server-side service. Disk hit/miss is
+//! deliberately ignored: under `Route::Queued` the inline hit flag is a
+//! placeholder (see [`crate::cluster`]), so any weight derived from it
+//! would differ across engines and break the byte-identity contract.
+
+use crate::cluster::ServerAccess;
+use crate::config::Config;
+use crate::parallel::ClientTask;
+use crate::racecheck::{guard, Resource};
+use crate::rpc::RpcKind;
+use sdfs_simkit::SimTime;
+
+use crate::cache::BlockKey;
+
+/// Maximum sub-tasks per dispatch round, re-exported for analysis-side
+/// round reconstruction (single source of truth in [`crate::parallel`]).
+pub const ROUND_CAP: usize = crate::parallel::ROUND_CAP;
+
+/// Modeled client-side cost of executing one data-plane task,
+/// independent of size: queue hand-off, cache lookup, bookkeeping.
+pub const TASK_BASE_US: u64 = 20;
+
+/// Modeled client-side cost per 4K-block moved through the client
+/// cache by a task.
+pub const TASK_PER_BLOCK_US: u64 = 5;
+
+/// Human names of the [`ClientTask`] variants, indexed by the code
+/// recorded in [`CausalTask::kind`].
+pub const TASK_NAMES: [&str; 9] = [
+    "read",
+    "write",
+    "flush.file",
+    "invalidate",
+    "drop.file",
+    "proc.start",
+    "proc.exit",
+    "daemon.flush",
+    "sample",
+];
+
+/// One coordinator control-plane RPC, in global operation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalOp {
+    /// [`RpcKind`] index (see [`RpcKind::ALL`]).
+    pub kind: u8,
+    /// Modeled network time of the RPC in microseconds.
+    pub cost_us: u64,
+}
+
+/// One data-plane task dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalTask {
+    /// Global dispatch id (shared with server events).
+    pub id: u64,
+    /// Owning client.
+    pub ci: u16,
+    /// [`ClientTask`] variant code (index into [`TASK_NAMES`]).
+    pub kind: u8,
+    /// Payload bytes the task moves through the client cache.
+    pub bytes: u64,
+    /// Coordinator ops recorded before this dispatch — the op → task
+    /// dependency edge (the task cannot start before the coordinator
+    /// has walked this far).
+    pub ops_before: u64,
+    /// Modeled client-side execution cost in microseconds.
+    pub cost_us: u64,
+}
+
+/// Server-event aggregate for one dispatch id (task → replay edge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvAgg {
+    /// Deferred server-cache events charged to this id.
+    pub events: u32,
+    /// Payload bytes across those events.
+    pub bytes: u64,
+    /// Modeled server-side service time in microseconds.
+    pub cost_us: u64,
+}
+
+/// Replay-lane aggregate for one server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SrvAgg {
+    /// Events replayed against this server's cache.
+    pub events: u64,
+    /// Payload bytes across those events.
+    pub bytes: u64,
+    /// Modeled service time of the server's replay lane in microseconds.
+    pub cost_us: u64,
+}
+
+/// The per-run causal DAG, recorded on the coordinator.
+///
+/// The struct is coordinator-owned state in the PlaneCheck sense: the
+/// static analyzer forbids any worker-plane function from reaching it,
+/// and every recording method calls the runtime plane
+/// [`guard`](crate::racecheck::guard) so `--racecheck` re-proves the
+/// same rule while the parallel engine runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalTrace {
+    /// Coordinator control-plane RPCs, in global operation order.
+    pub ops: Vec<CausalOp>,
+    /// Data-plane task dispatches, in dispatch order.
+    pub tasks: Vec<CausalTask>,
+    /// Server-event aggregates indexed by dispatch id (may be shorter
+    /// than the id space; use [`CausalTrace::events_of`]).
+    pub by_id: Vec<EvAgg>,
+    /// Per-server replay-lane aggregates.
+    pub srv: Vec<SrvAgg>,
+    /// Mirror of the global dispatch-id counter: bumped at exactly the
+    /// chokepoints that bump `QueuedState::next_id`, so recorded ids
+    /// match the engine's at any thread count.
+    next_id: u64,
+    per_rpc_us: u64,
+    per_byte_ns: u64,
+    block_size: u64,
+}
+
+impl CausalTrace {
+    /// Creates an empty trace using `cfg`'s latency model for weights.
+    pub fn new(cfg: &Config) -> Self {
+        CausalTrace {
+            ops: Vec::new(),
+            tasks: Vec::new(),
+            by_id: Vec::new(),
+            srv: vec![SrvAgg::default(); cfg.num_servers as usize],
+            next_id: 0,
+            per_rpc_us: cfg.net.per_rpc_us,
+            per_byte_ns: cfg.net.per_byte_ns,
+            block_size: cfg.block_size.max(1),
+        }
+    }
+
+    /// Modeled network/service time for a `bytes` payload, in µs.
+    #[inline]
+    fn net_us(&self, bytes: u64) -> u64 {
+        self.per_rpc_us + bytes * self.per_byte_ns / 1000
+    }
+
+    /// The server-event aggregate charged to dispatch id `id`.
+    pub fn events_of(&self, id: u64) -> EvAgg {
+        self.by_id.get(id as usize).copied().unwrap_or_default()
+    }
+
+    /// Total modeled replay time across all server lanes, in µs.
+    pub fn replay_total_us(&self) -> u64 {
+        self.srv.iter().map(|s| s.cost_us).sum()
+    }
+
+    /// Records one coordinator control-plane RPC.
+    #[inline]
+    pub(crate) fn rpc(&mut self, kind: RpcKind, bytes: u64) {
+        guard(Resource::CausalTrace);
+        self.ops.push(CausalOp {
+            kind: kind.index() as u8,
+            cost_us: self.net_us(bytes),
+        });
+    }
+
+    /// Records one task dispatch and returns its global dispatch id.
+    #[inline]
+    pub(crate) fn task(&mut self, ci: usize, task: &ClientTask) -> u64 {
+        guard(Resource::CausalTrace);
+        let id = self.next_id;
+        self.next_id += 1;
+        let (kind, bytes) = task_code_bytes(task);
+        self.tasks.push(CausalTask {
+            id,
+            ci: ci as u16,
+            kind,
+            bytes,
+            ops_before: self.ops.len() as u64,
+            cost_us: TASK_BASE_US + bytes.div_ceil(self.block_size) * TASK_PER_BLOCK_US,
+        });
+        id
+    }
+
+    /// Records one control-plane server event (paging, server daemon
+    /// ticks), claiming the next dispatch id. `apply` is true on the
+    /// inline path, where the effect happens now; the queued path folds
+    /// the effect in later via [`CausalTrace::record_event`] so it is
+    /// counted exactly once either way.
+    #[inline]
+    pub(crate) fn coord_event(&mut self, si: usize, bytes: u64, apply: bool) {
+        guard(Resource::CausalTrace);
+        let id = self.next_id;
+        self.next_id += 1;
+        if apply {
+            self.record_event(id, si, bytes);
+        }
+    }
+
+    /// Charges one deferred server-cache event to dispatch id `id` and
+    /// server `si`. Aggregation is pure integer addition, so fold order
+    /// does not matter — the parallel engine feeds this from per-shard
+    /// event buffers after the join and still matches the sequential
+    /// engine byte for byte.
+    #[inline]
+    pub(crate) fn record_event(&mut self, id: u64, si: usize, bytes: u64) {
+        guard(Resource::CausalTrace);
+        let idx = id as usize;
+        if idx >= self.by_id.len() {
+            self.by_id.resize(idx + 1, EvAgg::default());
+        }
+        let cost = self.net_us(bytes);
+        let agg = &mut self.by_id[idx];
+        agg.events += 1;
+        agg.bytes += bytes;
+        agg.cost_us += cost;
+        let s = &mut self.srv[si];
+        s.events += 1;
+        s.bytes += bytes;
+        s.cost_us += cost;
+    }
+}
+
+/// Variant code and payload bytes of a [`ClientTask`].
+fn task_code_bytes(task: &ClientTask) -> (u8, u64) {
+    match *task {
+        ClientTask::Read { len, .. } => (0, len),
+        ClientTask::Write { len, .. } => (1, len),
+        ClientTask::FlushFile { .. } => (2, 0),
+        ClientTask::Invalidate { .. } => (3, 0),
+        ClientTask::DropFile { .. } => (4, 0),
+        ClientTask::ProcStart {
+            code_bytes,
+            data_bytes,
+            heap_bytes,
+            ..
+        } => (5, code_bytes + data_bytes + heap_bytes),
+        ClientTask::ProcExit { .. } => (6, 0),
+        ClientTask::DaemonFlush { .. } => (7, 0),
+        ClientTask::Sample { .. } => (8, 0),
+    }
+}
+
+/// Inline [`ServerAccess`] wrapper that charges each server-cache
+/// effect to the current task's dispatch id before delegating. The
+/// sequential twin of the workers' per-shard event buffers.
+pub(crate) struct CausalSrv<'a, A> {
+    /// The real inline access.
+    pub inner: A,
+    /// The trace, when recording.
+    pub causal: Option<&'a mut CausalTrace>,
+    /// The current task's global dispatch id.
+    pub id: u64,
+}
+
+// plane:coordinator-only — the inline path runs on the coordinator
+// thread only; shard workers always get the deferred `EventLog`.
+impl<A: ServerAccess> ServerAccess for CausalSrv<'_, A> {
+    fn serve_read(&mut self, si: usize, key: BlockKey, bytes: u64, now: SimTime) -> bool {
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.record_event(self.id, si, bytes);
+        }
+        self.inner.serve_read(si, key, bytes, now)
+    }
+
+    fn accept_write(&mut self, si: usize, key: BlockKey, bytes: u64, now: SimTime) {
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.record_event(self.id, si, bytes);
+        }
+        self.inner.accept_write(si, key, bytes, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::racecheck::{install, uninstall, Plane};
+
+    fn trace() -> CausalTrace {
+        CausalTrace::new(&Config::default())
+    }
+
+    #[test]
+    fn ids_mirror_dispatch_counter() {
+        let mut t = trace();
+        let id0 = t.task(0, &ClientTask::ProcExit { pid: sdfs_trace::Pid(1) });
+        t.coord_event(0, 4096, true);
+        let id2 = t.task(1, &ClientTask::Sample { active: true });
+        assert_eq!((id0, id2), (0, 2));
+        assert_eq!(t.tasks.len(), 2);
+        assert_eq!(t.events_of(1).events, 1);
+    }
+
+    #[test]
+    fn event_aggregation_is_order_insensitive() {
+        let mut a = trace();
+        a.record_event(3, 0, 4096);
+        a.record_event(1, 1, 100);
+        a.record_event(3, 0, 4096);
+        let mut b = trace();
+        b.record_event(3, 0, 4096);
+        b.record_event(3, 0, 4096);
+        b.record_event(1, 1, 100);
+        assert_eq!(a.events_of(3), b.events_of(3));
+        assert_eq!(a.srv, b.srv);
+    }
+
+    #[test]
+    fn worker_plane_touch_is_a_runtime_violation() {
+        // The dynamic twin of the static PlaneCheck fixture: a shard
+        // worker reaching the coordinator-owned causal trace must trip
+        // the plane guard under --racecheck.
+        let mut t = trace();
+        install(Plane::Worker(3));
+        t.record_event(0, 0, 512);
+        let (checks, violations, first) = uninstall();
+        assert_eq!(checks, 1);
+        assert_eq!(violations, 1);
+        let msg = first.expect("violation recorded");
+        assert!(msg.contains("worker 3"), "{msg}");
+        // The same touch from the coordinator plane is clean.
+        install(Plane::Coordinator);
+        t.record_event(0, 0, 512);
+        let (checks, violations, _) = uninstall();
+        assert_eq!((checks, violations), (1, 0));
+    }
+}

@@ -369,6 +369,10 @@ pub struct Cluster<S: TraceSink> {
     /// ([`Config::racecheck`]). Boxed so the disabled (default) case
     /// costs one pointer.
     pub(crate) race: Option<Box<crate::racecheck::RaceStats>>,
+    /// CausalProf dependency-DAG recorder ([`Config::causal`]),
+    /// coordinator-owned like the sink and the consistency state. Boxed
+    /// so the disabled (default) case costs one pointer.
+    pub(crate) causal: Option<Box<crate::causal::CausalTrace>>,
 }
 
 /// Hit/miss counts for the control-plane consistency fast path
@@ -451,6 +455,9 @@ impl<S: TraceSink> Cluster<S> {
         let race = cfg
             .racecheck
             .then(|| Box::new(crate::racecheck::RaceStats::default()));
+        let causal = cfg
+            .causal
+            .then(|| Box::new(crate::causal::CausalTrace::new(&cfg)));
         let n = cfg.num_servers as usize;
         Cluster {
             cfg,
@@ -476,6 +483,7 @@ impl<S: TraceSink> Cluster<S> {
             conflict_epoch: 0,
             fastpath: FastPathStats::default(),
             race,
+            causal,
         }
     }
 
@@ -593,11 +601,26 @@ impl<S: TraceSink> Cluster<S> {
         self.obs.take().map(|o| o.into_report())
     }
 
+    /// Removes and returns the CausalProf dependency DAG (recording
+    /// stops afterwards). `None` unless [`Config::causal`] was set.
+    pub fn take_causal(&mut self) -> Option<Box<crate::causal::CausalTrace>> {
+        self.causal.take()
+    }
+
     /// Records one completed RPC with its modeled latency: network time
     /// for the payload, plus a server disk access when the server cache
     /// missed. No-op unless observing.
     #[inline]
     fn obs_rpc(&mut self, kind: RpcKind, ci: usize, si: usize, bytes: u64, disk_miss: bool) {
+        if let Some(c) = self.causal.as_deref_mut() {
+            // The causal weight deliberately ignores `disk_miss`: under
+            // `Route::Queued` the inline hit flag is a placeholder, so a
+            // miss-dependent weight would differ across engines and
+            // break the byte-identity of the recorded trace. Disk time
+            // is attributed to the replay lanes instead, where hit/miss
+            // evolves identically in both engines.
+            c.rpc(kind, bytes);
+        }
         if let Some(obs) = self.obs.as_deref_mut() {
             let mut lat = self.cfg.net.rpc_time(bytes);
             if disk_miss {
@@ -645,11 +668,22 @@ impl<S: TraceSink> Cluster<S> {
     /// Routes one data-plane task for client `ci`.
     fn dispatch(&mut self, ci: usize, task: ClientTask) {
         let now = self.now;
+        // CausalProf mirrors the global dispatch-id counter here, at the
+        // same chokepoint `QueuedState::push_task` bumps it, so the
+        // recorded id is the engine's id at any thread count.
+        let id = match self.causal.as_deref_mut() {
+            Some(c) => c.task(ci, &task),
+            None => 0,
+        };
         match &mut self.route {
             Route::Inline => run_client_task(
                 &mut self.clients[ci].data,
-                &mut DirectServers {
-                    servers: &mut self.servers,
+                &mut crate::causal::CausalSrv {
+                    inner: DirectServers {
+                        servers: &mut self.servers,
+                    },
+                    causal: self.causal.as_deref_mut(),
+                    id,
                 },
                 &self.files,
                 &self.cfg,
@@ -672,9 +706,21 @@ impl<S: TraceSink> Cluster<S> {
     #[inline]
     fn server_read(&mut self, si: usize, key: BlockKey, bytes: u64) -> bool {
         let now = self.now;
+        // CausalProf mirrors the dispatch-id bump `push_srv_event` does;
+        // under Inline the event is applied now (apply=true), under
+        // Queued it is recorded later by the replay-stream fold.
+        let causal = self.causal.as_deref_mut();
         match &mut self.route {
-            Route::Inline => self.servers[si].serve_read(key, bytes, now),
+            Route::Inline => {
+                if let Some(c) = causal {
+                    c.coord_event(si, bytes, true);
+                }
+                self.servers[si].serve_read(key, bytes, now)
+            }
             Route::Queued(q) => {
+                if let Some(c) = causal {
+                    c.coord_event(si, bytes, false);
+                }
                 q.push_srv_event(si, SrvEventKind::Read { key, bytes }, now);
                 true
             }
@@ -685,9 +731,20 @@ impl<S: TraceSink> Cluster<S> {
     #[inline]
     fn server_write(&mut self, si: usize, key: BlockKey, bytes: u64) {
         let now = self.now;
+        let causal = self.causal.as_deref_mut();
         match &mut self.route {
-            Route::Inline => self.servers[si].accept_write(key, bytes, now),
-            Route::Queued(q) => q.push_srv_event(si, SrvEventKind::Write { key, bytes }, now),
+            Route::Inline => {
+                if let Some(c) = causal {
+                    c.coord_event(si, bytes, true);
+                }
+                self.servers[si].accept_write(key, bytes, now);
+            }
+            Route::Queued(q) => {
+                if let Some(c) = causal {
+                    c.coord_event(si, bytes, false);
+                }
+                q.push_srv_event(si, SrvEventKind::Write { key, bytes }, now);
+            }
         }
     }
 
@@ -695,9 +752,20 @@ impl<S: TraceSink> Cluster<S> {
     #[inline]
     fn server_drop_file(&mut self, si: usize, file: FileId) {
         let now = self.now;
+        let causal = self.causal.as_deref_mut();
         match &mut self.route {
-            Route::Inline => self.servers[si].drop_file_blocks(file),
-            Route::Queued(q) => q.push_srv_event(si, SrvEventKind::DropFile { file }, now),
+            Route::Inline => {
+                if let Some(c) = causal {
+                    c.coord_event(si, 0, true);
+                }
+                self.servers[si].drop_file_blocks(file);
+            }
+            Route::Queued(q) => {
+                if let Some(c) = causal {
+                    c.coord_event(si, 0, false);
+                }
+                q.push_srv_event(si, SrvEventKind::DropFile { file }, now);
+            }
         }
     }
 
@@ -706,9 +774,20 @@ impl<S: TraceSink> Cluster<S> {
     fn server_tick_flush(&mut self, si: usize, cutoff: SimTime) {
         let now = self.now;
         let block_size = self.cfg.block_size;
+        let causal = self.causal.as_deref_mut();
         match &mut self.route {
-            Route::Inline => self.servers[si].flush_dirty_before(cutoff, block_size),
-            Route::Queued(q) => q.push_srv_event(si, SrvEventKind::TickFlush { cutoff }, now),
+            Route::Inline => {
+                if let Some(c) = causal {
+                    c.coord_event(si, 0, true);
+                }
+                self.servers[si].flush_dirty_before(cutoff, block_size);
+            }
+            Route::Queued(q) => {
+                if let Some(c) = causal {
+                    c.coord_event(si, 0, false);
+                }
+                q.push_srv_event(si, SrvEventKind::TickFlush { cutoff }, now);
+            }
         }
     }
 

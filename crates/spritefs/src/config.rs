@@ -280,6 +280,14 @@ pub struct Config {
     /// slow path stays alive as the oracle and `verify.sh` cmp-gates
     /// the two against each other.
     pub consistency_fast_path: bool,
+    /// Record the CausalProf dependency DAG alongside the run
+    /// ([`crate::causal`]): coordinator op → dispatch round → worker
+    /// task → deferred server-event replay, keyed by the engine's
+    /// global dispatch ids and weighted in modeled sim time. Off by
+    /// default; recording never changes simulation output (the trace is
+    /// reported out of band), and the recorded bytes are identical at
+    /// any thread count.
+    pub causal: bool,
 }
 
 impl Default for Config {
@@ -318,6 +326,7 @@ impl Default for Config {
             faults: None,
             server_nvram_bytes: 0,
             consistency_fast_path: true,
+            causal: false,
         }
     }
 }

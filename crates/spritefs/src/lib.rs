@@ -33,6 +33,7 @@
 //! per-machine counters behind Tables 4–9 of the paper.
 
 pub mod cache;
+pub mod causal;
 pub mod client;
 pub mod cluster;
 pub mod config;
@@ -47,6 +48,7 @@ pub mod sanitizer;
 pub mod server;
 pub mod vm;
 
+pub use causal::{CausalOp, CausalTask, CausalTrace, EvAgg, SrvAgg};
 pub use cluster::{Cluster, FastPathStats, TraceSink, VecSink};
 pub use config::{Config, ConsistencyPolicy, FaultPlan, Partition, ServerOutage};
 pub use metrics::SanitizerStats;

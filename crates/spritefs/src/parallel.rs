@@ -128,7 +128,7 @@ pub(crate) struct SubTask {
 
 /// Maximum sub-tasks coalesced into one dispatch round, bounding how
 /// long the coordinator holds work back from a worker.
-const ROUND_CAP: usize = 64;
+pub(crate) const ROUND_CAP: usize = 64;
 
 /// One dispatch round: a maximal run of consecutive tasks for the same
 /// client in one worker's queue, handed over as a unit. Fast-path
@@ -647,6 +647,24 @@ impl<S: TraceSink> Cluster<S> {
             self.clients[ci].data.metrics.counters.merge(ctl);
         }
         streams.push(std::mem::take(&mut qstate.events));
+        if let Some(c) = self.causal.as_deref_mut() {
+            // Fold the deferred server events into the causal trace.
+            // Recording is aggregation-only (order-insensitive integer
+            // sums keyed by dispatch id), so folding the out-of-order
+            // worker streams here yields byte-identical aggregates to
+            // the inline engine's in-order recording.
+            for stream in &streams {
+                for ev in stream {
+                    let bytes = match ev.kind {
+                        SrvEventKind::Read { bytes, .. } | SrvEventKind::Write { bytes, .. } => {
+                            bytes
+                        }
+                        SrvEventKind::DropFile { .. } | SrvEventKind::TickFlush { .. } => 0,
+                    };
+                    c.record_event(ev.id, ev.si as usize, bytes);
+                }
+            }
+        }
         let fp = self.fastpath;
         self.last_parallel = Some(ParallelStats {
             workers: nworkers,

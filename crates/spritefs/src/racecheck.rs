@@ -57,6 +57,8 @@ pub enum Resource {
     FileTable,
     /// Trace-record emission (`TraceSink`).
     TraceEmit,
+    /// The CausalProf recording layer (`CausalTrace`).
+    CausalTrace,
 }
 
 impl Resource {
@@ -65,6 +67,7 @@ impl Resource {
             Resource::SrvFileState => "SrvFileState",
             Resource::FileTable => "FileTable",
             Resource::TraceEmit => "trace emission",
+            Resource::CausalTrace => "causal trace",
         }
     }
 }

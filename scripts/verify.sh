@@ -87,6 +87,31 @@ test "$usage_status" -eq 2 || { echo "unknown subcommand must exit 2, got $usage
 grep -q "usage: repro" /tmp/verify_usage.txt
 grep -q "selftrace" /tmp/verify_usage.txt
 
+echo "==> causalprof off: --causal never perturbs the campaign stdout"
+./target/release/repro --quick --causal all > /tmp/verify_report_causal.txt
+cmp /tmp/verify_report.txt /tmp/verify_report_causal.txt
+
+echo "==> causalprof: profile --causal reports occupancy, blame, and an exact 2-lane agreement"
+./target/release/repro --quick --traces 1 --days 1 profile --causal > /tmp/verify_causal_profile.txt
+grep -q "CausalProf (canonical machine" /tmp/verify_causal_profile.txt
+grep -q "occupancy over T_crit: coordinator" /tmp/verify_causal_profile.txt
+grep -q "coordinator-serial blame" /tmp/verify_causal_profile.txt
+grep -q "round-bound agreement at 2 lanes" /tmp/verify_causal_profile.txt
+python3 - /tmp/verify_causal_profile.txt <<'PYEOF'
+import re, sys
+txt = open(sys.argv[1]).read()
+m = re.search(r"round-bound agreement at 2 lanes: causal ([\d.]+)x vs engine ([\d.]+)x", txt)
+assert m, "agreement line missing"
+causal, engine = float(m.group(1)), float(m.group(2))
+assert abs(causal - engine) <= 0.05 * engine, f"causal {causal} vs engine {engine} drifts > 5%"
+PYEOF
+
+echo "==> causalprof: --trace-out byte-identical at threads 1 and 4"
+./target/release/repro --quick --traces 1 --days 1 --threads 1 profile --causal --trace-out /tmp/verify_trace_t1.json > /dev/null
+./target/release/repro --quick --traces 1 --days 1 --threads 4 profile --causal --trace-out /tmp/verify_trace_t4.json > /dev/null
+cmp /tmp/verify_trace_t1.json /tmp/verify_trace_t4.json
+grep -q '"displayTimeUnit"' /tmp/verify_trace_t1.json
+
 echo "==> fault matrix: repro --quick --sanitize faults (clean, deterministic, nonzero)"
 ./target/release/repro --quick --sanitize faults > /tmp/verify_faults_1.txt
 ./target/release/repro --quick --sanitize faults > /tmp/verify_faults_2.txt
@@ -129,6 +154,27 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 bound = doc["simulate_speedup_bound_max_vs_1"]
 assert bound >= 4.0, f"data-plane speedup bound {bound} < 4.0"
+EOF
+test -s "$tmpdir/BENCH_0005.json"
+python3 - "$tmpdir/BENCH_0005.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+# CausalProf's reconstruction of the dispatch rounds must reproduce the
+# engine's own round-count bound from BENCH_0003 within 5% (we expect
+# exact agreement — the analyzer replays the same seal rule).
+ratio = doc["round_bound_agreement_ratio"]
+assert 0.95 <= ratio <= 1.05, f"causal/engine round-bound ratio {ratio} outside 5%"
+# Decomposition must tile the critical path exactly: no unattributed time.
+assert doc["decomposition_gap_us"] == 0, f"gap {doc['decomposition_gap_us']} us"
+# Occupancy sanity: shares are percentages and the three components
+# cover the whole critical path.
+pct = doc["critical_path_pct"]
+total = pct["coordinator"] + pct["workers"] + pct["replay"]
+assert 99.9 <= total <= 100.1, f"critical-path shares sum to {total}"
+for t in doc["per_trace"]:
+    assert 0.0 <= t["coordinator_util_pct"] <= 100.0, t
+    assert 0.0 <= t["worker_mean_util_pct"] <= 100.0, t
+    assert t["speedup_bound_time"] >= 1.0, t
 EOF
 test -s "$tmpdir/BENCH_0004.json"
 grep -q '"records_identical_on_vs_off": true' "$tmpdir/BENCH_0004.json"

@@ -62,6 +62,138 @@ fn observe_never_changes_stdout() {
 }
 
 #[test]
+fn profile_trace_out_unwritable_exits_2_without_panic() {
+    // CausalProf hardening: an unwritable --trace-out path is a usage
+    // error, diagnosed before any simulation runs, never a panic.
+    let out = repro(&[
+        "--quick",
+        "--traces",
+        "1",
+        "--days",
+        "1",
+        "profile",
+        "--causal",
+        "--trace-out",
+        "/nonexistent-dir-for-cli-test/trace.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "unwritable --trace-out exits 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot open --trace-out"), "{err}");
+    assert!(err.contains("usage: repro"), "usage synopsis on stderr:\n{err}");
+    assert!(!err.contains("panicked"), "must not panic:\n{err}");
+}
+
+#[test]
+fn trace_out_missing_value_exits_2() {
+    let out = repro(&["--quick", "profile", "--trace-out"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--trace-out requires a file argument"), "{err}");
+}
+
+#[test]
+fn unknown_causal_family_flags_are_rejected() {
+    // `--causal` is exact-match; near-misses must not silently parse as
+    // a profiled run (worse: as an unprofiled one).
+    for flag in ["--causally", "--causal-path", "--causal=1"] {
+        let out = repro(&["--quick", flag, "profile"]);
+        assert_eq!(out.status.code(), Some(2), "`{flag}` exits 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown flag"), "`{flag}`:\n{err}");
+    }
+}
+
+/// Extract every key path from a JSON document, in document order.
+///
+/// No JSON parser is available in-tree, so this is a minimal scanner:
+/// a quoted string followed by `:` is a key; `{`/`[` push the pending
+/// key onto the path stack, `}`/`]` pop. Good enough for the schema
+/// golden below, which only cares about key names and nesting.
+fn json_key_paths(doc: &str) -> Vec<String> {
+    let b: Vec<char> = doc.chars().collect();
+    let mut i = 0;
+    let mut stack: Vec<String> = Vec::new();
+    let mut pending = String::new();
+    let mut paths = Vec::new();
+    while i < b.len() {
+        match b[i] {
+            '"' => {
+                let start = i + 1;
+                i += 1;
+                while i < b.len() && b[i] != '"' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                let s: String = b[start..i].iter().collect();
+                let mut j = i + 1;
+                while j < b.len() && b[j].is_whitespace() {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == ':' {
+                    let prefix: Vec<&str> = stack
+                        .iter()
+                        .filter(|p| !p.is_empty())
+                        .map(String::as_str)
+                        .collect();
+                    paths.push(if prefix.is_empty() {
+                        s.clone()
+                    } else {
+                        format!("{}/{}", prefix.join("/"), s)
+                    });
+                    pending = s;
+                }
+            }
+            '{' | '[' => stack.push(std::mem::take(&mut pending)),
+            '}' | ']' => {
+                stack.pop();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    paths
+}
+
+#[test]
+fn obs_json_schema_matches_golden() {
+    // The `obs --json` document is machine-read by scripts/verify.sh
+    // and external dashboards, so its key set AND ordering are a
+    // contract. The golden file holds one key path per line; a drift
+    // shows up as a readable line diff, not a wall of JSON.
+    let out = repro(&["--quick", "--traces", "1", "--days", "1", "obs", "--json"]);
+    assert!(out.status.success());
+    let doc = String::from_utf8_lossy(&out.stdout);
+    let got = json_key_paths(&doc);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/obs_json_keys.txt"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, got.join("\n") + "\n").expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file (run with BLESS=1 to create)");
+    let want: Vec<&str> = golden.lines().collect();
+    if got != want {
+        let mut diff = String::new();
+        let n = got.len().max(want.len());
+        for k in 0..n {
+            let g = got.get(k).map(String::as_str).unwrap_or("<missing>");
+            let w = want.get(k).copied().unwrap_or("<missing>");
+            if g != w {
+                diff.push_str(&format!("  line {}: got `{g}`, golden `{w}`\n", k + 1));
+            }
+        }
+        panic!(
+            "obs --json key schema drifted from {path}\n\
+             (if intentional, re-bless with BLESS=1 cargo test obs_json_schema)\n{diff}"
+        );
+    }
+}
+
+#[test]
 fn selftrace_round_trip_agrees() {
     let out = repro(&["--quick", "selftrace"]);
     assert!(

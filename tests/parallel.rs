@@ -203,3 +203,35 @@ fn work_division_stats_are_deterministic() {
     assert_eq!(a.0, 3);
     assert!(a.1.iter().sum::<u64>() > 0, "the run dispatched tasks");
 }
+
+#[test]
+fn causal_trace_is_byte_identical_across_engines() {
+    // CausalProf's whole contract: the recorded DAG (ops, tasks, event
+    // aggregates, replay lanes) must not depend on the engine or the
+    // thread count — the coordinator walks ops in the same order
+    // everywhere and event aggregation is order-insensitive.
+    let cfg = quick_config(1);
+    let spec = cfg.traces[0];
+    let run = |threads: usize| {
+        let wl = cfg.workload.for_trace(spec);
+        let mut gen = Generator::new(wl);
+        let mut cluster = {
+            let mut c = cfg.cluster.clone();
+            c.causal = true;
+            Cluster::new(c, NullSink)
+        };
+        cluster.preload(&gen.preload_list());
+        cluster.run_parallel(gen.generate_day(0), SimTime::from_secs(86_400), threads);
+        cluster.take_causal().expect("causal trace recorded")
+    };
+    let seq = run(1);
+    assert!(!seq.ops.is_empty(), "coordinator recorded control-plane ops");
+    assert!(!seq.tasks.is_empty(), "coordinator recorded task dispatches");
+    for threads in [2, 4, 7] {
+        let par = run(threads);
+        assert_eq!(
+            seq, par,
+            "threads={threads} must record the identical causal trace"
+        );
+    }
+}
